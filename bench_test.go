@@ -1,0 +1,309 @@
+// Package repro's root benchmark harness: one benchmark per table and
+// figure of the paper (regenerating its data series end to end), plus
+// component microbenchmarks and the ablation benches DESIGN.md calls out.
+//
+// Figure benches run the real experiment pipeline at a reduced workload
+// scale so `go test -bench=.` completes in minutes; pass the environment
+// the same way cmd/figures does for full-size runs.
+package repro
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/dpg"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// benchScale keeps the per-iteration work of the figure benchmarks modest.
+const benchScale = 0.1
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		suite := core.NewSuite(core.SuiteConfig{Scale: benchScale})
+		if err := suite.Run(id, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (benchmark characteristics).
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFig5 regenerates Figure 5 (overall predictability).
+func BenchmarkFig5(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates Figure 6 (generation breakdown).
+func BenchmarkFig6(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates Figure 7 (propagation breakdown).
+func BenchmarkFig7(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates Figure 8 (termination breakdown).
+func BenchmarkFig8(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9 (generator-class path analysis).
+func BenchmarkFig9(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates Figure 10 (tree depth CDFs).
+func BenchmarkFig10(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates Figure 11 (influence CDFs).
+func BenchmarkFig11(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates Figure 12 (predictable sequences).
+func BenchmarkFig12(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13 regenerates Figure 13 (branch behaviour).
+func BenchmarkFig13(b *testing.B) { runExperiment(b, "fig13") }
+
+// --- Component microbenchmarks -------------------------------------------
+
+// benchTrace builds one reduced gcc trace shared by the micro benches.
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	w, _ := workloads.ByName("gcc")
+	tr, err := w.TraceRounds(w.Rounds/10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkVMExecute measures raw interpreter throughput
+// (instructions/op = trace length).
+func BenchmarkVMExecute(b *testing.B) {
+	w, _ := workloads.ByName("gcc")
+	prog, err := w.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := w.Input(w.Rounds/10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := vm.New(prog)
+		m.SetInput(vm.SliceInput(input))
+		if err := m.Run(workloads.MaxTraceLen, func(*trace.Event) {}); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(m.Steps()))
+	}
+}
+
+// BenchmarkModel measures end-to-end model throughput per predictor
+// (bytes/s reported as events/s).
+func BenchmarkModel(b *testing.B) {
+	tr := benchTrace(b)
+	for _, kind := range predictor.Kinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			b.SetBytes(int64(tr.Len()))
+			for i := 0; i < b.N; i++ {
+				dpg.Run(tr, kind)
+			}
+		})
+	}
+}
+
+// BenchmarkModelNoPaths isolates the cost of influence tracking.
+func BenchmarkModelNoPaths(b *testing.B) {
+	tr := benchTrace(b)
+	b.SetBytes(int64(tr.Len()))
+	for i := 0; i < b.N; i++ {
+		dpg.RunWith(tr, dpg.Config{
+			Predictor:     predictor.KindContext.Factory(),
+			PredictorName: "context",
+			DisablePaths:  true,
+		})
+	}
+}
+
+// BenchmarkPredictors measures raw predictor predict+update throughput.
+func BenchmarkPredictors(b *testing.B) {
+	for _, kind := range predictor.Kinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			p := kind.New()
+			for i := 0; i < b.N; i++ {
+				key := uint64(i & 1023)
+				v, _ := p.Predict(key)
+				p.Update(key, v+uint32(i))
+			}
+		})
+	}
+}
+
+// BenchmarkTraceEncode measures trace serialisation throughput.
+func BenchmarkTraceEncode(b *testing.B) {
+	tr := benchTrace(b)
+	b.SetBytes(int64(tr.Len()))
+	for i := 0; i < b.N; i++ {
+		if err := trace.WriteAll(io.Discard, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (design-choice studies from DESIGN.md §5) ----------
+
+// BenchmarkAblationSharedIO compares the paper's split input/output
+// predictor tables against a single shared instance (the short-circuit
+// configuration the paper avoids). The reported metric propagation% shows
+// how much predictability the shared configuration overstates.
+func BenchmarkAblationSharedIO(b *testing.B) {
+	tr := benchTrace(b)
+	for _, shared := range []bool{false, true} {
+		name := "split"
+		if shared {
+			name = "shared"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *dpg.Result
+			for i := 0; i < b.N; i++ {
+				res = dpg.RunWith(tr, dpg.Config{
+					Predictor:         predictor.KindLast.Factory(),
+					PredictorName:     name,
+					SharedInputOutput: shared,
+				})
+			}
+			b.ReportMetric(res.Pct(res.NodeProp()+res.ArcTotal(dpg.ArcPP)), "propagation%")
+		})
+	}
+}
+
+// BenchmarkAblationTableSize sweeps the stride predictor's table capacity,
+// reporting how classification quality saturates with table size.
+func BenchmarkAblationTableSize(b *testing.B) {
+	tr := benchTrace(b)
+	for _, bits := range []int{6, 10, 16} {
+		bits := bits
+		b.Run(fmt.Sprintf("2^%d", bits), func(b *testing.B) {
+			var res *dpg.Result
+			for i := 0; i < b.N; i++ {
+				res = dpg.RunWith(tr, dpg.Config{
+					Predictor:     func() predictor.Predictor { return predictor.NewStride(bits) },
+					PredictorName: "stride",
+				})
+			}
+			b.ReportMetric(res.Pct(res.NodeProp()+res.ArcTotal(dpg.ArcPP)), "propagation%")
+		})
+	}
+}
+
+// BenchmarkAblationContextOrder sweeps the context predictor's history
+// length (the paper uses order 4).
+func BenchmarkAblationContextOrder(b *testing.B) {
+	tr := benchTrace(b)
+	for _, order := range []int{1, 2, 4, 8} {
+		order := order
+		b.Run(fmt.Sprintf("order%d", order), func(b *testing.B) {
+			var res *dpg.Result
+			for i := 0; i < b.N; i++ {
+				res = dpg.RunWith(tr, dpg.Config{
+					Predictor: func() predictor.Predictor {
+						return predictor.NewContext(predictor.DefaultTableBits, predictor.DefaultL2Bits, order)
+					},
+					PredictorName: "context",
+				})
+			}
+			b.ReportMetric(res.Pct(res.NodeProp()+res.ArcTotal(dpg.ArcPP)), "propagation%")
+		})
+	}
+}
+
+// BenchmarkAblationGShareSize sweeps the branch predictor capacity.
+func BenchmarkAblationGShareSize(b *testing.B) {
+	tr := benchTrace(b)
+	for _, bits := range []int{8, 12, 16} {
+		bits := bits
+		b.Run(fmt.Sprintf("2^%d", bits), func(b *testing.B) {
+			var res *dpg.Result
+			for i := 0; i < b.N; i++ {
+				res = dpg.RunWith(tr, dpg.Config{
+					Predictor:     predictor.KindLast.Factory(),
+					PredictorName: "last-value",
+					GShareBits:    bits,
+				})
+			}
+			acc := 100 * float64(res.Branch.Correct) / float64(res.Branch.Branches)
+			b.ReportMetric(acc, "gshare-acc%")
+		})
+	}
+}
+
+// BenchmarkAblationDelayedUpdate quantifies the paper's §3 caveat: the
+// model updates predictors immediately after each prediction, whereas real
+// hardware sees update delays. The reported propagation% shows how much
+// classified predictability a delayed-update configuration loses.
+func BenchmarkAblationDelayedUpdate(b *testing.B) {
+	tr := benchTrace(b)
+	for _, delay := range []int{0, 4, 16, 64} {
+		delay := delay
+		b.Run(fmt.Sprintf("delay%d", delay), func(b *testing.B) {
+			var res *dpg.Result
+			for i := 0; i < b.N; i++ {
+				res = dpg.RunWith(tr, dpg.Config{
+					Predictor: func() predictor.Predictor {
+						return predictor.NewDelayed(predictor.NewStride(predictor.DefaultTableBits), delay)
+					},
+					PredictorName: "stride",
+				})
+			}
+			b.ReportMetric(res.Pct(res.NodeProp()+res.ArcTotal(dpg.ArcPP)), "propagation%")
+		})
+	}
+}
+
+// BenchmarkILP measures the dataflow-limit analysis and reports the
+// value-prediction speedup it finds (the paper's ref [9] headline).
+func BenchmarkILP(b *testing.B) {
+	tr := benchTrace(b)
+	for _, kind := range predictor.Kinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			var st analysis.ILPStats
+			b.SetBytes(int64(tr.Len()))
+			for i := 0; i < b.N; i++ {
+				st = analysis.ILP(tr, kind)
+			}
+			b.ReportMetric(st.Speedup(), "vp-speedup")
+		})
+	}
+}
+
+// BenchmarkReuse measures the reuse-buffer analysis throughput.
+func BenchmarkReuse(b *testing.B) {
+	tr := benchTrace(b)
+	b.SetBytes(int64(tr.Len()))
+	var st analysis.ReuseStats
+	for i := 0; i < b.N; i++ {
+		st = analysis.Reuse(tr, 16)
+	}
+	b.ReportMetric(st.ReusePct(), "reuse%")
+}
+
+// BenchmarkCompile measures mini-C compilation speed on a representative
+// program.
+func BenchmarkCompile(b *testing.B) {
+	src := `
+		arr a[64];
+		func f(x, y) { return x * y + (x >> 3); }
+		func main() {
+			var s = 0;
+			for (var i = 0; i < 64; i = i + 1) {
+				a[i] = f(i, i + 1);
+				s = s + a[i];
+			}
+			out(s);
+		}`
+	for i := 0; i < b.N; i++ {
+		if _, err := cc.Compile("bench", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command dpgrun runs the predictability model over a trace — either a
+// trace file produced by cmd/tracegen (or any external producer of the
+// format) or a built-in workload — and prints the classification summary.
+//
+// Usage:
+//
+//	dpgrun -trace gcc.dpg -predictor context
+//	dpgrun -workload m88 -predictor stride
+//	dpgrun -workload gcc -all          # all three predictors
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/dpg"
+	"repro/internal/predictor"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "trace file to analyse")
+	workload := flag.String("workload", "", "built-in workload to trace and analyse")
+	rounds := flag.Int("rounds", 0, "rounds parameter for -workload (0 = default)")
+	pred := flag.String("predictor", "context", "last-value | stride | context")
+	all := flag.Bool("all", false, "run all three predictors")
+	graph := flag.Int("graph", 0, "print the labeled DPG fragment for the first N instructions (paper Fig. 3)")
+	flag.Parse()
+
+	var t *trace.Trace
+	switch {
+	case *tracePath != "" && *workload != "":
+		fail("use either -trace or -workload, not both")
+	case *tracePath != "":
+		var err error
+		t, err = trace.ReadFile(*tracePath)
+		if err != nil {
+			fail(err.Error())
+		}
+	case *workload != "":
+		w, ok := workloads.ByName(*workload)
+		if !ok {
+			fail(fmt.Sprintf("unknown workload %q; known: %v", *workload, workloads.Names()))
+		}
+		r := *rounds
+		if r == 0 {
+			r = w.Rounds
+		}
+		var err error
+		t, err = w.TraceRounds(r, 1)
+		if err != nil {
+			fail(err.Error())
+		}
+	default:
+		fail("missing -trace or -workload")
+	}
+
+	kinds := predictor.Kinds
+	if !*all {
+		k, ok := kindByName(*pred)
+		if !ok {
+			fail(fmt.Sprintf("unknown predictor %q", *pred))
+		}
+		kinds = []predictor.Kind{k}
+	}
+
+	fmt.Printf("trace %s: %d dynamic instructions, %d static\n\n", t.Name, t.Len(), t.NumStatic)
+	for _, k := range kinds {
+		r := dpg.RunWith(t, dpg.Config{
+			Predictor:     k.Factory(),
+			PredictorName: k.String(),
+			GraphLimit:    *graph,
+		})
+		printResult(r)
+		if *graph > 0 {
+			var disasm func(pc uint32) string
+			if *workload != "" {
+				w, _ := workloads.ByName(*workload)
+				if prog, err := w.Program(); err == nil {
+					disasm = func(pc uint32) string {
+						if int(pc) < len(prog.Instrs) {
+							return prog.Instrs[pc].String()
+						}
+						return "?"
+					}
+				}
+			}
+			report.WriteFragment(os.Stdout, r.Graph, disasm)
+		}
+	}
+}
+
+func kindByName(name string) (predictor.Kind, bool) {
+	for _, k := range predictor.Kinds {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+func printResult(r *dpg.Result) {
+	fmt.Printf("== predictor: %s ==\n", r.Predictor)
+	report.WriteTable1(os.Stdout, analysis.Table1([]*dpg.Result{r}))
+	report.WriteOverall(os.Stdout, []analysis.OverallRow{analysis.Overall(r)})
+	report.WriteGeneration(os.Stdout, []analysis.GenRow{analysis.Generation(r)})
+	report.WritePropagation(os.Stdout, []analysis.PropRow{analysis.Propagation(r)})
+	report.WriteTermination(os.Stdout, []analysis.TermRow{analysis.Termination(r)})
+	report.WriteBranches(os.Stdout, []analysis.BranchRow{analysis.BranchClasses(r)})
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "dpgrun:", msg)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Command figures regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	figures                     # every experiment, default workload sizes
+//	figures -experiment fig5    # one experiment
+//	figures -scale 0.25         # quarter-size workloads (fast smoke run)
+//	figures -list               # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	experiment := flag.String("experiment", "", "experiment id (default: all); see -list")
+	scale := flag.Float64("scale", 1.0, "workload size multiplier")
+	seed := flag.Uint64("seed", 1, "workload input seed")
+	parallel := flag.Int("parallel", 4, "concurrent model runs during precompute")
+	verbose := flag.Bool("v", false, "print progress while running")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	jsonPath := flag.String("json", "", "also dump every raw model result as JSON to this file")
+	flag.Parse()
+
+	if *list {
+		for _, id := range core.ExperimentIDs() {
+			fmt.Printf("%-8s %s\n", id, core.Experiments()[id])
+		}
+		return
+	}
+
+	cfg := core.SuiteConfig{Scale: *scale, Seed: *seed, Parallel: *parallel}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+	suite := core.NewSuite(cfg)
+
+	var err error
+	if *experiment == "" {
+		err = suite.RunAll(os.Stdout)
+	} else {
+		err = suite.Run(*experiment, os.Stdout)
+	}
+	if err == nil && *jsonPath != "" {
+		var f *os.File
+		f, err = os.Create(*jsonPath)
+		if err == nil {
+			err = suite.DumpJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,119 @@
+// Command mcc compiles mini-C source (see internal/cc) to assembly, or
+// compiles-and-runs it, or compiles-executes-and-writes a trace for the
+// model.
+//
+// Usage:
+//
+//	mcc -s prog.mc                  # print generated assembly
+//	mcc prog.mc                     # compile and run (inputs from -in)
+//	mcc -trace prog.dpg prog.mc     # compile, run, write trace
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cc"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func main() {
+	asmOnly := flag.Bool("s", false, "print generated assembly instead of running")
+	tracePath := flag.String("trace", "", "write the execution trace to this file")
+	inPath := flag.String("in", "", "program input words, one per line")
+	limit := flag.Uint64("limit", workloads.MaxTraceLen, "instruction limit")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fail("usage: mcc [-s] [-trace out.dpg] [-in words.txt] prog.mc")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err.Error())
+	}
+
+	if *asmOnly {
+		text, err := cc.CompileToAsm(string(src))
+		if err != nil {
+			fail(err.Error())
+		}
+		fmt.Print(text)
+		return
+	}
+
+	prog, err := cc.Compile(flag.Arg(0), string(src))
+	if err != nil {
+		fail(err.Error())
+	}
+	m := vm.New(prog)
+	if *inPath != "" {
+		words, err := readWords(*inPath)
+		if err != nil {
+			fail(err.Error())
+		}
+		m.SetInput(vm.SliceInput(words))
+	}
+	m.SetOutput(func(v uint32) { fmt.Println(int32(v)) })
+
+	var tw *trace.Writer
+	var tf *os.File
+	emit := func(*trace.Event) {}
+	if *tracePath != "" {
+		tf, err = os.Create(*tracePath)
+		if err != nil {
+			fail(err.Error())
+		}
+		tw, err = trace.NewWriter(tf, flag.Arg(0), len(prog.Instrs))
+		if err != nil {
+			fail(err.Error())
+		}
+		emit = func(e *trace.Event) {
+			if werr := tw.Write(e); werr != nil {
+				fail(werr.Error())
+			}
+		}
+	}
+	if err := m.Run(*limit, emit); err != nil {
+		fail(err.Error())
+	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			fail(err.Error())
+		}
+		if err := tf.Close(); err != nil {
+			fail(err.Error())
+		}
+		fmt.Fprintf(os.Stderr, "mcc: wrote %d events to %s\n", tw.Count(), *tracePath)
+	}
+}
+
+func readWords(path string) ([]uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var words []uint32
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(line, "%v", &v); err != nil {
+			return nil, fmt.Errorf("%s: bad input word %q", path, line)
+		}
+		words = append(words, uint32(v))
+	}
+	return words, sc.Err()
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "mcc:", msg)
+	os.Exit(1)
+}

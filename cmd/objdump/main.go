@@ -1,0 +1,108 @@
+// Command objdump lists a program: the disassembled text segment with
+// labels, the data-segment symbols, and the static instruction mix — for
+// inspecting what a workload or a mini-C compilation actually contains.
+//
+// Usage:
+//
+//	objdump -workload gcc
+//	objdump -asm prog.s
+//	objdump -mc prog.mc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/dpg"
+	"repro/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "", "built-in workload name")
+	asmPath := flag.String("asm", "", "assembly source file")
+	mcPath := flag.String("mc", "", "mini-C source file")
+	flag.Parse()
+
+	var prog *asm.Program
+	var err error
+	switch {
+	case *workload != "":
+		w, ok := workloads.ByName(*workload)
+		if !ok {
+			fail(fmt.Sprintf("unknown workload %q; known: %v", *workload, workloads.Names()))
+		}
+		prog, err = w.Program()
+	case *asmPath != "":
+		var src []byte
+		src, err = os.ReadFile(*asmPath)
+		if err == nil {
+			prog, err = asm.Assemble(*asmPath, string(src))
+		}
+	case *mcPath != "":
+		var src []byte
+		src, err = os.ReadFile(*mcPath)
+		if err == nil {
+			prog, err = cc.Compile(*mcPath, string(src))
+		}
+	default:
+		fail("one of -workload, -asm or -mc is required")
+	}
+	if err != nil {
+		fail(err.Error())
+	}
+
+	// Invert the text symbol table for listing labels.
+	labels := map[int][]string{}
+	for name, idx := range prog.TextSymbols {
+		labels[idx] = append(labels[idx], name)
+	}
+	for _, ls := range labels {
+		sort.Strings(ls)
+	}
+
+	fmt.Printf("program %s: %d instructions, %d data bytes, entry %d\n\n",
+		prog.Name, len(prog.Instrs), len(prog.Data), prog.Entry)
+
+	fmt.Println("text:")
+	groupCount := map[dpg.OpGroup]int{}
+	for i, ins := range prog.Instrs {
+		for _, l := range labels[i] {
+			fmt.Printf("%s:\n", l)
+		}
+		fmt.Printf("  %4d  %s\n", i, ins)
+		groupCount[dpg.GroupOf(ins.Op)]++
+	}
+
+	if len(prog.DataSymbols) > 0 {
+		fmt.Println("\ndata:")
+		type sym struct {
+			name string
+			addr uint32
+		}
+		syms := make([]sym, 0, len(prog.DataSymbols))
+		for n, a := range prog.DataSymbols {
+			syms = append(syms, sym{n, a})
+		}
+		sort.Slice(syms, func(i, j int) bool { return syms[i].addr < syms[j].addr })
+		for _, s := range syms {
+			fmt.Printf("  %#010x  %s\n", s.addr, s.name)
+		}
+	}
+
+	fmt.Println("\nstatic instruction mix:")
+	total := len(prog.Instrs)
+	for g := dpg.OpGroup(0); g < dpg.NumOpGroups; g++ {
+		if c := groupCount[g]; c > 0 {
+			fmt.Printf("  %-10s %5d  %5.1f%%\n", g, c, 100*float64(c)/float64(total))
+		}
+	}
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "objdump:", msg)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Custompredictor: plug a user-defined value predictor into the model
+// through the predictor.Predictor interface — the "finding better
+// predictors" use case from the paper's discussion (§6).
+//
+// The custom predictor is a confidence-arbitrated hybrid of the stride and
+// context predictors: per key, saturating counters track which component
+// has been right more often, and the hybrid forwards that component's
+// prediction.
+//
+//	go run ./examples/custompredictor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dpg"
+	"repro/internal/predictor"
+	"repro/internal/workloads"
+)
+
+// hybrid arbitrates between a stride predictor and a context predictor
+// with a per-entry chooser table, gshare-style.
+type hybrid struct {
+	stride  predictor.Predictor
+	context predictor.Predictor
+	choose  []int8 // >0 favours context, <=0 favours stride
+	mask    uint64
+}
+
+func newHybrid() predictor.Predictor {
+	const bits = 14
+	return &hybrid{
+		stride:  predictor.NewStride(predictor.DefaultTableBits),
+		context: predictor.NewContext(predictor.DefaultTableBits, predictor.DefaultL2Bits, predictor.DefaultOrder),
+		choose:  make([]int8, 1<<bits),
+		mask:    1<<bits - 1,
+	}
+}
+
+func (h *hybrid) Name() string { return "hybrid(stride,context)" }
+
+func (h *hybrid) slot(key uint64) *int8 {
+	// Cheap multiplicative hash into the chooser table.
+	return &h.choose[(key*0x9e3779b97f4a7c15>>40)&h.mask]
+}
+
+func (h *hybrid) Predict(key uint64) (uint32, bool) {
+	sv, sok := h.stride.Predict(key)
+	cv, cok := h.context.Predict(key)
+	if *h.slot(key) > 0 {
+		if cok {
+			return cv, true
+		}
+		return sv, sok
+	}
+	if sok {
+		return sv, true
+	}
+	return cv, cok
+}
+
+func (h *hybrid) Update(key uint64, actual uint32) {
+	sv, sok := h.stride.Predict(key)
+	cv, cok := h.context.Predict(key)
+	sHit := sok && sv == actual
+	cHit := cok && cv == actual
+	c := h.slot(key)
+	switch {
+	case cHit && !sHit && *c < 3:
+		*c++
+	case sHit && !cHit && *c > -3:
+		*c--
+	}
+	h.stride.Update(key, actual)
+	h.context.Update(key, actual)
+}
+
+func (h *hybrid) Reset() {
+	h.stride.Reset()
+	h.context.Reset()
+	for i := range h.choose {
+		h.choose[i] = 0
+	}
+}
+
+func main() {
+	w, ok := workloads.ByName("gcc")
+	if !ok {
+		log.Fatal("missing workload")
+	}
+	tr, err := w.Trace()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d dynamic instructions\n\n", w.Name, tr.Len())
+
+	fmt.Printf("%-24s %10s %10s %10s\n", "predictor", "gen%", "prop%", "term%")
+	show := func(res *dpg.Result) {
+		fmt.Printf("%-24s %10.1f %10.1f %10.1f\n",
+			res.Predictor,
+			res.Pct(res.NodeGen()+res.ArcTotal(dpg.ArcNP)),
+			res.Pct(res.NodeProp()+res.ArcTotal(dpg.ArcPP)),
+			res.Pct(res.NodeTerm()+res.ArcTotal(dpg.ArcPN)))
+	}
+	for _, kind := range predictor.Kinds {
+		show(core.Analyze(tr, core.WithKind(kind)))
+	}
+	// The custom predictor drops in through the same factory interface the
+	// built-ins use; the model builds separate input/output instances.
+	show(core.Analyze(tr, core.WithPredictor("hybrid(stride,context)", newHybrid)))
+}

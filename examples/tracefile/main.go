@@ -1,0 +1,140 @@
+// Tracefile: demonstrate the externally-generated-trace workflow the
+// paper's methodology is built on. One side streams a workload execution
+// into a trace file (what cmd/tracegen does); the other side — possibly a
+// different process, machine, or producer entirely — reads the file back
+// and runs the model on it.
+//
+//	go run ./examples/tracefile
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/dpg"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func main() {
+	path := filepath.Join(os.TempDir(), "m88.dpg")
+
+	// --- Producer side: stream execution straight to disk. ---
+	w, _ := workloads.ByName("m88")
+	prog, err := w.Program()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tw, err := trace.NewWriter(f, w.Name, len(prog.Instrs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := vm.New(prog)
+	m.SetInput(vm.SliceInput(w.Input(w.Rounds, 1)))
+	err = m.Run(workloads.MaxTraceLen, func(e *trace.Event) {
+		if werr := tw.Write(e); werr != nil {
+			log.Fatal(werr)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := os.Stat(path)
+	fmt.Printf("producer: wrote %d events to %s (%d bytes, %.1f bytes/event)\n",
+		tw.Count(), path, st.Size(), float64(st.Size())/float64(tw.Count()))
+
+	// --- Consumer side: stream the file through the model. ---
+	// First pass: static execution counts from the footer (the model needs
+	// them up front for write-once classification).
+	counts, numStatic, err := staticCounts(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consumer: program has %d static instructions\n", numStatic)
+
+	// Second pass: stream events through the builder — the file never
+	// needs to fit in memory as a Trace.
+	g, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+	r, err := trace.NewReader(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := dpg.NewBuilder(r.Name(), counts, dpg.Config{
+		Predictor:     predictor.KindContext.Factory(),
+		PredictorName: predictor.KindContext.String(),
+	})
+	var e trace.Event
+	for {
+		err := r.Next(&e)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		b.Observe(&e)
+	}
+	res := b.Finish()
+	fmt.Printf("consumer: %d nodes, %d arcs — propagation %.1f%%, generation %.1f%%, termination %.1f%%\n",
+		res.Nodes, res.Arcs,
+		res.Pct(res.NodeProp()+res.ArcTotal(dpg.ArcPP)),
+		res.Pct(res.NodeGen()+res.ArcTotal(dpg.ArcNP)),
+		res.Pct(res.NodeTerm()+res.ArcTotal(dpg.ArcPN)))
+
+	// The in-memory convenience path must agree exactly.
+	full, err := trace.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2 := core.Analyze(full, core.WithKind(predictor.KindContext))
+	if res2.NodeCount != res.NodeCount || res2.ArcCount != res.ArcCount {
+		log.Fatal("streaming and in-memory classification disagree")
+	}
+	fmt.Println("consumer: streaming result matches the in-memory path exactly")
+	_ = os.Remove(path)
+}
+
+// staticCounts makes the first pass over a trace file, returning the
+// per-PC execution counts from the footer.
+func staticCounts(path string) ([]uint64, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	var e trace.Event
+	for {
+		err := r.Next(&e)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return r.StaticCounts(), r.NumStatic(), nil
+}

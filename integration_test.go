@@ -1,0 +1,94 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the command binaries once into a shared temp dir.
+func buildTools(t *testing.T, names ...string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, name := range names {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+	}
+	return dir
+}
+
+// TestCLIPipeline exercises the deliverable binaries end to end: generate a
+// trace with tracegen, analyse it with dpgrun, regenerate a figure with
+// figures, and compile-and-run a mini-C program with mcc.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	bin := buildTools(t, "tracegen", "dpgrun", "figures", "mcc", "objdump")
+	work := t.TempDir()
+	run := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		cmd.Dir = work
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	// tracegen -> trace file.
+	tracePath := filepath.Join(work, "fig1.dpg")
+	out := run("tracegen", "-workload", "fig1", "-rounds", "20", "-o", tracePath)
+	if !strings.Contains(out, "dynamic instructions") {
+		t.Errorf("tracegen output: %q", out)
+	}
+
+	// dpgrun consumes the trace.
+	out = run("dpgrun", "-trace", tracePath, "-predictor", "stride")
+	for _, want := range []string{"Table 1", "Figure 5", "predictor: stride"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dpgrun output missing %q", want)
+		}
+	}
+
+	// dpgrun -graph prints the Fig. 3 fragment.
+	out = run("dpgrun", "-workload", "fig1", "-rounds", "2", "-predictor", "stride", "-graph", "8")
+	if !strings.Contains(out, "DPG fragment") || !strings.Contains(out, "<n,n>") {
+		t.Errorf("dpgrun -graph output missing fragment:\n%s", out)
+	}
+
+	// figures regenerates one experiment.
+	out = run("figures", "-scale", "0.05", "-experiment", "table1")
+	if !strings.Contains(out, "arcs/node") {
+		t.Errorf("figures output missing table: %q", out)
+	}
+
+	// mcc compiles and runs a program.
+	mcPath := filepath.Join(work, "p.mc")
+	if err := os.WriteFile(mcPath, []byte("func main() { out(6 * 7); }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = run("mcc", mcPath)
+	if strings.TrimSpace(out) != "42" {
+		t.Errorf("mcc run output = %q, want 42", out)
+	}
+	out = run("mcc", "-s", mcPath)
+	if !strings.Contains(out, "fn_main:") {
+		t.Errorf("mcc -s output missing function label: %q", out)
+	}
+
+	// objdump lists a workload.
+	out = run("objdump", "-workload", "m88")
+	for _, want := range []string{"simprog", "static instruction mix", "memory"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("objdump output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dpg"
+	"repro/internal/predictor"
+	"repro/internal/workloads"
+)
+
+// result caches one model run for the test suite.
+var testResults = map[string]*dpg.Result{}
+
+func resultFor(t *testing.T, name string, kind predictor.Kind) *dpg.Result {
+	t.Helper()
+	key := name + "/" + kind.String()
+	if r, ok := testResults[key]; ok {
+		return r
+	}
+	w, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("no workload %s", name)
+	}
+	tr, err := w.TraceRounds(w.Rounds/4+2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := dpg.Run(tr, kind)
+	testResults[key] = r
+	return r
+}
+
+func TestTable1(t *testing.T) {
+	r := resultFor(t, "gcc", predictor.KindLast)
+	rows := Table1([]*dpg.Result{r})
+	if len(rows) != 1 {
+		t.Fatal("wrong row count")
+	}
+	row := rows[0]
+	if row.Name != "gcc" {
+		t.Error("name lost")
+	}
+	if row.Nodes == 0 || row.Arcs == 0 {
+		t.Error("zero counts")
+	}
+	if row.EdgesPerNd < 1.0 || row.EdgesPerNd > 2.2 {
+		t.Errorf("edges/node = %.2f, expected near the paper's 1.5", row.EdgesPerNd)
+	}
+	if row.DNodePct < 0 || row.DNodePct > 100 || row.DArcPct < 0 || row.DArcPct > 100 {
+		t.Error("percentages out of range")
+	}
+}
+
+func TestOverallSumsToHundred(t *testing.T) {
+	for _, kind := range predictor.Kinds {
+		r := resultFor(t, "com", kind)
+		row := Overall(r)
+		sum := row.NodeGen + row.NodeProp + row.NodeTerm +
+			row.ArcGen + row.ArcProp + row.ArcTerm + row.UnpredPct
+		if math.Abs(sum-100) > 1e-9 {
+			t.Errorf("%s: overall row sums to %.6f", kind, sum)
+		}
+		// Paper: the sum of classified segments is less than 100%.
+		if row.UnpredPct <= 0 {
+			t.Errorf("%s: no unpredictability remainder", kind)
+		}
+	}
+}
+
+func TestGenerationMatchesResult(t *testing.T) {
+	r := resultFor(t, "gcc", predictor.KindStride)
+	g := Generation(r)
+	total := g.ArcWl + g.ArcRd + g.ArcR + g.Arc1
+	if math.Abs(total-r.Pct(r.ArcTotal(dpg.ArcNP))) > 1e-9 {
+		t.Error("arc generation segments do not sum to the arc generation total")
+	}
+	nodes := g.NodeII + g.NodeNN + g.NodeIN
+	if math.Abs(nodes-r.Pct(r.NodeGen())) > 1e-9 {
+		t.Error("node generation segments do not sum")
+	}
+}
+
+func TestPropagationTerminationMatch(t *testing.T) {
+	r := resultFor(t, "gcc", predictor.KindContext)
+	p := Propagation(r)
+	if math.Abs((p.Arc1+p.ArcR+p.ArcWl+p.ArcRd)-r.Pct(r.ArcTotal(dpg.ArcPP))) > 1e-9 {
+		t.Error("propagation arc segments do not sum")
+	}
+	if math.Abs((p.NodePP+p.NodePI+p.NodePN)-r.Pct(r.NodeProp())) > 1e-9 {
+		t.Error("propagation node segments do not sum")
+	}
+	x := Termination(r)
+	if math.Abs((x.Arc1+x.ArcR+x.ArcWl+x.ArcRd)-r.Pct(r.ArcTotal(dpg.ArcPN))) > 1e-9 {
+		t.Error("termination arc segments do not sum")
+	}
+	if math.Abs((x.NodePN+x.NodePP+x.NodePI)-r.Pct(r.NodeTerm())) > 1e-9 {
+		t.Error("termination node segments do not sum")
+	}
+}
+
+func TestAverageOverall(t *testing.T) {
+	a := OverallRow{NodeGen: 2, NodeProp: 10, ArcProp: 20, UnpredPct: 68, Predictor: "stride"}
+	b := OverallRow{NodeGen: 4, NodeProp: 30, ArcProp: 40, UnpredPct: 26, Predictor: "stride"}
+	avg := AverageOverall([]OverallRow{a, b}, "INT")
+	if avg.Name != "INT" || avg.Predictor != "stride" {
+		t.Error("labels wrong")
+	}
+	if avg.NodeGen != 3 || avg.NodeProp != 20 || avg.ArcProp != 30 {
+		t.Errorf("averages wrong: %+v", avg)
+	}
+	empty := AverageOverall(nil, "x")
+	if empty.NodeGen != 0 {
+		t.Error("empty average should be zero")
+	}
+}
+
+func TestPathClasses(t *testing.T) {
+	r := resultFor(t, "gcc", predictor.KindContext)
+	row := PathClasses(r)
+	// Control-flow generation must dominate (paper's central conclusion).
+	if row.Class[dpg.GenC] <= row.Class[dpg.GenD] {
+		t.Errorf("C (%.2f) should exceed D (%.2f)", row.Class[dpg.GenC], row.Class[dpg.GenD])
+	}
+	avg := AveragePathClasses([]PathClassRow{row, row}, "INT")
+	for c := 0; c < int(dpg.NumGenClass); c++ {
+		if math.Abs(avg.Class[c]-row.Class[c]) > 1e-9 {
+			t.Error("self-average changed values")
+		}
+	}
+}
+
+func TestCombos(t *testing.T) {
+	r := resultFor(t, "gcc", predictor.KindContext)
+	combos := Combos([]*dpg.Result{r}, 24)
+	if len(combos) == 0 {
+		t.Fatal("no combinations")
+	}
+	// Sorted descending.
+	for i := 1; i < len(combos); i++ {
+		if combos[i].Pct > combos[i-1].Pct {
+			t.Fatal("combos not sorted")
+		}
+	}
+	// Labels render in class order.
+	if (ComboShare{Mask: 1 << dpg.GenC}).Label() != "C" {
+		t.Error("C label wrong")
+	}
+	if (ComboShare{Mask: 1<<dpg.GenC | 1<<dpg.GenI}).Label() != "CI" {
+		t.Error("CI label wrong")
+	}
+	if (ComboShare{Mask: 0}).Label() != "-" {
+		t.Error("empty label wrong")
+	}
+	// ComboPctFor agrees with the share list.
+	for _, cs := range combos[:1] {
+		got := ComboPctFor([]*dpg.Result{r}, cs.Mask)
+		if math.Abs(got-cs.Pct) > 1e-9 {
+			t.Error("ComboPctFor disagrees with Combos")
+		}
+	}
+	if ComboPctFor(nil, 1) != 0 {
+		t.Error("empty ComboPctFor should be 0")
+	}
+}
+
+func TestTreeCDFs(t *testing.T) {
+	r := resultFor(t, "gcc", predictor.KindContext)
+	tc := Trees(r)
+	for _, cdf := range []CDF{tc.Trees, tc.Aggregate} {
+		if len(cdf.X) == 0 {
+			t.Fatal("empty CDF")
+		}
+		last := cdf.Pct[len(cdf.Pct)-1]
+		if math.Abs(last-100) > 1e-9 {
+			t.Errorf("CDF does not reach 100: %f", last)
+		}
+		for i := 1; i < len(cdf.Pct); i++ {
+			if cdf.Pct[i] < cdf.Pct[i-1] {
+				t.Fatal("CDF not monotone")
+			}
+		}
+	}
+	// Paper: most trees are shallow, but deep trees carry most aggregate
+	// propagation — the aggregate curve must lag the trees curve.
+	if tc.Aggregate.At(8) >= tc.Trees.At(8) {
+		t.Errorf("aggregate CDF at depth 8 (%.1f%%) should lag trees CDF (%.1f%%)",
+			tc.Aggregate.At(8), tc.Trees.At(8))
+	}
+}
+
+func TestInfluenceCDFs(t *testing.T) {
+	r := resultFor(t, "com", predictor.KindContext)
+	ic := Influence(r)
+	if len(ic.NumGens.X) != dpg.MaxTrackedGens {
+		t.Fatalf("NumGens has %d points", len(ic.NumGens.X))
+	}
+	// Paper: 70-85% of propagates are influenced by fewer than 4
+	// generates; at the very least the CDF at 4 should be substantial.
+	if ic.NumGens.At(4) < 50 {
+		t.Errorf("propagates with <= 4 generates = %.1f%%, expected the bulk", ic.NumGens.At(4))
+	}
+	if ic.OverflowPct > 20 {
+		t.Errorf("overflow fraction %.1f%% too large for the cap to be honest", ic.OverflowPct)
+	}
+	if len(ic.Distance.X) == 0 {
+		t.Fatal("empty distance CDF")
+	}
+}
+
+func TestSequences(t *testing.T) {
+	r := resultFor(t, "com", predictor.KindStride)
+	row := Sequences(r)
+	var sum float64
+	for _, p := range row.PctByLen {
+		sum += p
+	}
+	if math.Abs(sum-row.PredictablePct) > 1e-9 {
+		t.Error("sequence buckets do not sum to the predictable share")
+	}
+	if row.PredictablePct <= 0 || row.PredictablePct > 100 {
+		t.Errorf("predictable share %.1f%% out of range", row.PredictablePct)
+	}
+	avg := AverageSequences([]SeqRow{row}, "INT")
+	if math.Abs(avg.PredictablePct-row.PredictablePct) > 1e-9 {
+		t.Error("self-average changed")
+	}
+}
+
+func TestBranchRows(t *testing.T) {
+	r := resultFor(t, "go", predictor.KindContext)
+	row := BranchClasses(r)
+	var sum float64
+	for _, p := range row.Pct {
+		sum += p
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Errorf("branch classes sum to %.4f", sum)
+	}
+	if row.Accuracy < 50 || row.Accuracy > 100 {
+		t.Errorf("accuracy %.1f%% implausible", row.Accuracy)
+	}
+	avg := AverageBranches([]BranchRow{row, row}, "INT")
+	if math.Abs(avg.Accuracy-row.Accuracy) > 1e-9 {
+		t.Error("self-average changed accuracy")
+	}
+	frac := MispredictedWithPredictableInputs(r)
+	if frac < 0 || frac > 100 {
+		t.Errorf("mispredicted-with-predictable-inputs %.1f%% out of range", frac)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := CDF{X: []uint32{0, 1, 3, 7}, Pct: []float64{10, 30, 60, 100}}
+	if c.At(0) != 10 || c.At(1) != 30 || c.At(2) != 60 || c.At(7) != 100 || c.At(99) != 100 {
+		t.Error("CDF.At lookup wrong")
+	}
+	if (CDF{}).At(5) != 0 {
+		t.Error("empty CDF should return 0")
+	}
+}
+
+func TestUnpredictabilityMatchesOverallRemainder(t *testing.T) {
+	for _, kind := range predictor.Kinds {
+		r := resultFor(t, "com", kind)
+		u := Unpredictability(r)
+		o := Overall(r)
+		if math.Abs(u.Total-o.UnpredPct) > 1e-9 {
+			t.Errorf("%s: unpred total %.4f != overall remainder %.4f", kind, u.Total, o.UnpredPct)
+		}
+		if u.ArcNNSingle > u.ArcNN {
+			t.Error("single-use <n,n> exceeds all <n,n>")
+		}
+	}
+}
+
+func TestAverageUnpredictability(t *testing.T) {
+	a := UnpredRow{NodeNN: 2, ArcNN: 10, Total: 12, Predictor: "stride"}
+	b := UnpredRow{NodeNN: 4, ArcNN: 20, Total: 24, Predictor: "stride"}
+	avg := AverageUnpredictability([]UnpredRow{a, b}, "INT")
+	if avg.NodeNN != 3 || avg.ArcNN != 15 || avg.Total != 18 || avg.Name != "INT" {
+		t.Errorf("average wrong: %+v", avg)
+	}
+	if AverageUnpredictability(nil, "x").Total != 0 {
+		t.Error("empty average not zero")
+	}
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/dpg"
+)
+
+// AttributionRow breaks one node class down by operation group: which kinds
+// of instructions account for the class. Percentages are of the class's
+// total count.
+type AttributionRow struct {
+	Class    dpg.NodeClass
+	Total    uint64
+	GroupPct [dpg.NumOpGroups]float64
+}
+
+// Attribution computes group attribution rows for the given classes,
+// summed across results (the paper reports mixed-benchmark attributions).
+func Attribution(results []*dpg.Result, classes []dpg.NodeClass) []AttributionRow {
+	rows := make([]AttributionRow, 0, len(classes))
+	for _, class := range classes {
+		row := AttributionRow{Class: class}
+		var byGroup [dpg.NumOpGroups]uint64
+		for _, r := range results {
+			for g := dpg.OpGroup(0); g < dpg.NumOpGroups; g++ {
+				byGroup[g] += r.NodeByGroup[g][class]
+				row.Total += r.NodeByGroup[g][class]
+			}
+		}
+		if row.Total > 0 {
+			for g := dpg.OpGroup(0); g < dpg.NumOpGroups; g++ {
+				row.GroupPct[g] = 100 * float64(byGroup[g]) / float64(row.Total)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// GroupShare returns the percentage of class occurrences attributable to
+// the given groups, across results. It quantifies claims like the paper's
+// "70%-95% of n,n->p and i,n->p are due to branch, compare, logical, and
+// shift instructions".
+func GroupShare(results []*dpg.Result, class dpg.NodeClass, groups ...dpg.OpGroup) float64 {
+	var total, in uint64
+	for _, r := range results {
+		for g := dpg.OpGroup(0); g < dpg.NumOpGroups; g++ {
+			total += r.NodeByGroup[g][class]
+		}
+		for _, g := range groups {
+			in += r.NodeByGroup[g][class]
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(in) / float64(total)
+}
+
+// HotspotRow is one static generate point: a program location whose
+// generator instances root predictable trees.
+type HotspotRow struct {
+	PC       uint32
+	Gens     uint64 // generator instances attributed to this PC
+	TreeSize uint64 // aggregate propagation rooted here
+	GensPct  float64
+	TreePct  float64
+}
+
+// TopGeneratePoints ranks static instructions by the aggregate propagation
+// their generators influence and returns the top n.
+func TopGeneratePoints(r *dpg.Result, n int) []HotspotRow {
+	rows := make([]HotspotRow, 0, len(r.GenPoints))
+	for _, gp := range r.GenPoints {
+		row := HotspotRow{PC: gp.PC, Gens: gp.Gens, TreeSize: gp.TreeSize}
+		if r.Trees.Gens > 0 {
+			row.GensPct = 100 * float64(gp.Gens) / float64(r.Trees.Gens)
+		}
+		if r.Trees.Size > 0 {
+			row.TreePct = 100 * float64(gp.TreeSize) / float64(r.Trees.Size)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].TreeSize != rows[j].TreeSize {
+			return rows[i].TreeSize > rows[j].TreeSize
+		}
+		return rows[i].PC < rows[j].PC
+	})
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// GenerateConcentration returns the share of generator instances and of
+// aggregate propagation contributed by the top-k static generate points —
+// the paper's "most predictability originates from a relatively small
+// number of generate points".
+func GenerateConcentration(r *dpg.Result, k int) (gensPct, treePct float64) {
+	top := TopGeneratePoints(r, k)
+	for _, row := range top {
+		gensPct += row.GensPct
+		treePct += row.TreePct
+	}
+	return gensPct, treePct
+}
+
+// StaticGeneratePoints returns the number of distinct static instructions
+// that ever generated predictability.
+func StaticGeneratePoints(r *dpg.Result) int { return len(r.GenPoints) }

@@ -1,0 +1,215 @@
+package analysis
+
+import "repro/internal/dpg"
+
+// CDF is a cumulative distribution over the model's logarithmic buckets:
+// Pct[i] is the percentage of the population with value <= X[i].
+type CDF struct {
+	X   []uint32
+	Pct []float64
+}
+
+// cdfFromHist builds a CDF from a logarithmic histogram, trimming trailing
+// empty buckets.
+func cdfFromHist(hist []uint64) CDF {
+	var total uint64
+	last := 0
+	for b, c := range hist {
+		total += c
+		if c > 0 {
+			last = b
+		}
+	}
+	out := CDF{}
+	if total == 0 {
+		return out
+	}
+	var cum uint64
+	for b := 0; b <= last; b++ {
+		cum += hist[b]
+		out.X = append(out.X, dpg.BucketHi(b))
+		out.Pct = append(out.Pct, 100*float64(cum)/float64(total))
+	}
+	return out
+}
+
+// At returns the cumulative percentage at the bucket containing v.
+func (c CDF) At(v uint32) float64 {
+	if len(c.X) == 0 {
+		return 0
+	}
+	for i, x := range c.X {
+		if v <= x {
+			return c.Pct[i]
+		}
+	}
+	return 100
+}
+
+// TreeCDFs is the Fig. 10 data for one run: the "trees" curve (cumulative
+// fraction of generates whose longest path is <= x) and the "aggregate
+// propagation" curve (cumulative fraction of all tree elements belonging to
+// trees of longest path <= x).
+type TreeCDFs struct {
+	Name      string
+	Predictor string
+	Trees     CDF
+	Aggregate CDF
+}
+
+// Trees computes the Fig. 10 curves for one run.
+func Trees(r *dpg.Result) TreeCDFs {
+	return TreeCDFs{
+		Name:      r.Name,
+		Predictor: r.Predictor,
+		Trees:     cdfFromHist(r.Trees.GensByDepth[:]),
+		Aggregate: cdfFromHist(r.Trees.SizeByDepth[:]),
+	}
+}
+
+// InfluenceCDFs is the Fig. 11 data for one run: the cumulative number of
+// generates influencing a propagate (top graph) and the cumulative distance
+// from a propagate to its earliest generate (bottom graph).
+type InfluenceCDFs struct {
+	Name      string
+	Predictor string
+	NumGens   CDF
+	Distance  CDF
+	// OverflowPct is the fraction of propagates whose influence sets
+	// overflowed the tracking cap (excluded from NumGens; their true count
+	// exceeds dpg.MaxTrackedGens).
+	OverflowPct float64
+}
+
+// Influence computes the Fig. 11 curves for one run.
+func Influence(r *dpg.Result) InfluenceCDFs {
+	out := InfluenceCDFs{
+		Name:      r.Name,
+		Predictor: r.Predictor,
+		Distance:  cdfFromHist(r.Path.DistHist[:]),
+	}
+	// NumGenHist is linear (1..MaxTrackedGens) with an overflow slot.
+	h := r.Path.NumGenHist
+	var total, cum uint64
+	for _, c := range h {
+		total += c
+	}
+	if total == 0 {
+		return out
+	}
+	for k := 1; k <= dpg.MaxTrackedGens; k++ {
+		cum += h[k]
+		out.NumGens.X = append(out.NumGens.X, uint32(k))
+		out.NumGens.Pct = append(out.NumGens.Pct, 100*float64(cum)/float64(total))
+	}
+	out.OverflowPct = 100 * float64(h[dpg.MaxTrackedGens+1]) / float64(total)
+	return out
+}
+
+// SeqRow is the Fig. 12 data for one run: the percentage of all dynamic
+// instructions contained in maximal predictable sequences of each length
+// bucket.
+type SeqRow struct {
+	Name      string
+	Predictor string
+	// PctByLen[b] is the share of instructions in runs whose length falls
+	// in logarithmic bucket b.
+	PctByLen [dpg.HistBuckets]float64
+	// PredictablePct is the overall share of fully predictable
+	// instructions.
+	PredictablePct float64
+}
+
+// Sequences computes the Fig. 12 row for one run.
+func Sequences(r *dpg.Result) SeqRow {
+	row := SeqRow{Name: r.Name, Predictor: r.Predictor}
+	if r.Nodes == 0 {
+		return row
+	}
+	for b := 0; b < dpg.HistBuckets; b++ {
+		row.PctByLen[b] = 100 * float64(r.Seq.InstrByLen[b]) / float64(r.Nodes)
+	}
+	row.PredictablePct = 100 * float64(r.Seq.PredictableInstrs) / float64(r.Nodes)
+	return row
+}
+
+// AverageSequences averages Fig. 12 rows (the paper reports the integer
+// average).
+func AverageSequences(rows []SeqRow, name string) SeqRow {
+	out := SeqRow{Name: name}
+	if len(rows) > 0 {
+		out.Predictor = rows[0].Predictor
+	}
+	for b := 0; b < dpg.HistBuckets; b++ {
+		vals := make([]float64, len(rows))
+		for i, r := range rows {
+			vals[i] = r.PctByLen[b]
+		}
+		out.PctByLen[b] = mean(vals)
+	}
+	vals := make([]float64, len(rows))
+	for i, r := range rows {
+		vals[i] = r.PredictablePct
+	}
+	out.PredictablePct = mean(vals)
+	return out
+}
+
+// BranchRow is the Fig. 13 data for one run: the share of conditional
+// branches in each classification, as a percentage of all branches.
+type BranchRow struct {
+	Name      string
+	Predictor string
+	// Pct is indexed by dpg.NodeClass.
+	Pct [12]float64
+	// Accuracy is the overall gshare prediction accuracy.
+	Accuracy float64
+}
+
+// BranchClasses computes the Fig. 13 row for one run.
+func BranchClasses(r *dpg.Result) BranchRow {
+	row := BranchRow{Name: r.Name, Predictor: r.Predictor}
+	if r.Branch.Branches == 0 {
+		return row
+	}
+	for c := 0; c < 12; c++ {
+		row.Pct[c] = 100 * float64(r.Branch.Count[c]) / float64(r.Branch.Branches)
+	}
+	row.Accuracy = 100 * float64(r.Branch.Correct) / float64(r.Branch.Branches)
+	return row
+}
+
+// AverageBranches averages Fig. 13 rows.
+func AverageBranches(rows []BranchRow, name string) BranchRow {
+	out := BranchRow{Name: name}
+	if len(rows) > 0 {
+		out.Predictor = rows[0].Predictor
+	}
+	for c := 0; c < 12; c++ {
+		vals := make([]float64, len(rows))
+		for i, r := range rows {
+			vals[i] = r.Pct[c]
+		}
+		out.Pct[c] = mean(vals)
+	}
+	vals := make([]float64, len(rows))
+	for i, r := range rows {
+		vals[i] = r.Accuracy
+	}
+	out.Accuracy = mean(vals)
+	return out
+}
+
+// MispredictedWithPredictableInputs returns the share of mispredicted
+// branches whose inputs were all value-predictable (the paper: "slightly
+// over half of branch mispredictions occur when all input values are
+// predictable").
+func MispredictedWithPredictableInputs(r *dpg.Result) float64 {
+	mis := r.Branch.Count[dpg.NodeTermPP] + r.Branch.Count[dpg.NodeTermPI] + r.Branch.Count[dpg.NodeTermPN] +
+		r.Branch.Count[dpg.NodeUnpredII] + r.Branch.Count[dpg.NodeUnpredNN] + r.Branch.Count[dpg.NodeUnpredIN]
+	if mis == 0 {
+		return 0
+	}
+	allPred := r.Branch.Count[dpg.NodeTermPP] + r.Branch.Count[dpg.NodeTermPI]
+	return 100 * float64(allPred) / float64(mis)
+}

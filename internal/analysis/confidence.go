@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"repro/internal/isa"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// ConfidencePoint is one point of a confidence sweep: at a gating threshold
+// t, the fraction of value-producing instructions whose prediction would be
+// attempted (confidence >= t) and the accuracy of those attempts. The paper
+// (§1.2) points at confidence mechanisms as essential for turning
+// predictability into speculation; the sweep shows the coverage/accuracy
+// trade the mechanism buys.
+type ConfidencePoint struct {
+	Threshold   uint8
+	CoveragePct float64
+	AccuracyPct float64
+}
+
+// ConfidenceSweep simulates output-side value prediction (per-PC keys, like
+// the model's output predictor; pass-through instructions and branches are
+// excluded) gated by a saturating confidence counter, and returns one point
+// per threshold 0..maxLevel.
+func ConfidenceSweep(t *trace.Trace, kind predictor.Kind, maxLevel uint8) []ConfidencePoint {
+	p := predictor.NewConfidence(kind.New(), 16, maxLevel)
+	attempts := make([]uint64, maxLevel+1)
+	hits := make([]uint64, maxLevel+1)
+	var total uint64
+
+	for i := range t.Events {
+		e := &t.Events[i]
+		if !isa.InfoFor(e.Op).HasRd || isa.IsPassThrough(e.Op) || isa.IsBranch(e.Op) || e.Op == isa.OpJal {
+			continue
+		}
+		key := uint64(e.PC)
+		conf := p.ConfidenceOf(key)
+		pred, ok := p.Predict(key)
+		correct := ok && pred == e.DstVal
+		total++
+		for th := uint8(0); th <= maxLevel; th++ {
+			if conf >= th {
+				attempts[th]++
+				if correct {
+					hits[th]++
+				}
+			}
+		}
+		p.Update(key, e.DstVal)
+	}
+
+	points := make([]ConfidencePoint, 0, maxLevel+1)
+	for th := uint8(0); th <= maxLevel; th++ {
+		pt := ConfidencePoint{Threshold: th}
+		if total > 0 {
+			pt.CoveragePct = 100 * float64(attempts[th]) / float64(total)
+		}
+		if attempts[th] > 0 {
+			pt.AccuracyPct = 100 * float64(hits[th]) / float64(attempts[th])
+		}
+		points = append(points, pt)
+	}
+	return points
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"repro/internal/isa"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// ILPStats quantifies the paper's motivation (§1, and its reference [9],
+// Lipasti & Shen, "Exceeding the Dataflow Limit via Value Prediction"):
+// how much instruction-level parallelism the dynamic dependence graph
+// permits, and how much more becomes available when correctly predicted
+// values break true dependences.
+//
+// The timing model is the classic dataflow limit: unit latency, unbounded
+// resources, perfect control prediction (only data dependences constrain
+// issue). With value prediction, an operand whose consumer-side prediction
+// is correct is available immediately (verification is off the critical
+// path, as in speculative execution with eventual confirmation).
+type ILPStats struct {
+	Name      string
+	Predictor string
+	// Instructions is the dynamic instruction count.
+	Instructions uint64
+	// CritPathBase is the dataflow critical path with no prediction;
+	// CritPathVP the critical path with value prediction.
+	CritPathBase uint64
+	CritPathVP   uint64
+}
+
+// ILPBase returns instructions per cycle at the dataflow limit.
+func (s ILPStats) ILPBase() float64 {
+	if s.CritPathBase == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.CritPathBase)
+}
+
+// ILPVP returns instructions per cycle with value prediction.
+func (s ILPStats) ILPVP() float64 {
+	if s.CritPathVP == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.CritPathVP)
+}
+
+// Speedup returns the dataflow-limit speedup value prediction buys.
+func (s ILPStats) Speedup() float64 {
+	if s.CritPathVP == 0 {
+		return 0
+	}
+	return float64(s.CritPathBase) / float64(s.CritPathVP)
+}
+
+// ILP computes the dataflow-limit statistics for a trace. kind selects the
+// value predictor used on the prediction side; input operands are predicted
+// per (PC, slot) with immediate update, exactly like the model's input side.
+func ILP(t *trace.Trace, kind predictor.Kind) ILPStats {
+	stats := ILPStats{Name: t.Name, Predictor: kind.String(), Instructions: uint64(t.Len())}
+
+	pred := kind.New()
+	// Ready times per register and memory word, for both timelines.
+	type ready struct{ base, vp uint64 }
+	var regs [isa.NumRegs]ready
+	mem := make(map[uint32]ready)
+	var critBase, critVP uint64
+
+	key := func(pc uint32, slot int) uint64 { return uint64(pc)<<2 | uint64(slot) }
+
+	for i := range t.Events {
+		e := &t.Events[i]
+		var inBase, inVP uint64
+
+		consume := func(r ready, k uint64, actual uint32) {
+			if r.base > inBase {
+				inBase = r.base
+			}
+			pv, ok := pred.Predict(k)
+			pred.Update(k, actual)
+			if ok && pv == actual {
+				return // predicted: contributes no wait on the VP timeline
+			}
+			if r.vp > inVP {
+				inVP = r.vp
+			}
+		}
+
+		for slot := 0; slot < int(e.NSrc); slot++ {
+			if e.SrcReg[slot] == 0 {
+				continue // $0 reads are immediates
+			}
+			consume(regs[e.SrcReg[slot]], key(e.PC, slot), e.SrcVal[slot])
+		}
+		if isa.IsLoad(e.Op) {
+			consume(mem[e.Addr&^3], key(e.PC, 2), e.MemVal)
+		}
+
+		doneBase := inBase + 1
+		doneVP := inVP + 1
+		if doneBase > critBase {
+			critBase = doneBase
+		}
+		if doneVP > critVP {
+			critVP = doneVP
+		}
+
+		// Publish results.
+		switch {
+		case isa.IsStore(e.Op):
+			mem[e.Addr&^3] = ready{base: doneBase, vp: doneVP}
+		case e.DstReg != isa.NoReg && e.DstReg != 0:
+			regs[e.DstReg] = ready{base: doneBase, vp: doneVP}
+		}
+	}
+	stats.CritPathBase = critBase
+	stats.CritPathVP = critVP
+	return stats
+}

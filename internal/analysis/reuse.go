@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// ReuseStats measures dynamic instruction reuse potential (Sodani & Sohi,
+// cited by the paper as a related technique; §6 suggests reuse/memoization
+// of predictable regions). A direct-mapped reuse buffer is simulated: each
+// entry remembers the last (PC, source values) tuple and the output it
+// produced; a dynamic instruction is reusable when its tuple hits and the
+// stored output matches.
+type ReuseStats struct {
+	Name string
+	// Eligible counts register-result dynamic instructions (computation
+	// and loads; branches, stores and program input are excluded). Load
+	// tuples include the memory value, so a hit is a true reuse.
+	Eligible uint64
+	// Reused counts eligible instructions whose tuple hit the buffer.
+	Reused uint64
+	// Loads / LoadsReused split out memory reads.
+	Loads       uint64
+	LoadsReused uint64
+}
+
+// ReusePct returns the overall reuse hit rate in percent.
+func (s ReuseStats) ReusePct() float64 {
+	if s.Eligible == 0 {
+		return 0
+	}
+	return 100 * float64(s.Reused) / float64(s.Eligible)
+}
+
+// reuseEntry is one direct-mapped buffer slot.
+type reuseEntry struct {
+	key    uint64
+	output uint32
+	valid  bool
+}
+
+// Reuse simulates a 2^bits-entry reuse buffer over the trace.
+func Reuse(t *trace.Trace, bits int) ReuseStats {
+	if bits <= 0 || bits > 26 {
+		panic("analysis: reuse buffer bits out of range")
+	}
+	table := make([]reuseEntry, 1<<uint(bits))
+	mask := uint64(len(table) - 1)
+	stats := ReuseStats{Name: t.Name}
+
+	for i := range t.Events {
+		e := &t.Events[i]
+		info := isa.InfoFor(e.Op)
+		if !info.HasRd || isa.IsBranch(e.Op) || e.Op == isa.OpIn {
+			continue // only register-result computation is memoizable
+		}
+		// Tuple: PC plus every consumed value (register sources and, for
+		// loads, the memory value).
+		key := uint64(e.PC)*0x9e3779b97f4a7c15 + 1
+		for s := uint8(0); s < e.NSrc; s++ {
+			key = (key ^ uint64(e.SrcVal[s])) * 0x100000001b3
+		}
+		isLoad := isa.IsLoad(e.Op)
+		if isLoad {
+			key = (key ^ uint64(e.MemVal)) * 0x100000001b3
+		}
+		stats.Eligible++
+		if isLoad {
+			stats.Loads++
+		}
+		slot := &table[(key^key>>29)&mask]
+		if slot.valid && slot.key == key && slot.output == e.DstVal {
+			stats.Reused++
+			if isLoad {
+				stats.LoadsReused++
+			}
+		}
+		slot.key = key
+		slot.output = e.DstVal
+		slot.valid = true
+	}
+	return stats
+}

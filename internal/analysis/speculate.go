@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"repro/internal/isa"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// SpecConfig parameterises the value-speculation timing model: a W-wide
+// machine with unit-latency execution, unbounded window, perfect control
+// prediction, and value speculation gated by a confidence threshold.
+// Mispredicted speculations charge a recovery penalty to the consuming
+// instruction — an approximation of squash-and-reexecute.
+//
+// This is the quantitative form of the paper's §1.2 argument: "for the
+// potential to be realized, it is imperative to have high prediction
+// accuracy and infrequent misspeculation. Misspeculation can be mitigated
+// somewhat with the use of confidence mechanisms; these are probably
+// essential."
+type SpecConfig struct {
+	// Width is the fetch/issue width (instructions per cycle).
+	Width int
+	// Threshold gates speculation: operands are used speculatively only
+	// when their confidence counter is at least Threshold. 0 speculates on
+	// every available prediction.
+	Threshold uint8
+	// MaxConfidence saturates the confidence counters.
+	MaxConfidence uint8
+	// Penalty is the recovery charge (cycles) for consuming a wrong
+	// speculated value.
+	Penalty uint64
+}
+
+// SpecStats is the outcome of one timing-model run.
+type SpecStats struct {
+	Name         string
+	Predictor    string
+	Config       SpecConfig
+	Instructions uint64
+	Cycles       uint64
+	// Speculations counts operands consumed speculatively; Misspeculations
+	// the wrong ones.
+	Speculations    uint64
+	Misspeculations uint64
+}
+
+// IPC returns instructions per cycle.
+func (s SpecStats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// MisspecPct returns the fraction of speculations that were wrong.
+func (s SpecStats) MisspecPct() float64 {
+	if s.Speculations == 0 {
+		return 0
+	}
+	return 100 * float64(s.Misspeculations) / float64(s.Speculations)
+}
+
+// Speculate runs the timing model over a trace with the given predictor
+// kind on the consumer side (per (PC, slot) keys, immediate update — the
+// model's input-side arrangement).
+func Speculate(t *trace.Trace, kind predictor.Kind, cfg SpecConfig) SpecStats {
+	if cfg.Width <= 0 {
+		panic("analysis: speculation width must be positive")
+	}
+	if cfg.MaxConfidence == 0 {
+		cfg.MaxConfidence = 7
+	}
+	stats := SpecStats{
+		Name: t.Name, Predictor: kind.String(), Config: cfg,
+		Instructions: uint64(t.Len()),
+	}
+	pred := predictor.NewConfidence(kind.New(), 16, cfg.MaxConfidence)
+
+	var regs [isa.NumRegs]uint64
+	mem := make(map[uint32]uint64)
+	var lastCycle uint64
+	key := func(pc uint32, slot int) uint64 { return uint64(pc)<<2 | uint64(slot) }
+
+	for i := range t.Events {
+		e := &t.Events[i]
+		fetch := uint64(i / cfg.Width)
+		ready := fetch
+		var penalty uint64
+
+		consume := func(avail uint64, k uint64, actual uint32) {
+			conf := pred.ConfidenceOf(k)
+			pv, ok := pred.Predict(k)
+			pred.Update(k, actual)
+			if ok && conf >= cfg.Threshold {
+				stats.Speculations++
+				if pv == actual {
+					return // speculated correctly: no wait
+				}
+				stats.Misspeculations++
+				penalty += cfg.Penalty
+			}
+			if avail > ready {
+				ready = avail
+			}
+		}
+
+		for slot := 0; slot < int(e.NSrc); slot++ {
+			if e.SrcReg[slot] == 0 {
+				continue
+			}
+			consume(regs[e.SrcReg[slot]], key(e.PC, slot), e.SrcVal[slot])
+		}
+		if isa.IsLoad(e.Op) {
+			consume(mem[e.Addr&^3], key(e.PC, 2), e.MemVal)
+		}
+
+		done := ready + 1 + penalty
+		if done > lastCycle {
+			lastCycle = done
+		}
+		switch {
+		case isa.IsStore(e.Op):
+			mem[e.Addr&^3] = done
+		case e.DstReg != isa.NoReg && e.DstReg != 0:
+			regs[e.DstReg] = done
+		}
+	}
+	stats.Cycles = lastCycle
+	return stats
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import "repro/internal/dpg"
+
+// UnpredRow decomposes the "missing portion" of Fig. 5 — the elements that
+// propagate unpredictability — for one run. The paper (§6) flags the study
+// of unpredictability as future work; this extension measures its basic
+// structure. All values are percentages of nodes+arcs, so a Fig. 5 row plus
+// this row accounts for every element.
+type UnpredRow struct {
+	Name      string
+	Predictor string
+	// Node classes with no predicted input and an unpredicted output.
+	NodeII float64 // i,i->n: immediate-only instructions that stay unpredicted
+	NodeNN float64 // n,n->n: unpredictability flowing through computation
+	NodeIN float64 // i,n->n
+	// ArcNN is the share of <n,n> arcs (unpredictability propagation along
+	// dependences); ArcNNSingle the single-use portion of it.
+	ArcNN       float64
+	ArcNNSingle float64
+	// Neutral is the share of nodes with no classified output.
+	Neutral float64
+	// Total is the full unpredictability remainder (should equal Fig. 5's
+	// unpred column).
+	Total float64
+}
+
+// Unpredictability computes the unpredictability decomposition for one run.
+func Unpredictability(r *dpg.Result) UnpredRow {
+	row := UnpredRow{
+		Name:        r.Name,
+		Predictor:   r.Predictor,
+		NodeII:      r.Pct(r.NodeCount[dpg.NodeUnpredII]),
+		NodeNN:      r.Pct(r.NodeCount[dpg.NodeUnpredNN]),
+		NodeIN:      r.Pct(r.NodeCount[dpg.NodeUnpredIN]),
+		ArcNN:       r.Pct(r.ArcTotal(dpg.ArcNN)),
+		ArcNNSingle: r.Pct(r.ArcCount[dpg.UseSingle][dpg.ArcNN]),
+		Neutral:     r.Pct(r.NeutralNodes),
+	}
+	row.Total = row.NodeII + row.NodeNN + row.NodeIN + row.ArcNN + row.Neutral
+	return row
+}
+
+// AverageUnpredictability averages rows (arithmetic mean, as the paper's
+// INT/FLOAT bars).
+func AverageUnpredictability(rows []UnpredRow, name string) UnpredRow {
+	out := UnpredRow{Name: name}
+	if len(rows) > 0 {
+		out.Predictor = rows[0].Predictor
+	}
+	n := float64(len(rows))
+	if n == 0 {
+		return out
+	}
+	for _, r := range rows {
+		out.NodeII += r.NodeII / n
+		out.NodeNN += r.NodeNN / n
+		out.NodeIN += r.NodeIN / n
+		out.ArcNN += r.ArcNN / n
+		out.ArcNNSingle += r.ArcNNSingle / n
+		out.Neutral += r.Neutral / n
+		out.Total += r.Total / n
+	}
+	return out
+}

@@ -1,0 +1,495 @@
+// Package asm implements a two-pass assembler for the MIPS-like ISA in
+// internal/isa. It exists so workloads (internal/workloads) can be written
+// as readable assembly text, the same way the paper's benchmarks were
+// ordinary compiled programs.
+//
+// Syntax overview:
+//
+//	# full-line or trailing comments (also ';')
+//	        .data
+//	mask:   .word 0x8000bfff, -1, 'A'
+//	buf:    .space 256
+//	msg:    .asciiz "hello"
+//	        .align 4
+//	        .text
+//	main:   li   $t0, 0
+//	loop:   lw   $t1, mask($t0)
+//	        beq  $t1, $zero, done
+//	        addiu $t0, $t0, 4
+//	        j    loop
+//	done:   halt
+//
+// Registers accept numeric ($5) and conventional ($t0) names. Branch and
+// jump targets are labels resolved to absolute instruction indexes.
+// Supported pseudo-instructions: li, la, move, b, beqz, bnez, nop.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// DefaultDataBase is the address of the first byte of the data segment.
+const DefaultDataBase uint32 = 0x10000000
+
+// Program is the output of the assembler: a decoded instruction stream plus
+// an initialised data segment.
+type Program struct {
+	Name string
+	// Instrs is the text segment; branch/jump immediates are absolute
+	// instruction indexes into this slice.
+	Instrs []isa.Instruction
+	// Data is the initialised data segment placed at DataBase.
+	Data []byte
+	// DataBase is the address of Data[0].
+	DataBase uint32
+	// Entry is the instruction index where execution starts ("main" label
+	// if present, else 0).
+	Entry int
+	// DataSymbols maps data labels to absolute addresses.
+	DataSymbols map[string]uint32
+	// TextSymbols maps text labels to instruction indexes.
+	TextSymbols map[string]int
+	// Lines maps each instruction index to its source line (for errors and
+	// disassembly listings).
+	Lines []int
+}
+
+// Symbol returns the address of a data label or the index of a text label.
+func (p *Program) Symbol(name string) (uint32, bool) {
+	if a, ok := p.DataSymbols[name]; ok {
+		return a, true
+	}
+	if i, ok := p.TextSymbols[name]; ok {
+		return uint32(i), true
+	}
+	return 0, false
+}
+
+// Error is an assembly diagnostic tied to a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+// ErrorList aggregates all diagnostics from one assembly run.
+type ErrorList []Error
+
+func (el ErrorList) Error() string {
+	if len(el) == 0 {
+		return "no errors"
+	}
+	msgs := make([]string, 0, len(el))
+	for i, e := range el {
+		if i == 8 {
+			msgs = append(msgs, fmt.Sprintf("... and %d more errors", len(el)-i))
+			break
+		}
+		msgs = append(msgs, e.Error())
+	}
+	return "asm: " + strings.Join(msgs, "; ")
+}
+
+type segment int
+
+const (
+	segText segment = iota
+	segData
+)
+
+// statement is a parsed source line before symbol resolution.
+type statement struct {
+	line     int
+	mnemonic string   // lower-cased instruction or directive (".word")
+	operands []string // raw operand strings
+	index    int      // instruction index (text) or data offset (data)
+}
+
+type assembler struct {
+	name     string
+	dataBase uint32
+
+	errs ErrorList
+
+	textStmts []statement
+	dataStmts []statement
+
+	textSyms map[string]int
+	dataSyms map[string]uint32
+
+	data    []byte
+	instrs  []isa.Instruction
+	lines   []int
+	dataOff uint32
+}
+
+// Assemble assembles source into a Program. name labels the program for
+// diagnostics and reporting.
+func Assemble(name, source string) (*Program, error) {
+	a := &assembler{
+		name:     name,
+		dataBase: DefaultDataBase,
+		textSyms: make(map[string]int),
+		dataSyms: make(map[string]uint32),
+	}
+	a.pass1(source)
+	if len(a.errs) == 0 {
+		a.pass2()
+	}
+	if len(a.errs) > 0 {
+		sort.Slice(a.errs, func(i, j int) bool { return a.errs[i].Line < a.errs[j].Line })
+		return nil, a.errs
+	}
+	entry := 0
+	if e, ok := a.textSyms["main"]; ok {
+		entry = e
+	}
+	return &Program{
+		Name:        name,
+		Instrs:      a.instrs,
+		Data:        a.data,
+		DataBase:    a.dataBase,
+		Entry:       entry,
+		DataSymbols: a.dataSyms,
+		TextSymbols: a.textSyms,
+		Lines:       a.lines,
+	}, nil
+}
+
+// MustAssemble is Assemble but panics on error; intended for the built-in
+// workload sources, which are fixed at compile time and covered by tests.
+func MustAssemble(name, source string) *Program {
+	p, err := Assemble(name, source)
+	if err != nil {
+		panic(fmt.Sprintf("asm: assembling built-in program %q: %v", name, err))
+	}
+	return p
+}
+
+func (a *assembler) errorf(line int, format string, args ...interface{}) {
+	a.errs = append(a.errs, Error{Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+// pass1 tokenises lines, records label definitions, and sizes both segments
+// so pass2 can resolve every symbol.
+func (a *assembler) pass1(source string) {
+	seg := segText
+	for lineNo, raw := range strings.Split(source, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		n := lineNo + 1
+
+		// Peel off any leading labels ("foo: bar: instr").
+		for {
+			idx := labelEnd(line)
+			if idx < 0 {
+				break
+			}
+			label := line[:idx]
+			line = strings.TrimSpace(line[idx+1:])
+			if !validIdent(label) {
+				a.errorf(n, "invalid label %q", label)
+				continue
+			}
+			a.defineLabel(n, seg, label)
+		}
+		if line == "" {
+			continue
+		}
+
+		mnemonic, rest := splitMnemonic(line)
+		mnemonic = strings.ToLower(mnemonic)
+		switch mnemonic {
+		case ".text":
+			seg = segText
+			continue
+		case ".data":
+			seg = segData
+			continue
+		}
+
+		st := statement{line: n, mnemonic: mnemonic, operands: splitOperands(rest)}
+		if strings.HasPrefix(mnemonic, ".") {
+			if seg != segData {
+				a.errorf(n, "directive %s outside .data segment", mnemonic)
+				continue
+			}
+			st.index = int(a.dataOff)
+			a.sizeDirective(&st)
+			a.dataStmts = append(a.dataStmts, st)
+			continue
+		}
+		if seg != segText {
+			a.errorf(n, "instruction %q in .data segment", mnemonic)
+			continue
+		}
+		st.index = len(a.textStmts)
+		a.textStmts = append(a.textStmts, st)
+	}
+}
+
+func (a *assembler) defineLabel(line int, seg segment, label string) {
+	if _, dup := a.textSyms[label]; dup {
+		a.errorf(line, "label %q redefined", label)
+		return
+	}
+	if _, dup := a.dataSyms[label]; dup {
+		a.errorf(line, "label %q redefined", label)
+		return
+	}
+	if seg == segText {
+		a.textSyms[label] = len(a.textStmts)
+	} else {
+		a.dataSyms[label] = a.dataBase + a.dataOff
+	}
+}
+
+// sizeDirective advances the data offset for a directive and validates its
+// shape; the payload is materialised in pass2.
+func (a *assembler) sizeDirective(st *statement) {
+	switch st.mnemonic {
+	case ".word":
+		a.dataOff += uint32(4 * len(st.operands))
+	case ".byte":
+		a.dataOff += uint32(len(st.operands))
+	case ".space":
+		if len(st.operands) != 1 {
+			a.errorf(st.line, ".space wants one operand")
+			return
+		}
+		v, err := parseInt(st.operands[0])
+		if err != nil || v < 0 {
+			a.errorf(st.line, ".space wants a non-negative size")
+			return
+		}
+		a.dataOff += uint32(v)
+	case ".align":
+		if len(st.operands) != 1 {
+			a.errorf(st.line, ".align wants one operand")
+			return
+		}
+		v, err := parseInt(st.operands[0])
+		if err != nil || v <= 0 || v&(v-1) != 0 {
+			a.errorf(st.line, ".align wants a power-of-two operand")
+			return
+		}
+		mask := uint32(v - 1)
+		a.dataOff = (a.dataOff + mask) &^ mask
+	case ".asciiz", ".ascii":
+		s, err := parseString(strings.Join(st.operands, ", "))
+		if err != nil {
+			a.errorf(st.line, "%v", err)
+			return
+		}
+		a.dataOff += uint32(len(s))
+		if st.mnemonic == ".asciiz" {
+			a.dataOff++
+		}
+	default:
+		a.errorf(st.line, "unknown directive %s", st.mnemonic)
+	}
+}
+
+// pass2 materialises the data segment and encodes instructions.
+func (a *assembler) pass2() {
+	a.data = make([]byte, a.dataOff)
+	off := uint32(0)
+	for _, st := range a.dataStmts {
+		off = uint32(st.index)
+		switch st.mnemonic {
+		case ".word":
+			for _, opnd := range st.operands {
+				v, ok := a.resolveValue(st.line, opnd)
+				if ok {
+					putWord(a.data[off:], uint32(v))
+				}
+				off += 4
+			}
+		case ".byte":
+			for _, opnd := range st.operands {
+				v, ok := a.resolveValue(st.line, opnd)
+				if ok {
+					a.data[off] = byte(v)
+				}
+				off++
+			}
+		case ".space", ".align":
+			// zero-filled / padding; nothing to write
+		case ".asciiz", ".ascii":
+			s, err := parseString(strings.Join(st.operands, ", "))
+			if err == nil {
+				copy(a.data[off:], s)
+			}
+		}
+	}
+	for _, st := range a.textStmts {
+		a.encode(st)
+	}
+}
+
+// resolveValue evaluates a data operand: number, char, or symbol(+offset).
+func (a *assembler) resolveValue(line int, s string) (int64, bool) {
+	if v, err := parseInt(s); err == nil {
+		return v, true
+	}
+	sym, delta, ok := splitSymOffset(s)
+	if ok {
+		if addr, found := a.dataSyms[sym]; found {
+			return int64(addr) + delta, true
+		}
+		if idx, found := a.textSyms[sym]; found {
+			return int64(idx) + delta, true
+		}
+	}
+	a.errorf(line, "cannot resolve value %q", s)
+	return 0, false
+}
+
+func putWord(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c == '"' {
+			inStr = !inStr
+		}
+		if inStr {
+			if c == '\\' {
+				i++
+			}
+			continue
+		}
+		if c == '#' || c == ';' {
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// labelEnd returns the index of the ':' terminating a leading label, or -1.
+func labelEnd(line string) int {
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == ':':
+			if i == 0 {
+				return -1
+			}
+			return i
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '.':
+			// label character
+		default:
+			return -1
+		}
+	}
+	return -1
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == '.') {
+		return false
+	}
+	return true
+}
+
+func splitMnemonic(line string) (string, string) {
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return line, ""
+	}
+	return line[:i], strings.TrimSpace(line[i+1:])
+}
+
+// splitOperands splits on commas, respecting string literals.
+func splitOperands(rest string) []string {
+	if strings.TrimSpace(rest) == "" {
+		return nil
+	}
+	var out []string
+	var cur strings.Builder
+	inStr := false
+	for i := 0; i < len(rest); i++ {
+		c := rest[i]
+		if c == '"' {
+			inStr = !inStr
+		}
+		if inStr && c == '\\' && i+1 < len(rest) {
+			cur.WriteByte(c)
+			i++
+			cur.WriteByte(rest[i])
+			continue
+		}
+		if c == ',' && !inStr {
+			out = append(out, strings.TrimSpace(cur.String()))
+			cur.Reset()
+			continue
+		}
+		cur.WriteByte(c)
+	}
+	out = append(out, strings.TrimSpace(cur.String()))
+	return out
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body, err := strconv.Unquote(s)
+		if err != nil || len(body) != 1 {
+			return 0, fmt.Errorf("bad char literal %s", s)
+		}
+		return int64(body[0]), nil
+	}
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, nil
+	}
+	// Large unsigned hex like 0xffffffff.
+	if v, err := strconv.ParseUint(s, 0, 32); err == nil {
+		return int64(int32(uint32(v))), nil
+	}
+	return 0, fmt.Errorf("bad integer %q", s)
+}
+
+func parseString(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("bad string literal %s", s)
+	}
+	return strconv.Unquote(s)
+}
+
+// splitSymOffset parses "sym", "sym+4" or "sym-8".
+func splitSymOffset(s string) (sym string, delta int64, ok bool) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			d, err := parseInt(s[i:])
+			if err != nil {
+				return "", 0, false
+			}
+			sym = s[:i]
+			delta = d
+			goto check
+		}
+	}
+	sym = s
+check:
+	if !validIdent(sym) {
+		return "", 0, false
+	}
+	return sym, delta, true
+}

@@ -1,0 +1,397 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func mustAsm(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble("test", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func TestAssembleMinimal(t *testing.T) {
+	p := mustAsm(t, `
+		.text
+	main:	li $t0, 42
+		halt
+	`)
+	if len(p.Instrs) != 2 {
+		t.Fatalf("got %d instructions, want 2", len(p.Instrs))
+	}
+	if p.Instrs[0].Op != isa.OpLi || p.Instrs[0].Rd != 8 || p.Instrs[0].Imm != 42 {
+		t.Errorf("instr 0 = %v", p.Instrs[0])
+	}
+	if p.Instrs[1].Op != isa.OpHalt {
+		t.Errorf("instr 1 = %v", p.Instrs[1])
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %d, want 0", p.Entry)
+	}
+}
+
+func TestEntryPointsAtMain(t *testing.T) {
+	p := mustAsm(t, `
+	helper:	jr $ra
+	main:	halt
+	`)
+	if p.Entry != 1 {
+		t.Errorf("entry = %d, want 1", p.Entry)
+	}
+}
+
+func TestBranchTargets(t *testing.T) {
+	p := mustAsm(t, `
+	main:	li $t0, 0
+	loop:	addiu $t0, $t0, 1
+		slti $t1, $t0, 10
+		bne $t1, $zero, loop
+		halt
+	`)
+	bne := p.Instrs[3]
+	if bne.Op != isa.OpBne || bne.Imm != 1 {
+		t.Errorf("bne target = %d, want 1 (%v)", bne.Imm, bne)
+	}
+}
+
+func TestForwardBranch(t *testing.T) {
+	p := mustAsm(t, `
+	main:	beq $zero, $zero, done
+		nop
+	done:	halt
+	`)
+	if p.Instrs[0].Imm != 2 {
+		t.Errorf("forward branch target = %d, want 2", p.Instrs[0].Imm)
+	}
+}
+
+func TestDataSegment(t *testing.T) {
+	p := mustAsm(t, `
+		.data
+	a:	.word 1, 2, 0x10, -1
+	b:	.byte 1, 2, 3
+		.align 4
+	c:	.space 8
+	s:	.asciiz "hi\n"
+		.text
+	main:	la $t0, a
+		lw $t1, c($zero)
+		halt
+	`)
+	if got := p.DataSymbols["a"]; got != DefaultDataBase {
+		t.Errorf("a = %#x, want %#x", got, DefaultDataBase)
+	}
+	if got := p.DataSymbols["b"]; got != DefaultDataBase+16 {
+		t.Errorf("b = %#x, want %#x", got, DefaultDataBase+16)
+	}
+	if got := p.DataSymbols["c"]; got != DefaultDataBase+20 {
+		t.Errorf("c = %#x (align 4 after 3 bytes), want %#x", got, DefaultDataBase+20)
+	}
+	if got := p.DataSymbols["s"]; got != DefaultDataBase+28 {
+		t.Errorf("s = %#x, want %#x", got, DefaultDataBase+28)
+	}
+	// .word payload: little-endian.
+	if p.Data[0] != 1 || p.Data[4] != 2 || p.Data[8] != 0x10 {
+		t.Errorf("word payload wrong: % x", p.Data[:12])
+	}
+	if p.Data[12] != 0xff || p.Data[15] != 0xff {
+		t.Errorf("-1 not encoded: % x", p.Data[12:16])
+	}
+	if string(p.Data[28:31]) != "hi\n" || p.Data[31] != 0 {
+		t.Errorf("asciiz payload wrong: % x", p.Data[28:32])
+	}
+	// la resolves the data symbol into the immediate.
+	if uint32(p.Instrs[0].Imm) != DefaultDataBase {
+		t.Errorf("la imm = %#x, want %#x", uint32(p.Instrs[0].Imm), DefaultDataBase)
+	}
+	// lw sym($zero) resolves sym as offset.
+	if uint32(p.Instrs[1].Imm) != DefaultDataBase+20 {
+		t.Errorf("lw offset = %#x, want %#x", uint32(p.Instrs[1].Imm), DefaultDataBase+20)
+	}
+}
+
+func TestMemOperandForms(t *testing.T) {
+	p := mustAsm(t, `
+		.data
+	v:	.word 7
+		.text
+	main:	lw $t0, 0($sp)
+		lw $t1, v($t2)
+		lw $t2, v+4($t3)
+		sw $t0, -8($sp)
+		lw $t3, v
+		halt
+	`)
+	i := p.Instrs
+	if i[0].Rs != 29 || i[0].Imm != 0 {
+		t.Errorf("lw 0($sp): %v", i[0])
+	}
+	if uint32(i[1].Imm) != DefaultDataBase || i[1].Rs != 10 {
+		t.Errorf("lw v($t2): %v", i[1])
+	}
+	if uint32(i[2].Imm) != DefaultDataBase+4 {
+		t.Errorf("lw v+4($t3): %v", i[2])
+	}
+	if i[3].Imm != -8 || i[3].Rt != 8 {
+		t.Errorf("sw -8($sp): %v", i[3])
+	}
+	if i[4].Rs != isa.Zero || uint32(i[4].Imm) != DefaultDataBase {
+		t.Errorf("lw v: %v", i[4])
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p := mustAsm(t, `
+	main:	move $t0, $t1
+		b end
+		beqz $t0, end
+		bnez $t0, end
+		nop
+	end:	halt
+	`)
+	i := p.Instrs
+	if i[0].Op != isa.OpAddu || i[0].Rt != isa.Zero || i[0].Rs != 9 || i[0].Rd != 8 {
+		t.Errorf("move: %v", i[0])
+	}
+	if i[1].Op != isa.OpJ || i[1].Imm != 5 {
+		t.Errorf("b: %v", i[1])
+	}
+	if i[2].Op != isa.OpBeq || i[2].Rt != isa.Zero || i[2].Imm != 5 {
+		t.Errorf("beqz: %v", i[2])
+	}
+	if i[3].Op != isa.OpBne {
+		t.Errorf("bnez: %v", i[3])
+	}
+}
+
+func TestJalWritesRA(t *testing.T) {
+	p := mustAsm(t, `
+	main:	jal f
+		halt
+	f:	jr $ra
+	`)
+	if p.Instrs[0].Rd != 31 || p.Instrs[0].Imm != 2 {
+		t.Errorf("jal: %v", p.Instrs[0])
+	}
+}
+
+func TestLui(t *testing.T) {
+	p := mustAsm(t, `
+	main:	lui $t0, 0x1234
+		halt
+	`)
+	if p.Instrs[0].Op != isa.OpLi || uint32(p.Instrs[0].Imm) != 0x12340000 {
+		t.Errorf("lui: %v", p.Instrs[0])
+	}
+}
+
+func TestComments(t *testing.T) {
+	p := mustAsm(t, `
+	# full line comment
+	main:	li $t0, 1	# trailing
+		li $t1, 2	; also trailing
+		halt
+	`)
+	if len(p.Instrs) != 3 {
+		t.Errorf("got %d instructions, want 3", len(p.Instrs))
+	}
+}
+
+func TestHashInStringLiteral(t *testing.T) {
+	p := mustAsm(t, `
+		.data
+	s:	.asciiz "a#b;c"
+		.text
+	main:	halt
+	`)
+	if string(p.Data[:5]) != "a#b;c" {
+		t.Errorf("string payload = %q", p.Data[:6])
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	p := mustAsm(t, `
+		.data
+	c:	.byte 'A', 'z'
+		.text
+	main:	li $t0, 'Q'
+		halt
+	`)
+	if p.Data[0] != 'A' || p.Data[1] != 'z' {
+		t.Errorf("byte chars: % x", p.Data[:2])
+	}
+	if p.Instrs[0].Imm != 'Q' {
+		t.Errorf("li char imm = %d", p.Instrs[0].Imm)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown instruction", "main: frob $t0", "unknown instruction"},
+		{"bad register", "main: add $t0, $t1, $q9", "bad register"},
+		{"undefined target", "main: j nowhere", "undefined branch target"},
+		{"wrong operand count", "main: add $t0, $t1", "wants 3 operands"},
+		{"duplicate label", "x: nop\nx: nop", "redefined"},
+		{"instr in data", ".data\nadd $t0, $t1, $t2", "in .data segment"},
+		{"directive in text", ".text\n.word 4", "outside .data"},
+		{"bad align", ".data\n.align 3\n.text\nmain: halt", "power-of-two"},
+		{"bad space", ".data\n.space -1\n.text\nmain: halt", "non-negative"},
+		{"unknown directive", ".data\n.frob 1\n.text\nmain: halt", "unknown directive"},
+		{"unresolved word", ".data\nw: .word nosuch\n.text\nmain: halt", "cannot resolve"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble("t", tc.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestErrorListTruncation(t *testing.T) {
+	var el ErrorList
+	for i := 0; i < 20; i++ {
+		el = append(el, Error{Line: i, Msg: "boom"})
+	}
+	msg := el.Error()
+	if !strings.Contains(msg, "12 more errors") {
+		t.Errorf("truncated message missing count: %q", msg)
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	_, err := Assemble("t", "main: nop\nnop\nfrob $t0\n")
+	el, ok := err.(ErrorList)
+	if !ok || len(el) != 1 {
+		t.Fatalf("want 1 error, got %v", err)
+	}
+	if el[0].Line != 3 {
+		t.Errorf("error line = %d, want 3", el[0].Line)
+	}
+}
+
+func TestLinesMapping(t *testing.T) {
+	p := mustAsm(t, "main: nop\n\nhalt\n")
+	if len(p.Lines) != 2 || p.Lines[0] != 1 || p.Lines[1] != 3 {
+		t.Errorf("lines = %v, want [1 3]", p.Lines)
+	}
+}
+
+func TestSymbolLookup(t *testing.T) {
+	p := mustAsm(t, `
+		.data
+	v:	.word 9
+		.text
+	main:	halt
+	`)
+	if a, ok := p.Symbol("v"); !ok || a != DefaultDataBase {
+		t.Errorf("Symbol(v) = %#x,%v", a, ok)
+	}
+	if i, ok := p.Symbol("main"); !ok || i != 0 {
+		t.Errorf("Symbol(main) = %d,%v", i, ok)
+	}
+	if _, ok := p.Symbol("nope"); ok {
+		t.Error("Symbol(nope) found")
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("bad", "frob")
+}
+
+func TestAllOpcodesAssemble(t *testing.T) {
+	// Smoke-test the full instruction surface through the assembler.
+	src := `
+		.data
+	w:	.word 1
+		.text
+	main:
+		add $1, $2, $3
+		addu $1, $2, $3
+		sub $1, $2, $3
+		subu $1, $2, $3
+		and $1, $2, $3
+		or $1, $2, $3
+		xor $1, $2, $3
+		nor $1, $2, $3
+		slt $1, $2, $3
+		sltu $1, $2, $3
+		sllv $1, $2, $3
+		srlv $1, $2, $3
+		srav $1, $2, $3
+		mul $1, $2, $3
+		div $1, $2, $3
+		divu $1, $2, $3
+		rem $1, $2, $3
+		remu $1, $2, $3
+		addi $1, $2, 4
+		addiu $1, $2, 4
+		andi $1, $2, 4
+		ori $1, $2, 4
+		xori $1, $2, 4
+		slti $1, $2, 4
+		sltiu $1, $2, 4
+		sll $1, $2, 4
+		srl $1, $2, 4
+		sra $1, $2, 4
+		lui $1, 4
+		li $1, 4
+		la $1, w
+		addf $1, $2, $3
+		subf $1, $2, $3
+		mulf $1, $2, $3
+		divf $1, $2, $3
+		cltf $1, $2, $3
+		clef $1, $2, $3
+		ceqf $1, $2, $3
+		absf $1, $2
+		negf $1, $2
+		cvtsw $1, $2
+		cvtws $1, $2
+		lw $1, 0($2)
+		lb $1, 0($2)
+		lbu $1, 0($2)
+		sw $1, 0($2)
+		sb $1, 0($2)
+		beq $1, $2, main
+		bne $1, $2, main
+		blez $1, main
+		bgtz $1, main
+		bltz $1, main
+		bgez $1, main
+		j main
+		jal main
+		jr $31
+		jalr $31, $2
+		in $1
+		out $1
+		halt
+		nop
+	`
+	p := mustAsm(t, src)
+	for idx, ins := range p.Instrs {
+		if err := ins.Validate(); err != nil {
+			t.Errorf("instr %d (%s): %v", idx, ins, err)
+		}
+	}
+	if len(p.Instrs) != 61 {
+		t.Errorf("got %d instructions, want 61", len(p.Instrs))
+	}
+}

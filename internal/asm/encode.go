@@ -1,0 +1,272 @@
+package asm
+
+import (
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// mnemonicOps maps assembly mnemonics to opcodes for the regular (non-pseudo)
+// instructions.
+var mnemonicOps = map[string]isa.Op{
+	"add": isa.OpAdd, "addu": isa.OpAddu, "sub": isa.OpSub, "subu": isa.OpSubu,
+	"and": isa.OpAnd, "or": isa.OpOr, "xor": isa.OpXor, "nor": isa.OpNor,
+	"slt": isa.OpSlt, "sltu": isa.OpSltu,
+	"sllv": isa.OpSllv, "srlv": isa.OpSrlv, "srav": isa.OpSrav,
+	"mul": isa.OpMul, "div": isa.OpDiv, "divu": isa.OpDivu,
+	"rem": isa.OpRem, "remu": isa.OpRemu,
+	"addi": isa.OpAddi, "addiu": isa.OpAddiu, "andi": isa.OpAndi,
+	"ori": isa.OpOri, "xori": isa.OpXori, "slti": isa.OpSlti, "sltiu": isa.OpSltiu,
+	"sll": isa.OpSll, "srl": isa.OpSrl, "sra": isa.OpSra,
+	"lui": isa.OpLui, "li": isa.OpLi, "la": isa.OpLa,
+	"addf": isa.OpAddf, "subf": isa.OpSubf, "mulf": isa.OpMulf, "divf": isa.OpDivf,
+	"cltf": isa.OpCltf, "clef": isa.OpClef, "ceqf": isa.OpCeqf,
+	"absf": isa.OpAbsf, "negf": isa.OpNegf, "cvtsw": isa.OpCvtsw, "cvtws": isa.OpCvtws,
+	"lw": isa.OpLw, "lb": isa.OpLb, "lbu": isa.OpLbu, "sw": isa.OpSw, "sb": isa.OpSb,
+	"beq": isa.OpBeq, "bne": isa.OpBne, "blez": isa.OpBlez, "bgtz": isa.OpBgtz,
+	"bltz": isa.OpBltz, "bgez": isa.OpBgez,
+	"j": isa.OpJ, "jal": isa.OpJal, "jr": isa.OpJr, "jalr": isa.OpJalr,
+	"in": isa.OpIn, "out": isa.OpOut, "halt": isa.OpHalt, "nop": isa.OpNop,
+}
+
+// encode translates one parsed statement into an instruction, resolving
+// symbols, and appends it to the output stream.
+func (a *assembler) encode(st statement) {
+	emit := func(ins isa.Instruction) {
+		a.instrs = append(a.instrs, ins)
+		a.lines = append(a.lines, st.line)
+	}
+	wantOps := func(n int) bool {
+		if len(st.operands) != n {
+			a.errorf(st.line, "%s wants %d operands, got %d", st.mnemonic, n, len(st.operands))
+			return false
+		}
+		return true
+	}
+
+	// Pseudo-instructions first.
+	switch st.mnemonic {
+	case "move":
+		if !wantOps(2) {
+			return
+		}
+		rd, ok1 := a.reg(st.line, st.operands[0])
+		rs, ok2 := a.reg(st.line, st.operands[1])
+		if ok1 && ok2 {
+			emit(isa.Instruction{Op: isa.OpAddu, Rd: rd, Rs: rs, Rt: isa.Zero})
+		}
+		return
+	case "b":
+		if !wantOps(1) {
+			return
+		}
+		if t, ok := a.target(st.line, st.operands[0]); ok {
+			emit(isa.Instruction{Op: isa.OpJ, Imm: t})
+		}
+		return
+	case "beqz", "bnez":
+		if !wantOps(2) {
+			return
+		}
+		rs, ok1 := a.reg(st.line, st.operands[0])
+		t, ok2 := a.target(st.line, st.operands[1])
+		if ok1 && ok2 {
+			op := isa.OpBeq
+			if st.mnemonic == "bnez" {
+				op = isa.OpBne
+			}
+			emit(isa.Instruction{Op: op, Rs: rs, Rt: isa.Zero, Imm: t})
+		}
+		return
+	}
+
+	op, ok := mnemonicOps[st.mnemonic]
+	if !ok {
+		a.errorf(st.line, "unknown instruction %q", st.mnemonic)
+		return
+	}
+	info := isa.InfoFor(op)
+
+	switch {
+	case op == isa.OpHalt || op == isa.OpNop:
+		if wantOps(0) {
+			emit(isa.Instruction{Op: op})
+		}
+
+	case op == isa.OpIn:
+		if !wantOps(1) {
+			return
+		}
+		if rd, ok := a.reg(st.line, st.operands[0]); ok {
+			emit(isa.Instruction{Op: op, Rd: rd})
+		}
+
+	case op == isa.OpOut || op == isa.OpJr:
+		if !wantOps(1) {
+			return
+		}
+		if rs, ok := a.reg(st.line, st.operands[0]); ok {
+			emit(isa.Instruction{Op: op, Rs: rs})
+		}
+
+	case op == isa.OpJalr:
+		if !wantOps(2) {
+			return
+		}
+		rd, ok1 := a.reg(st.line, st.operands[0])
+		rs, ok2 := a.reg(st.line, st.operands[1])
+		if ok1 && ok2 {
+			emit(isa.Instruction{Op: op, Rd: rd, Rs: rs})
+		}
+
+	case op == isa.OpJ || op == isa.OpJal:
+		if !wantOps(1) {
+			return
+		}
+		if t, ok := a.target(st.line, st.operands[0]); ok {
+			ins := isa.Instruction{Op: op, Imm: t}
+			if op == isa.OpJal {
+				ins.Rd = 31 // $ra
+			}
+			emit(ins)
+		}
+
+	case info.Class == isa.ClassLoad || info.Class == isa.ClassStore:
+		if !wantOps(2) {
+			return
+		}
+		valReg, ok1 := a.reg(st.line, st.operands[0])
+		base, off, ok2 := a.memOperand(st.line, st.operands[1])
+		if !ok1 || !ok2 {
+			return
+		}
+		ins := isa.Instruction{Op: op, Rs: base, Imm: off}
+		if info.Class == isa.ClassLoad {
+			ins.Rd = valReg
+		} else {
+			ins.Rt = valReg
+		}
+		emit(ins)
+
+	case op == isa.OpBeq || op == isa.OpBne:
+		if !wantOps(3) {
+			return
+		}
+		rs, ok1 := a.reg(st.line, st.operands[0])
+		rt, ok2 := a.reg(st.line, st.operands[1])
+		t, ok3 := a.target(st.line, st.operands[2])
+		if ok1 && ok2 && ok3 {
+			emit(isa.Instruction{Op: op, Rs: rs, Rt: rt, Imm: t})
+		}
+
+	case info.Class == isa.ClassBranch: // single-source branches
+		if !wantOps(2) {
+			return
+		}
+		rs, ok1 := a.reg(st.line, st.operands[0])
+		t, ok2 := a.target(st.line, st.operands[1])
+		if ok1 && ok2 {
+			emit(isa.Instruction{Op: op, Rs: rs, Imm: t})
+		}
+
+	case op == isa.OpLi || op == isa.OpLa || op == isa.OpLui:
+		if !wantOps(2) {
+			return
+		}
+		rd, ok1 := a.reg(st.line, st.operands[0])
+		v, ok2 := a.resolveValue(st.line, st.operands[1])
+		if ok1 && ok2 {
+			imm := int32(v)
+			if op == isa.OpLui {
+				imm = int32(uint32(v) << 16)
+				op = isa.OpLi // lui is li with a shifted immediate
+			}
+			emit(isa.Instruction{Op: op, Rd: rd, Imm: imm})
+		}
+
+	case info.Unary:
+		if !wantOps(2) {
+			return
+		}
+		rd, ok1 := a.reg(st.line, st.operands[0])
+		rs, ok2 := a.reg(st.line, st.operands[1])
+		if ok1 && ok2 {
+			emit(isa.Instruction{Op: op, Rd: rd, Rs: rs})
+		}
+
+	case info.HasImm: // register-immediate ALU
+		if !wantOps(3) {
+			return
+		}
+		rd, ok1 := a.reg(st.line, st.operands[0])
+		rs, ok2 := a.reg(st.line, st.operands[1])
+		v, ok3 := a.resolveValue(st.line, st.operands[2])
+		if ok1 && ok2 && ok3 {
+			emit(isa.Instruction{Op: op, Rd: rd, Rs: rs, Imm: int32(v)})
+		}
+
+	default: // three-register ALU
+		if !wantOps(3) {
+			return
+		}
+		rd, ok1 := a.reg(st.line, st.operands[0])
+		rs, ok2 := a.reg(st.line, st.operands[1])
+		rt, ok3 := a.reg(st.line, st.operands[2])
+		if ok1 && ok2 && ok3 {
+			emit(isa.Instruction{Op: op, Rd: rd, Rs: rs, Rt: rt})
+		}
+	}
+}
+
+func (a *assembler) reg(line int, s string) (isa.Reg, bool) {
+	r, ok := isa.LookupReg(s)
+	if !ok {
+		a.errorf(line, "bad register %q", s)
+	}
+	return r, ok
+}
+
+// target resolves a branch/jump target: a text label or a numeric absolute
+// instruction index.
+func (a *assembler) target(line int, s string) (int32, bool) {
+	if idx, ok := a.textSyms[s]; ok {
+		return int32(idx), true
+	}
+	if v, err := parseInt(s); err == nil && v >= 0 {
+		return int32(v), true
+	}
+	a.errorf(line, "undefined branch target %q", s)
+	return 0, false
+}
+
+// memOperand parses "off($reg)", "sym($reg)", "sym" or "off".
+func (a *assembler) memOperand(line int, s string) (base isa.Reg, off int32, ok bool) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		// Absolute address: sym or number, base $0.
+		v, vok := a.resolveValue(line, s)
+		if !vok {
+			return 0, 0, false
+		}
+		return isa.Zero, int32(v), true
+	}
+	if !strings.HasSuffix(s, ")") {
+		a.errorf(line, "malformed memory operand %q", s)
+		return 0, 0, false
+	}
+	offStr := strings.TrimSpace(s[:open])
+	regStr := strings.TrimSpace(s[open+1 : len(s)-1])
+	var v int64
+	if offStr != "" {
+		var vok bool
+		v, vok = a.resolveValue(line, offStr)
+		if !vok {
+			return 0, 0, false
+		}
+	}
+	r, rok := a.reg(line, regStr)
+	if !rok {
+		return 0, 0, false
+	}
+	return r, int32(v), true
+}

@@ -1,0 +1,68 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble checks the assembler never panics and that successful
+// assemblies produce structurally valid programs, whatever the input.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"main: halt",
+		"main: li $t0, 42\nhalt",
+		".data\nx: .word 1, 2\n.text\nmain: lw $t0, x($zero)\nhalt",
+		"loop: addiu $t0, $t0, 1\nbne $t0, $zero, loop",
+		".data\ns: .asciiz \"hi\"\n.text\nmain: halt",
+		"main: add $1, $2,",
+		"main: lw $t0, (((",
+		": : :",
+		".align 0",
+		"x: .space 99999999",
+		"main: beq $t0, $t1, nowhere",
+		"# only a comment",
+		"main: li $t0, 0x7fffffff\nli $t1, -2147483648\nhalt",
+		"a:\nb:\nc: nop",
+		"main: move $t0, $t1\nb main",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble("fuzz", src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for i, ins := range prog.Instrs {
+			if verr := ins.Validate(); verr != nil {
+				t.Fatalf("accepted program contains invalid instruction %d: %v (src %q)", i, verr, src)
+			}
+		}
+		if prog.Entry < 0 || (len(prog.Instrs) > 0 && prog.Entry >= len(prog.Instrs)) {
+			// Entry 0 with an empty program is acceptable (nothing to run).
+			if !(prog.Entry == 0 && len(prog.Instrs) == 0) {
+				t.Fatalf("entry %d out of range (%d instrs)", prog.Entry, len(prog.Instrs))
+			}
+		}
+		if len(prog.Data) > 0 && prog.DataBase == 0 {
+			t.Fatal("data segment with zero base")
+		}
+	})
+}
+
+// FuzzStripComment documents the comment/string interaction invariant.
+func FuzzStripComment(f *testing.F) {
+	f.Add(`x: .asciiz "a#b" # real comment`)
+	f.Add(`nop ; c`)
+	f.Add(`"unterminated`)
+	f.Fuzz(func(t *testing.T, line string) {
+		out := stripComment(line)
+		if len(out) > len(line) {
+			t.Fatal("comment stripping grew the line")
+		}
+		if !strings.HasPrefix(line, out) {
+			t.Fatal("comment stripping must return a prefix")
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package cc
+
+// program is the parsed translation unit.
+type program struct {
+	globals []*globalDecl
+	arrays  []*arrayDecl
+	funcs   []*funcDecl
+}
+
+type globalDecl struct {
+	name string
+	init int32
+	line int
+}
+
+type arrayDecl struct {
+	name string
+	size int // elements (words)
+	line int
+}
+
+type funcDecl struct {
+	name   string
+	params []string
+	body   []stmt
+	line   int
+}
+
+// stmt is a statement node.
+type stmt interface{ stmtNode() }
+
+type varStmt struct {
+	name string
+	init expr
+	line int
+}
+
+type assignStmt struct {
+	name  string
+	index expr // nil for scalar assignment
+	value expr
+	line  int
+}
+
+type ifStmt struct {
+	cond expr
+	then []stmt
+	els  []stmt // nil if absent
+	line int
+}
+
+type whileStmt struct {
+	cond expr
+	body []stmt
+	line int
+}
+
+type forStmt struct {
+	init stmt // nil, *varStmt, *assignStmt or *exprStmt
+	cond expr // nil means always true
+	post stmt // nil, *assignStmt or *exprStmt
+	body []stmt
+	line int
+}
+
+type returnStmt struct {
+	value expr // nil for bare return
+	line  int
+}
+
+type breakStmt struct{ line int }
+type continueStmt struct{ line int }
+
+type outStmt struct {
+	value expr
+	line  int
+}
+
+type exprStmt struct {
+	value expr
+	line  int
+}
+
+func (*varStmt) stmtNode()      {}
+func (*assignStmt) stmtNode()   {}
+func (*ifStmt) stmtNode()       {}
+func (*whileStmt) stmtNode()    {}
+func (*forStmt) stmtNode()      {}
+func (*returnStmt) stmtNode()   {}
+func (*breakStmt) stmtNode()    {}
+func (*continueStmt) stmtNode() {}
+func (*outStmt) stmtNode()      {}
+func (*exprStmt) stmtNode()     {}
+
+// expr is an expression node.
+type expr interface{ exprNode() }
+
+type numberExpr struct {
+	val  int32
+	line int
+}
+
+type identExpr struct {
+	name string
+	line int
+}
+
+type indexExpr struct {
+	name string
+	idx  expr
+	line int
+}
+
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+type inExpr struct{ line int }
+
+type unaryExpr struct {
+	op   string // "-", "!", "~"
+	x    expr
+	line int
+}
+
+type binaryExpr struct {
+	op   string
+	x, y expr
+	line int
+}
+
+func (*numberExpr) exprNode() {}
+func (*identExpr) exprNode()  {}
+func (*indexExpr) exprNode()  {}
+func (*callExpr) exprNode()   {}
+func (*inExpr) exprNode()     {}
+func (*unaryExpr) exprNode()  {}
+func (*binaryExpr) exprNode() {}

@@ -1,0 +1,55 @@
+package cc
+
+import (
+	"repro/internal/asm"
+)
+
+// Options controls compilation.
+type Options struct {
+	// NoFold disables constant folding (folding is on by default, like the
+	// optimising compilers the paper's benchmarks were built with). Folding
+	// never changes program results; it only converts constant computation
+	// into immediates.
+	NoFold bool
+	// NoRegAlloc disables local-variable register promotion (on by
+	// default): without it every local access is a memory operation, which
+	// is unlike the register-resident loop counters of compiled SPEC code.
+	NoRegAlloc bool
+}
+
+// CompileToAsm compiles mini-C source to assembly text with default
+// options.
+func CompileToAsm(source string) (string, error) {
+	return CompileToAsmWith(source, Options{})
+}
+
+// CompileToAsmWith compiles mini-C source to assembly text.
+func CompileToAsmWith(source string, opts Options) (string, error) {
+	p, err := newParser(source)
+	if err != nil {
+		return "", err
+	}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return "", err
+	}
+	if !opts.NoFold {
+		foldProgram(prog)
+	}
+	return genProgram(prog, !opts.NoRegAlloc)
+}
+
+// Compile compiles mini-C source all the way to an executable program with
+// default options.
+func Compile(name, source string) (*asm.Program, error) {
+	return CompileWith(name, source, Options{})
+}
+
+// CompileWith compiles mini-C source all the way to an executable program.
+func CompileWith(name, source string, opts Options) (*asm.Program, error) {
+	text, err := CompileToAsmWith(source, opts)
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(name, text)
+}

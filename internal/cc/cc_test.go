@@ -1,0 +1,349 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// testRunLimit bounds test program execution.
+const testRunLimit = 50_000_000
+
+// compileAndRun compiles source, executes it with the given input, and
+// returns every out() value.
+func compileAndRun(t *testing.T, source string, input []uint32) []uint32 {
+	t.Helper()
+	prog, err := Compile("test", source)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := vm.New(prog)
+	if input != nil {
+		m.SetInput(vm.SliceInput(input))
+	}
+	var out []uint32
+	m.SetOutput(func(v uint32) { out = append(out, v) })
+	if err := m.Run(testRunLimit, nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !m.Halted() {
+		t.Fatal("program did not halt")
+	}
+	return out
+}
+
+func expectOut(t *testing.T, source string, input []uint32, want ...uint32) {
+	t.Helper()
+	got := compileAndRun(t, source, input)
+	if len(got) != len(want) {
+		t.Fatalf("out = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			out(1 + 2 * 3);
+			out((1 + 2) * 3);
+			out(10 - 3);
+			out(20 / 3);
+			out(20 % 3);
+			out(1 << 4);
+			out(256 >> 2);
+			out(12 & 10);
+			out(12 | 10);
+			out(12 ^ 10);
+			out(-5 + 7);
+		}
+	`, nil, 7, 9, 7, 6, 2, 16, 64, 8, 14, 6, 2)
+}
+
+func TestComparisons(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			out(3 < 5); out(5 < 3);
+			out(3 <= 3); out(4 <= 3);
+			out(5 > 3); out(3 > 5);
+			out(3 >= 3); out(2 >= 3);
+			out(4 == 4); out(4 == 5);
+			out(4 != 5); out(4 != 4);
+			out(!0); out(!7);
+			out(1 && 2); out(1 && 0);
+			out(0 || 3); out(0 || 0);
+		}
+	`, nil, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0)
+}
+
+func TestSignedOps(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			var a = 0 - 8;
+			out(a / 3 == 0 - 2);
+			out(a % 3 == 0 - 2);
+			out(a < 3);
+			out(~0 == 0-1);
+		}
+	`, nil, 1, 1, 1, 1)
+}
+
+func TestGlobalsAndLocals(t *testing.T) {
+	expectOut(t, `
+		var g = 10;
+		var h;
+		func main() {
+			var x = g + 1;
+			h = x * 2;
+			g = g + h;
+			out(g); out(h);
+		}
+	`, nil, 32, 22)
+}
+
+func TestArrays(t *testing.T) {
+	expectOut(t, `
+		arr a[16];
+		func main() {
+			var i = 0;
+			while (i < 16) {
+				a[i] = i * i;
+				i = i + 1;
+			}
+			out(a[0] + a[3] + a[15]);
+			a[2] = a[2] + a[4];
+			out(a[2]);
+		}
+	`, nil, 234, 20)
+}
+
+func TestControlFlow(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			var i = 0;
+			var evens = 0;
+			var odds = 0;
+			while (1) {
+				if (i >= 10) { break; }
+				if (i % 2 == 0) { evens = evens + 1; } else { odds = odds + 1; }
+				i = i + 1;
+			}
+			out(evens); out(odds);
+
+			var s = 0;
+			i = 0;
+			while (i < 10) {
+				i = i + 1;
+				if (i % 3 == 0) { continue; }
+				s = s + i;
+			}
+			out(s);
+		}
+	`, nil, 5, 5, 37)
+}
+
+func TestElseIfChain(t *testing.T) {
+	expectOut(t, `
+		func classify(x) {
+			if (x < 10) { return 1; }
+			else if (x < 100) { return 2; }
+			else { return 3; }
+		}
+		func main() {
+			out(classify(5)); out(classify(50)); out(classify(500));
+		}
+	`, nil, 1, 2, 3)
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	expectOut(t, `
+		func fib(n) {
+			if (n < 2) { return n; }
+			return fib(n - 1) + fib(n - 2);
+		}
+		func add3(a, b, c) { return a + b + c; }
+		func main() {
+			out(fib(10));
+			out(add3(1, 2, 3));
+			out(add3(fib(5), fib(6), fib(7)));
+		}
+	`, nil, 55, 6, 5+8+13)
+}
+
+func TestFourArguments(t *testing.T) {
+	expectOut(t, `
+		func f(a, b, c, d) { return a*1000 + b*100 + c*10 + d; }
+		func main() { out(f(1, 2, 3, 4)); }
+	`, nil, 1234)
+}
+
+func TestInputBuiltin(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			var n = in();
+			var s = 0;
+			var i = 0;
+			while (i < n) {
+				s = s + in();
+				i = i + 1;
+			}
+			out(s);
+		}
+	`, []uint32{3, 10, 20, 30}, 60)
+}
+
+func TestCallsInsideExpressions(t *testing.T) {
+	// Calls under live expression state exercise the caller-save paths.
+	expectOut(t, `
+		func two() { return 2; }
+		func sq(x) { return x * x; }
+		func main() {
+			out(1 + two() * 3);
+			out(sq(two() + 1) + sq(2) * two());
+			out(sq(sq(two())));
+		}
+	`, nil, 7, 17, 16)
+}
+
+func TestDeepExpression(t *testing.T) {
+	// Forces spilling past the register depths. The in() leaves keep the
+	// expression non-constant so folding cannot collapse it.
+	expectOut(t, `
+		func main() {
+			out(in() + (2 + (3 + (4 + (5 + (6 + (7 + (8 + (9 + (10 + (11 + in())))))))))));
+		}
+	`, []uint32{1, 12}, 78)
+}
+
+func TestCharLiterals(t *testing.T) {
+	expectOut(t, `
+		func main() { out('A'); out('a' - 'A'); }
+	`, nil, 65, 32)
+}
+
+func TestComments(t *testing.T) {
+	expectOut(t, `
+		// line comment
+		func main() {
+			/* block
+			   comment */
+			out(1); // trailing
+		}
+	`, nil, 1)
+}
+
+func TestHexLiterals(t *testing.T) {
+	expectOut(t, `
+		func main() {
+			out(0xff);
+			out(0xffffffff + 1);
+		}
+	`, nil, 255, 0)
+}
+
+func TestRecursionDepth(t *testing.T) {
+	// Deep recursion exercises stack frames.
+	expectOut(t, `
+		func depth(n) {
+			if (n == 0) { return 0; }
+			return 1 + depth(n - 1);
+		}
+		func main() { out(depth(500)); }
+	`, nil, 500)
+}
+
+func TestSieveProgram(t *testing.T) {
+	// A real small program: count primes below 100 (25 primes).
+	expectOut(t, `
+		arr composite[100];
+		func main() {
+			var i = 2;
+			while (i < 100) {
+				if (composite[i] == 0) {
+					var j = i + i;
+					while (j < 100) {
+						composite[j] = 1;
+						j = j + i;
+					}
+				}
+				i = i + 1;
+			}
+			var count = 0;
+			i = 2;
+			while (i < 100) {
+				if (composite[i] == 0) { count = count + 1; }
+				i = i + 1;
+			}
+			out(count);
+		}
+	`, nil, 25)
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no main", "func f() { }", "no func main"},
+		{"undeclared var", "func main() { out(x); }", "undeclared"},
+		{"undeclared assign", "func main() { x = 1; }", "undeclared"},
+		{"undeclared func", "func main() { f(); }", "undeclared func"},
+		{"arity", "func f(a) { }\nfunc main() { f(1, 2); }", "takes 1 arguments"},
+		{"redeclared local", "func main() { var x = 1; var x = 2; }", "redeclared"},
+		{"redeclared global", "var g;\nvar g;\nfunc main() { }", "redeclared"},
+		{"redeclared func", "func f() {}\nfunc f() {}\nfunc main() { }", "redeclared"},
+		{"break outside", "func main() { break; }", "break outside loop"},
+		{"continue outside", "func main() { continue; }", "continue outside loop"},
+		{"array as scalar", "arr a[4];\nfunc main() { out(a); }", "used as a scalar"},
+		{"scalar as array", "var v;\nfunc main() { v[0] = 1; }", "not an array"},
+		{"too many params", "func f(a,b,c,d,e) { }\nfunc main() { }", "at most 4"},
+		{"bad array size", "arr a[0];\nfunc main() { }", "positive constant"},
+		{"shadow global", "var g;\nfunc main() { var g = 1; }", "shadows a global"},
+		{"syntax", "func main() { out(1 + ); }", "expected expression"},
+		{"unterminated block", "func main() { out(1);", "unexpected end of input"},
+		{"global init expr", "var g = 1 + 2;\nfunc main() { }", "expected"},
+		{"global init ident", "var g = x;\nfunc main() { }", "must be a constant"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile("t", tc.src)
+			if err == nil {
+				t.Fatalf("compiled successfully; want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCompileToAsmIsAssemblable(t *testing.T) {
+	text, err := CompileToAsm(`
+		var g = 7;
+		arr a[8];
+		func f(x) { return x + g; }
+		func main() { a[0] = f(1); out(a[0]); }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "fn_main:") || !strings.Contains(text, ".data") {
+		t.Errorf("unexpected asm shape:\n%s", text)
+	}
+}
+
+func TestExpressionTooDeep(t *testing.T) {
+	// Build an expression deeper than the reserved stack slots using
+	// non-constant leaves so folding cannot rescue it.
+	deep := "in()"
+	for i := 0; i < 25; i++ {
+		deep = "(in() + " + deep + ")"
+	}
+	_, err := Compile("t", "func main() { out("+deep+"); }")
+	if err == nil || !strings.Contains(err.Error(), "too deeply nested") {
+		t.Errorf("deep expression: err = %v", err)
+	}
+}

@@ -1,0 +1,617 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Code generation targets the repository assembler. The generator uses a
+// simple and predictable model, much like an unoptimising C compiler:
+//
+//   - Expressions evaluate on a virtual stack. Depths 0–5 live in registers
+//     $t0–$t5; deeper values live in reserved frame slots. $at, $k0 and $k1
+//     are scratch.
+//   - Every function gets a frame: 18 expression-stack slots, then its
+//     locals (parameters first), then the saved $ra.
+//   - Arguments pass in $a0–$a3; results return in $v0. All expression
+//     registers are caller-saved across calls (saved to their frame slots).
+//   - User functions are prefixed fn_; a stub `main` calls fn_main and
+//     halts, so programs terminate cleanly.
+type codegen struct {
+	out strings.Builder
+
+	globals map[string]bool
+	arrays  map[string]int
+	funcs   map[string]*funcDecl
+
+	// Per-function state.
+	fn       *funcDecl
+	locals   map[string]int
+	nlocals  int
+	labelSeq int
+	breakLbl []string
+	contLbl  []string
+	maxDepth int
+
+	// regalloc promotes the first regLocals locals into $s registers.
+	regalloc bool
+}
+
+// stackSlots is the number of reserved expression-stack frame slots; the
+// virtual stack may not grow beyond it.
+const stackSlots = 18
+
+// regDepths is how many stack depths live in registers ($t0-$t5).
+const regDepths = 6
+
+var depthRegs = [regDepths]string{"$t0", "$t1", "$t2", "$t3", "$t4", "$t5"}
+
+// regLocals is how many locals are promoted to callee-saved registers
+// ($s0-$s7) when register allocation is on. Promoted locals never touch
+// memory inside the function; the prologue/epilogue save and restore the
+// registers, so recursion is safe.
+const regLocals = 8
+
+var localRegs = [regLocals]string{"$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7"}
+
+func (g *codegen) emit(format string, args ...interface{}) {
+	fmt.Fprintf(&g.out, "\t"+format+"\n", args...)
+}
+
+func (g *codegen) label(l string) {
+	fmt.Fprintf(&g.out, "%s:\n", l)
+}
+
+func (g *codegen) newLabel(hint string) string {
+	g.labelSeq++
+	return fmt.Sprintf(".L%s_%s_%d", g.fn.name, hint, g.labelSeq)
+}
+
+// slotOff returns the frame offset of expression-stack depth d.
+func slotOff(d int) int { return 4 * d }
+
+// localOff returns the frame offset of local index i. Register-promoted
+// locals keep a (unused) slot so offsets stay simple.
+func localOff(i int) int { return 4 * (stackSlots + i) }
+
+// localReg returns the register a local index is promoted to, or "".
+func (g *codegen) localReg(i int) string {
+	if g.regalloc && i < regLocals {
+		return localRegs[i]
+	}
+	return ""
+}
+
+// storeLocal emits the write of src (a register) into local index i.
+func (g *codegen) storeLocal(i int, src string) {
+	if r := g.localReg(i); r != "" {
+		g.emit("move %s, %s", r, src)
+		return
+	}
+	g.emit("sw %s, %d($sp)", src, localOff(i))
+}
+
+// use returns a register holding the value at depth d, loading spilled
+// values into scratch.
+func (g *codegen) use(d int, scratch string) string {
+	if d < regDepths {
+		return depthRegs[d]
+	}
+	g.emit("lw %s, %d($sp)", scratch, slotOff(d))
+	return scratch
+}
+
+// def returns the register to compute depth d's value into and a flush
+// function that stores it if the depth is spilled.
+func (g *codegen) def(d int, scratch string) (string, func()) {
+	if d < regDepths {
+		return depthRegs[d], func() {}
+	}
+	return scratch, func() { g.emit("sw %s, %d($sp)", scratch, slotOff(d)) }
+}
+
+// genProgram compiles a checked program to assembly text. regalloc
+// promotes leading locals to callee-saved registers.
+func genProgram(prog *program, regalloc bool) (string, error) {
+	g := &codegen{
+		globals:  map[string]bool{},
+		arrays:   map[string]int{},
+		funcs:    map[string]*funcDecl{},
+		regalloc: regalloc,
+	}
+	// Collect and check global symbols.
+	for _, gd := range prog.globals {
+		if g.globals[gd.name] || g.arrays[gd.name] != 0 {
+			return "", Error{Line: gd.line, Msg: fmt.Sprintf("%q redeclared", gd.name)}
+		}
+		g.globals[gd.name] = true
+	}
+	for _, ad := range prog.arrays {
+		if g.globals[ad.name] || g.arrays[ad.name] != 0 {
+			return "", Error{Line: ad.line, Msg: fmt.Sprintf("%q redeclared", ad.name)}
+		}
+		g.arrays[ad.name] = ad.size
+	}
+	hasMain := false
+	for _, f := range prog.funcs {
+		if _, dup := g.funcs[f.name]; dup {
+			return "", Error{Line: f.line, Msg: fmt.Sprintf("func %q redeclared", f.name)}
+		}
+		g.funcs[f.name] = f
+		if f.name == "main" {
+			hasMain = true
+		}
+	}
+	if !hasMain {
+		return "", Error{Line: 1, Msg: "no func main"}
+	}
+
+	// Data segment.
+	fmt.Fprintln(&g.out, "\t.data")
+	for _, gd := range prog.globals {
+		fmt.Fprintf(&g.out, "%s:\t.word %d\n", gd.name, gd.init)
+	}
+	for _, ad := range prog.arrays {
+		fmt.Fprintf(&g.out, "%s:\t.space %d\n", ad.name, ad.size*4)
+	}
+
+	// Text segment: startup stub, then every function.
+	fmt.Fprintln(&g.out, "\t.text")
+	g.label("main")
+	fmt.Fprintln(&g.out, "\tjal fn_main")
+	fmt.Fprintln(&g.out, "\thalt")
+	for _, f := range prog.funcs {
+		if err := g.genFunc(f); err != nil {
+			return "", err
+		}
+	}
+	return g.out.String(), nil
+}
+
+// collectLocals walks the body assigning function-scoped local slots.
+func (g *codegen) collectLocals(body []stmt) error {
+	for _, st := range body {
+		switch s := st.(type) {
+		case *varStmt:
+			if _, dup := g.locals[s.name]; dup {
+				return Error{Line: s.line, Msg: fmt.Sprintf("local %q redeclared", s.name)}
+			}
+			if g.globals[s.name] || g.arrays[s.name] != 0 {
+				return Error{Line: s.line, Msg: fmt.Sprintf("local %q shadows a global", s.name)}
+			}
+			g.locals[s.name] = g.nlocals
+			g.nlocals++
+		case *ifStmt:
+			if err := g.collectLocals(s.then); err != nil {
+				return err
+			}
+			if err := g.collectLocals(s.els); err != nil {
+				return err
+			}
+		case *whileStmt:
+			if err := g.collectLocals(s.body); err != nil {
+				return err
+			}
+		case *forStmt:
+			if s.init != nil {
+				if err := g.collectLocals([]stmt{s.init}); err != nil {
+					return err
+				}
+			}
+			if err := g.collectLocals(s.body); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *codegen) genFunc(f *funcDecl) error {
+	g.fn = f
+	g.locals = map[string]int{}
+	g.nlocals = 0
+	g.breakLbl = nil
+	g.contLbl = nil
+	for _, p := range f.params {
+		if _, dup := g.locals[p]; dup {
+			return Error{Line: f.line, Msg: fmt.Sprintf("parameter %q repeated", p)}
+		}
+		g.locals[p] = g.nlocals
+		g.nlocals++
+	}
+	if err := g.collectLocals(f.body); err != nil {
+		return err
+	}
+
+	// Frame layout: stack slots, local slots (unused for promoted locals),
+	// saved $s registers, saved $ra.
+	saved := g.nlocals
+	if saved > regLocals {
+		saved = regLocals
+	}
+	if !g.regalloc {
+		saved = 0
+	}
+	frame := 4 * (stackSlots + g.nlocals + saved + 1)
+	savedBase := 4 * (stackSlots + g.nlocals)
+
+	g.label("fn_" + f.name)
+	g.emit("addiu $sp, $sp, %d", -frame)
+	g.emit("sw $ra, %d($sp)", frame-4)
+	for i := 0; i < saved; i++ {
+		g.emit("sw %s, %d($sp)", localRegs[i], savedBase+4*i)
+	}
+	argRegs := []string{"$a0", "$a1", "$a2", "$a3"}
+	for i := range f.params {
+		g.storeLocal(i, argRegs[i])
+	}
+	for _, st := range f.body {
+		if err := g.genStmt(st); err != nil {
+			return err
+		}
+	}
+	g.label(".Lret_" + f.name)
+	for i := 0; i < saved; i++ {
+		g.emit("lw %s, %d($sp)", localRegs[i], savedBase+4*i)
+	}
+	g.emit("lw $ra, %d($sp)", frame-4)
+	g.emit("addiu $sp, $sp, %d", frame)
+	g.emit("jr $ra")
+	return nil
+}
+
+func (g *codegen) genStmt(st stmt) error {
+	switch s := st.(type) {
+	case *varStmt:
+		if err := g.genExpr(s.init, 0); err != nil {
+			return err
+		}
+		g.storeLocal(g.locals[s.name], g.use(0, "$at"))
+		return nil
+
+	case *assignStmt:
+		if s.index == nil {
+			if err := g.genExpr(s.value, 0); err != nil {
+				return err
+			}
+			r := g.use(0, "$at")
+			if li, ok := g.locals[s.name]; ok {
+				g.storeLocal(li, r)
+				return nil
+			}
+			if g.globals[s.name] {
+				g.emit("sw %s, %s($zero)", r, s.name)
+				return nil
+			}
+			return Error{Line: s.line, Msg: fmt.Sprintf("assignment to undeclared %q", s.name)}
+		}
+		if g.arrays[s.name] == 0 {
+			return Error{Line: s.line, Msg: fmt.Sprintf("%q is not an array", s.name)}
+		}
+		if err := g.genExpr(s.index, 0); err != nil {
+			return err
+		}
+		if err := g.genExpr(s.value, 1); err != nil {
+			return err
+		}
+		idx := g.use(0, "$k0")
+		val := g.use(1, "$k1")
+		g.emit("sll $at, %s, 2", idx)
+		g.emit("sw %s, %s($at)", val, s.name)
+		return nil
+
+	case *ifStmt:
+		els := g.newLabel("else")
+		end := g.newLabel("endif")
+		if err := g.genExpr(s.cond, 0); err != nil {
+			return err
+		}
+		target := end
+		if s.els != nil {
+			target = els
+		}
+		g.emit("beq %s, $zero, %s", g.use(0, "$at"), target)
+		for _, t := range s.then {
+			if err := g.genStmt(t); err != nil {
+				return err
+			}
+		}
+		if s.els != nil {
+			g.emit("j %s", end)
+			g.label(els)
+			for _, t := range s.els {
+				if err := g.genStmt(t); err != nil {
+					return err
+				}
+			}
+		}
+		g.label(end)
+		return nil
+
+	case *whileStmt:
+		top := g.newLabel("while")
+		end := g.newLabel("endwhile")
+		g.breakLbl = append(g.breakLbl, end)
+		g.contLbl = append(g.contLbl, top)
+		g.label(top)
+		if err := g.genExpr(s.cond, 0); err != nil {
+			return err
+		}
+		g.emit("beq %s, $zero, %s", g.use(0, "$at"), end)
+		for _, t := range s.body {
+			if err := g.genStmt(t); err != nil {
+				return err
+			}
+		}
+		g.emit("j %s", top)
+		g.label(end)
+		g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+		g.contLbl = g.contLbl[:len(g.contLbl)-1]
+		return nil
+
+	case *forStmt:
+		top := g.newLabel("for")
+		post := g.newLabel("forpost")
+		end := g.newLabel("endfor")
+		if s.init != nil {
+			if err := g.genStmt(s.init); err != nil {
+				return err
+			}
+		}
+		g.breakLbl = append(g.breakLbl, end)
+		g.contLbl = append(g.contLbl, post) // continue runs the post clause
+		g.label(top)
+		if s.cond != nil {
+			if err := g.genExpr(s.cond, 0); err != nil {
+				return err
+			}
+			g.emit("beq %s, $zero, %s", g.use(0, "$at"), end)
+		}
+		for _, t := range s.body {
+			if err := g.genStmt(t); err != nil {
+				return err
+			}
+		}
+		g.label(post)
+		if s.post != nil {
+			if err := g.genStmt(s.post); err != nil {
+				return err
+			}
+		}
+		g.emit("j %s", top)
+		g.label(end)
+		g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+		g.contLbl = g.contLbl[:len(g.contLbl)-1]
+		return nil
+
+	case *returnStmt:
+		if s.value != nil {
+			if err := g.genExpr(s.value, 0); err != nil {
+				return err
+			}
+			g.emit("move $v0, %s", g.use(0, "$at"))
+		}
+		g.emit("j .Lret_%s", g.fn.name)
+		return nil
+
+	case *breakStmt:
+		if len(g.breakLbl) == 0 {
+			return Error{Line: s.line, Msg: "break outside loop"}
+		}
+		g.emit("j %s", g.breakLbl[len(g.breakLbl)-1])
+		return nil
+
+	case *continueStmt:
+		if len(g.contLbl) == 0 {
+			return Error{Line: s.line, Msg: "continue outside loop"}
+		}
+		g.emit("j %s", g.contLbl[len(g.contLbl)-1])
+		return nil
+
+	case *outStmt:
+		if err := g.genExpr(s.value, 0); err != nil {
+			return err
+		}
+		g.emit("out %s", g.use(0, "$at"))
+		return nil
+
+	case *exprStmt:
+		return g.genExpr(s.value, 0)
+	}
+	return fmt.Errorf("cc: unknown statement %T", st)
+}
+
+// genExpr compiles e so its value ends at virtual stack depth d.
+func (g *codegen) genExpr(e expr, d int) error {
+	if d >= stackSlots {
+		return Error{Line: exprLine(e), Msg: "expression too deeply nested"}
+	}
+	if d > g.maxDepth {
+		g.maxDepth = d
+	}
+	switch x := e.(type) {
+	case *numberExpr:
+		r, flush := g.def(d, "$at")
+		g.emit("li %s, %d", r, x.val)
+		flush()
+		return nil
+
+	case *identExpr:
+		r, flush := g.def(d, "$at")
+		if li, ok := g.locals[x.name]; ok {
+			if lr := g.localReg(li); lr != "" {
+				g.emit("move %s, %s", r, lr)
+			} else {
+				g.emit("lw %s, %d($sp)", r, localOff(li))
+			}
+		} else if g.globals[x.name] {
+			g.emit("lw %s, %s($zero)", r, x.name)
+		} else if g.arrays[x.name] != 0 {
+			return Error{Line: x.line, Msg: fmt.Sprintf("array %q used as a scalar", x.name)}
+		} else {
+			return Error{Line: x.line, Msg: fmt.Sprintf("undeclared variable %q", x.name)}
+		}
+		flush()
+		return nil
+
+	case *indexExpr:
+		if g.arrays[x.name] == 0 {
+			return Error{Line: x.line, Msg: fmt.Sprintf("%q is not an array", x.name)}
+		}
+		if err := g.genExpr(x.idx, d); err != nil {
+			return err
+		}
+		idx := g.use(d, "$k0")
+		g.emit("sll $at, %s, 2", idx)
+		r, flush := g.def(d, "$k0")
+		g.emit("lw %s, %s($at)", r, x.name)
+		flush()
+		return nil
+
+	case *inExpr:
+		r, flush := g.def(d, "$at")
+		g.emit("in %s", r)
+		flush()
+		return nil
+
+	case *unaryExpr:
+		if err := g.genExpr(x.x, d); err != nil {
+			return err
+		}
+		src := g.use(d, "$k0")
+		r, flush := g.def(d, "$k0")
+		switch x.op {
+		case "-":
+			g.emit("sub %s, $zero, %s", r, src)
+		case "!":
+			g.emit("sltiu %s, %s, 1", r, src)
+		case "~":
+			g.emit("nor %s, %s, $zero", r, src)
+		}
+		flush()
+		return nil
+
+	case *callExpr:
+		return g.genCall(x, d)
+
+	case *binaryExpr:
+		if err := g.genExpr(x.x, d); err != nil {
+			return err
+		}
+		if err := g.genExpr(x.y, d+1); err != nil {
+			return err
+		}
+		a := g.use(d, "$k0")
+		b := g.use(d+1, "$k1")
+		r, flush := g.def(d, "$k0")
+		switch x.op {
+		case "+":
+			g.emit("add %s, %s, %s", r, a, b)
+		case "-":
+			g.emit("sub %s, %s, %s", r, a, b)
+		case "*":
+			g.emit("mul %s, %s, %s", r, a, b)
+		case "/":
+			g.emit("div %s, %s, %s", r, a, b)
+		case "%":
+			g.emit("rem %s, %s, %s", r, a, b)
+		case "&":
+			g.emit("and %s, %s, %s", r, a, b)
+		case "|":
+			g.emit("or %s, %s, %s", r, a, b)
+		case "^":
+			g.emit("xor %s, %s, %s", r, a, b)
+		case "<<":
+			g.emit("sllv %s, %s, %s", r, a, b)
+		case ">>":
+			g.emit("srlv %s, %s, %s", r, a, b)
+		case "<":
+			g.emit("slt %s, %s, %s", r, a, b)
+		case ">":
+			g.emit("slt %s, %s, %s", r, b, a)
+		case "<=":
+			g.emit("slt %s, %s, %s", r, b, a)
+			g.emit("xori %s, %s, 1", r, r)
+		case ">=":
+			g.emit("slt %s, %s, %s", r, a, b)
+			g.emit("xori %s, %s, 1", r, r)
+		case "==":
+			g.emit("sub %s, %s, %s", r, a, b)
+			g.emit("sltiu %s, %s, 1", r, r)
+		case "!=":
+			g.emit("sub %s, %s, %s", r, a, b)
+			g.emit("sltu %s, $zero, %s", r, r)
+		case "&&":
+			// Full-evaluation logical and: normalise both to 0/1.
+			g.emit("sltu $at, $zero, %s", a)
+			g.emit("sltu %s, $zero, %s", r, b)
+			g.emit("and %s, $at, %s", r, r)
+		case "||":
+			g.emit("or %s, %s, %s", r, a, b)
+			g.emit("sltu %s, $zero, %s", r, r)
+		default:
+			return Error{Line: x.line, Msg: fmt.Sprintf("unknown operator %q", x.op)}
+		}
+		flush()
+		return nil
+	}
+	return fmt.Errorf("cc: unknown expression %T", e)
+}
+
+// genCall compiles a function call whose result lands at depth d.
+func (g *codegen) genCall(x *callExpr, d int) error {
+	callee, ok := g.funcs[x.name]
+	if !ok {
+		return Error{Line: x.line, Msg: fmt.Sprintf("call to undeclared func %q", x.name)}
+	}
+	if len(x.args) != len(callee.params) {
+		return Error{Line: x.line, Msg: fmt.Sprintf("func %q takes %d arguments, got %d",
+			x.name, len(callee.params), len(x.args))}
+	}
+	// Evaluate arguments above the current stack top.
+	for i, arg := range x.args {
+		if err := g.genExpr(arg, d+i); err != nil {
+			return err
+		}
+	}
+	// Spill every live register depth (expression registers are
+	// caller-saved): depths 0..d+len(args)-1 that live in registers.
+	live := d + len(x.args)
+	for dep := 0; dep < live && dep < regDepths; dep++ {
+		g.emit("sw %s, %d($sp)", depthRegs[dep], slotOff(dep))
+	}
+	// Load arguments from their slots.
+	argRegs := []string{"$a0", "$a1", "$a2", "$a3"}
+	for i := range x.args {
+		g.emit("lw %s, %d($sp)", argRegs[i], slotOff(d+i))
+	}
+	g.emit("jal fn_%s", x.name)
+	// Restore the depths below d that were spilled.
+	for dep := 0; dep < d && dep < regDepths; dep++ {
+		g.emit("lw %s, %d($sp)", depthRegs[dep], slotOff(dep))
+	}
+	r, flush := g.def(d, "$at")
+	g.emit("move %s, $v0", r)
+	flush()
+	return nil
+}
+
+func exprLine(e expr) int {
+	switch x := e.(type) {
+	case *numberExpr:
+		return x.line
+	case *identExpr:
+		return x.line
+	case *indexExpr:
+		return x.line
+	case *callExpr:
+		return x.line
+	case *inExpr:
+		return x.line
+	case *unaryExpr:
+		return x.line
+	case *binaryExpr:
+		return x.line
+	}
+	return 0
+}

@@ -1,0 +1,30 @@
+package cc_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cc"
+	"repro/internal/vm"
+)
+
+// Compile a tiny program and run it on the machine simulator.
+func ExampleCompile() {
+	prog, err := cc.Compile("triangle", `
+		func triangle(n) {
+			var s = 0;
+			for (var i = 1; i <= n; i = i + 1) { s = s + i; }
+			return s;
+		}
+		func main() { out(triangle(10)); }
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := vm.New(prog)
+	m.SetOutput(func(v uint32) { fmt.Println(v) })
+	if err := m.Run(0, nil); err != nil {
+		log.Fatal(err)
+	}
+	// Output: 55
+}

@@ -1,0 +1,214 @@
+package cc
+
+// Constant folding. The paper's benchmarks were compiled -O3; folding is
+// the piece of that pipeline that changes the predictability picture most
+// directly (it converts computation into immediates, the paper's I-class
+// generators). Folding uses exactly the VM's arithmetic semantics
+// (wrapping 32-bit, division by zero yields 0, remainder by zero yields
+// the numerator) so optimisation never changes program results.
+
+// foldProgram folds every function body in place.
+func foldProgram(p *program) {
+	for _, f := range p.funcs {
+		f.body = foldStmts(f.body)
+	}
+}
+
+func foldStmts(body []stmt) []stmt {
+	out := make([]stmt, 0, len(body))
+	for _, st := range body {
+		switch s := st.(type) {
+		case *varStmt:
+			s.init = foldExpr(s.init)
+			out = append(out, s)
+		case *assignStmt:
+			if s.index != nil {
+				s.index = foldExpr(s.index)
+			}
+			s.value = foldExpr(s.value)
+			out = append(out, s)
+		case *ifStmt:
+			s.cond = foldExpr(s.cond)
+			s.then = foldStmts(s.then)
+			s.els = foldStmts(s.els)
+			if n, ok := s.cond.(*numberExpr); ok {
+				// Constant condition: keep only the taken side. Locals
+				// remain function-scoped, so dropping declarations in dead
+				// code is safe only if they are unused elsewhere; keep the
+				// dead arm's var declarations to preserve slot assignment.
+				if n.val != 0 {
+					out = append(out, keepDecls(s.els)...)
+					out = append(out, s.then...)
+				} else {
+					out = append(out, keepDecls(s.then)...)
+					out = append(out, s.els...)
+				}
+				continue
+			}
+			out = append(out, s)
+		case *whileStmt:
+			s.cond = foldExpr(s.cond)
+			s.body = foldStmts(s.body)
+			if n, ok := s.cond.(*numberExpr); ok && n.val == 0 {
+				out = append(out, keepDecls(s.body)...)
+				continue
+			}
+			out = append(out, s)
+		case *forStmt:
+			if s.init != nil {
+				s.init = foldStmts([]stmt{s.init})[0]
+			}
+			if s.cond != nil {
+				s.cond = foldExpr(s.cond)
+			}
+			if s.post != nil {
+				s.post = foldStmts([]stmt{s.post})[0]
+			}
+			s.body = foldStmts(s.body)
+			if n, ok := s.cond.(*numberExpr); ok && n.val == 0 {
+				// Never-entered loop: keep the init, preserve declarations.
+				if s.init != nil {
+					out = append(out, s.init)
+				}
+				out = append(out, keepDecls(s.body)...)
+				continue
+			}
+			out = append(out, s)
+		case *returnStmt:
+			if s.value != nil {
+				s.value = foldExpr(s.value)
+			}
+			out = append(out, s)
+		case *outStmt:
+			s.value = foldExpr(s.value)
+			out = append(out, s)
+		case *exprStmt:
+			s.value = foldExpr(s.value)
+			out = append(out, s)
+		default:
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// keepDecls extracts the var declarations (with folded initialisers
+// replaced by zero, since the code is dead) from an eliminated arm so the
+// function's local-slot layout and redeclaration checks stay intact.
+func keepDecls(body []stmt) []stmt {
+	var out []stmt
+	for _, st := range body {
+		switch s := st.(type) {
+		case *varStmt:
+			out = append(out, &varStmt{name: s.name, init: &numberExpr{val: 0, line: s.line}, line: s.line})
+		case *ifStmt:
+			out = append(out, keepDecls(s.then)...)
+			out = append(out, keepDecls(s.els)...)
+		case *whileStmt:
+			out = append(out, keepDecls(s.body)...)
+		case *forStmt:
+			if s.init != nil {
+				out = append(out, keepDecls([]stmt{s.init})...)
+			}
+			out = append(out, keepDecls(s.body)...)
+		}
+	}
+	return out
+}
+
+func foldExpr(e expr) expr {
+	switch x := e.(type) {
+	case *unaryExpr:
+		x.x = foldExpr(x.x)
+		n, ok := x.x.(*numberExpr)
+		if !ok {
+			return x
+		}
+		switch x.op {
+		case "-":
+			return &numberExpr{val: -n.val, line: x.line}
+		case "!":
+			return &numberExpr{val: boolVal(n.val == 0), line: x.line}
+		case "~":
+			return &numberExpr{val: ^n.val, line: x.line}
+		}
+		return x
+
+	case *binaryExpr:
+		x.x = foldExpr(x.x)
+		x.y = foldExpr(x.y)
+		a, aok := x.x.(*numberExpr)
+		b, bok := x.y.(*numberExpr)
+		if !aok || !bok {
+			return x
+		}
+		av, bv := a.val, b.val
+		var v int32
+		switch x.op {
+		case "+":
+			v = av + bv
+		case "-":
+			v = av - bv
+		case "*":
+			v = av * bv
+		case "/":
+			if bv == 0 {
+				v = 0 // VM semantics
+			} else {
+				v = av / bv
+			}
+		case "%":
+			if bv == 0 {
+				v = av // VM semantics
+			} else {
+				v = av % bv
+			}
+		case "&":
+			v = av & bv
+		case "|":
+			v = av | bv
+		case "^":
+			v = av ^ bv
+		case "<<":
+			v = int32(uint32(av) << (uint32(bv) & 31))
+		case ">>":
+			v = int32(uint32(av) >> (uint32(bv) & 31))
+		case "<":
+			v = boolVal(av < bv)
+		case "<=":
+			v = boolVal(av <= bv)
+		case ">":
+			v = boolVal(av > bv)
+		case ">=":
+			v = boolVal(av >= bv)
+		case "==":
+			v = boolVal(av == bv)
+		case "!=":
+			v = boolVal(av != bv)
+		case "&&":
+			v = boolVal(av != 0 && bv != 0)
+		case "||":
+			v = boolVal(av != 0 || bv != 0)
+		default:
+			return x
+		}
+		return &numberExpr{val: v, line: x.line}
+
+	case *indexExpr:
+		x.idx = foldExpr(x.idx)
+		return x
+	case *callExpr:
+		for i := range x.args {
+			x.args[i] = foldExpr(x.args[i])
+		}
+		return x
+	}
+	return e
+}
+
+func boolVal(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

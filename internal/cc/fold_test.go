@@ -1,0 +1,285 @@
+package cc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// testRunLimitFold bounds instrumented test runs.
+const testRunLimitFold = 50_000_000
+
+// runWith compiles with the given options and runs, returning outputs.
+func runWith(t *testing.T, source string, opts Options, input []uint32) []uint32 {
+	t.Helper()
+	prog, err := CompileWith("t", source, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := vm.New(prog)
+	if input != nil {
+		m.SetInput(vm.SliceInput(input))
+	}
+	var out []uint32
+	m.SetOutput(func(v uint32) { out = append(out, v) })
+	if err := m.Run(testRunLimit, nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out
+}
+
+func TestFoldConstants(t *testing.T) {
+	src := `func main() { out(2 * 3 + 4 * 5 - (6 / 2)); }`
+	folded, err := CompileWith("t", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := CompileWith("t", src, Options{NoFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folded.Instrs) >= len(plain.Instrs) {
+		t.Errorf("folding did not shrink code: %d vs %d instructions",
+			len(folded.Instrs), len(plain.Instrs))
+	}
+	// Same output either way.
+	got := runWith(t, src, Options{}, nil)
+	if len(got) != 1 || got[0] != 23 {
+		t.Errorf("folded output = %v, want [23]", got)
+	}
+}
+
+func TestFoldDeadBranches(t *testing.T) {
+	src := `
+		func main() {
+			if (1 < 2) { out(1); } else { out(2); }
+			if (0) { out(3); } else { out(4); }
+			while (0) { out(5); }
+			out(6);
+		}`
+	folded, _ := CompileWith("t", src, Options{})
+	plain, _ := CompileWith("t", src, Options{NoFold: true})
+	if len(folded.Instrs) >= len(plain.Instrs) {
+		t.Error("dead-branch elimination did not shrink code")
+	}
+	got := runWith(t, src, Options{}, nil)
+	want := []uint32{1, 4, 6}
+	if len(got) != len(want) {
+		t.Fatalf("out = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFoldKeepsDeadArmLocals(t *testing.T) {
+	// A local declared only inside an eliminated arm must still be
+	// declared (function-scoped locals), so later uses keep working.
+	src := `
+		func main() {
+			if (0) { var x = 9; out(x); }
+			x = 7;
+			out(x);
+		}`
+	got := runWith(t, src, Options{}, nil)
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("out = %v, want [7]", got)
+	}
+}
+
+func TestFoldVMDivisionSemantics(t *testing.T) {
+	// Folded division by zero must match the VM: quotient 0, remainder =
+	// numerator.
+	src := `func main() { out(7 / 0); out(7 % 0); }`
+	got := runWith(t, src, Options{}, nil)
+	if len(got) != 2 || got[0] != 0 || got[1] != 7 {
+		t.Errorf("out = %v, want [0 7]", got)
+	}
+	unopt := runWith(t, src, Options{NoFold: true}, nil)
+	if len(unopt) != 2 || unopt[0] != got[0] || unopt[1] != got[1] {
+		t.Errorf("fold changed division semantics: %v vs %v", got, unopt)
+	}
+}
+
+func TestFoldShiftMasking(t *testing.T) {
+	src := `func main() { out(1 << 33); out(0x80000000 >> 31); }`
+	got := runWith(t, src, Options{}, nil)
+	unopt := runWith(t, src, Options{NoFold: true}, nil)
+	for i := range got {
+		if got[i] != unopt[i] {
+			t.Errorf("fold changed shift semantics: %v vs %v", got, unopt)
+		}
+	}
+}
+
+func TestFoldEquivalenceRandomPrograms(t *testing.T) {
+	// Property: folding never changes program behaviour. Generate random
+	// constant-heavy expression programs and compare folded vs unfolded.
+	rng := rand.New(rand.NewSource(123))
+	ops := []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "<", "<=", ">", ">=", "==", "!=", "&&", "||"}
+	var genExprSrc func(depth int) string
+	genExprSrc = func(depth int) string {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return []string{"1", "2", "3", "7", "0", "100", "0-5"}[rng.Intn(7)]
+		}
+		op := ops[rng.Intn(len(ops))]
+		return "(" + genExprSrc(depth-1) + " " + op + " " + genExprSrc(depth-1) + ")"
+	}
+	for trial := 0; trial < 40; trial++ {
+		src := "func main() { out(" + genExprSrc(3) + "); }"
+		folded := runWith(t, src, Options{}, nil)
+		plain := runWith(t, src, Options{NoFold: true}, nil)
+		if len(folded) != 1 || len(plain) != 1 || folded[0] != plain[0] {
+			t.Fatalf("fold changed behaviour of %q: %v vs %v", src, folded, plain)
+		}
+	}
+}
+
+func TestForLoops(t *testing.T) {
+	got := runWith(t, `
+		func main() {
+			var s = 0;
+			for (var i = 0; i < 10; i = i + 1) {
+				s = s + i;
+			}
+			out(s);
+
+			// continue must still run the post clause.
+			s = 0;
+			for (var j = 0; j < 10; j = j + 1) {
+				if (j % 2 == 0) { continue; }
+				s = s + j;
+			}
+			out(s);
+
+			// break leaves immediately.
+			for (var k = 0; ; k = k + 1) {
+				if (k == 5) { break; }
+			}
+			out(5);
+
+			// empty clauses.
+			var m = 0;
+			for (; m < 3;) { m = m + 1; }
+			out(m);
+		}
+	`, Options{}, nil)
+	want := []uint32{45, 25, 5, 3}
+	if len(got) != len(want) {
+		t.Fatalf("out = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestForFolding(t *testing.T) {
+	src := `
+		func main() {
+			for (var i = 0; 1 == 2; i = i + 1) { out(99); }
+			for (var j = 0; j < 2 + 1; j = j + 1) { out(j); }
+		}`
+	got := runWith(t, src, Options{}, nil)
+	want := []uint32{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("out = %v, want %v", got, want)
+	}
+	folded, _ := CompileWith("t", src, Options{})
+	plain, _ := CompileWith("t", src, Options{NoFold: true})
+	if len(folded.Instrs) >= len(plain.Instrs) {
+		t.Error("dead for-loop not eliminated")
+	}
+}
+
+func TestNestedForWhile(t *testing.T) {
+	got := runWith(t, `
+		func main() {
+			var total = 0;
+			for (var i = 0; i < 4; i = i + 1) {
+				var j = 0;
+				while (j < 4) {
+					if (i == j) { j = j + 1; continue; }
+					total = total + i * j;
+					j = j + 1;
+				}
+			}
+			out(total);
+		}
+	`, Options{}, nil)
+	// sum over i,j in 0..3, i!=j of i*j = (sum i)(sum j) - sum i^2 = 36 - 14 = 22.
+	if len(got) != 1 || got[0] != 22 {
+		t.Fatalf("out = %v, want [22]", got)
+	}
+}
+
+func TestRegAllocEquivalence(t *testing.T) {
+	// Register promotion must never change behaviour — including through
+	// recursion, which exercises the callee-save discipline.
+	src := `
+		arr memo[64];
+		func fib(n) {
+			if (n < 2) { return n; }
+			if (memo[n] != 0) { return memo[n]; }
+			var a = fib(n - 1);
+			var b = fib(n - 2);
+			memo[n] = a + b;
+			return a + b;
+		}
+		func main() {
+			var total = 0;
+			for (var i = 0; i < 20; i = i + 1) { total = total + fib(i); }
+			out(total);
+			out(fib(30));
+		}`
+	withRA := runWith(t, src, Options{}, nil)
+	without := runWith(t, src, Options{NoRegAlloc: true}, nil)
+	if len(withRA) != len(without) {
+		t.Fatalf("output lengths differ: %v vs %v", withRA, without)
+	}
+	for i := range withRA {
+		if withRA[i] != without[i] {
+			t.Fatalf("regalloc changed behaviour: %v vs %v", withRA, without)
+		}
+	}
+	if withRA[1] != 832040 {
+		t.Errorf("fib(30) = %d, want 832040", withRA[1])
+	}
+}
+
+func TestRegAllocReducesMemoryTraffic(t *testing.T) {
+	src := `
+		func main() {
+			var s = 0;
+			for (var i = 0; i < 100; i = i + 1) { s = s + i; }
+			out(s);
+		}`
+	countMem := func(opts Options) int {
+		prog, err := CompileWith("t", src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := vm.New(prog)
+		mem := 0
+		err = m.Run(testRunLimitFold, func(e *trace.Event) {
+			if isa.MemWidth(e.Op) != 0 {
+				mem++
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mem
+	}
+	withRA := countMem(Options{})
+	without := countMem(Options{NoRegAlloc: true})
+	if withRA*2 > without {
+		t.Errorf("register allocation should at least halve memory traffic: %d vs %d", withRA, without)
+	}
+}

@@ -1,0 +1,39 @@
+package cc
+
+import "testing"
+
+// FuzzCompile checks the compiler never panics on arbitrary source and
+// that accepted programs assemble.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"",
+		"func main() { }",
+		"func main() { out(1 + 2); }",
+		"var g = 1; arr a[4]; func main() { a[0] = g; }",
+		"func f(a,b) { return a+b; } func main() { out(f(1,2)); }",
+		"func main() { while (1) { break; } }",
+		"func main() { if (1) { } else { } }",
+		"func main() { out(in()); }",
+		"func main(",
+		"}{",
+		"func main() { var x = ((((1)))); out(x); }",
+		"// comment only",
+		"/* unterminated",
+		"func main() { out('x'); }",
+		"func main() { out(0xffffffff); }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Compile("fuzz", src)
+		if err != nil {
+			return
+		}
+		for i, ins := range prog.Instrs {
+			if verr := ins.Validate(); verr != nil {
+				t.Fatalf("compiled program has invalid instruction %d: %v", i, verr)
+			}
+		}
+	})
+}

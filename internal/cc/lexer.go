@@ -1,0 +1,131 @@
+package cc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// lexer tokenises mini-C source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// twoCharOps lists the multi-character operators, longest first.
+var twoCharOps = []string{"==", "!=", "<=", ">=", "<<", ">>", "&&", "||"}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	lx.skipSpace()
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, line: lx.line}, nil
+	}
+	c := lx.src[lx.pos]
+	start := lx.pos
+
+	switch {
+	case isIdentStart(c):
+		for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		text := lx.src[start:lx.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: lx.line}, nil
+
+	case c >= '0' && c <= '9':
+		for lx.pos < len(lx.src) && isNumberPart(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		text := lx.src[start:lx.pos]
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			// Large unsigned hex still fits a word.
+			u, uerr := strconv.ParseUint(text, 0, 32)
+			if uerr != nil {
+				return token{}, Error{Line: lx.line, Msg: fmt.Sprintf("bad number %q", text)}
+			}
+			v = int64(int32(uint32(u)))
+		}
+		return token{kind: tokNumber, text: text, val: v, line: lx.line}, nil
+
+	case c == '\'':
+		end := lx.pos + 1
+		for end < len(lx.src) && lx.src[end] != '\'' {
+			if lx.src[end] == '\\' {
+				end++
+			}
+			end++
+		}
+		if end >= len(lx.src) {
+			return token{}, Error{Line: lx.line, Msg: "unterminated char literal"}
+		}
+		body, err := strconv.Unquote(lx.src[lx.pos : end+1])
+		if err != nil || len(body) != 1 {
+			return token{}, Error{Line: lx.line, Msg: "bad char literal"}
+		}
+		lx.pos = end + 1
+		return token{kind: tokNumber, text: body, val: int64(body[0]), line: lx.line}, nil
+	}
+
+	for _, op := range twoCharOps {
+		if len(lx.src)-lx.pos >= 2 && lx.src[lx.pos:lx.pos+2] == op {
+			lx.pos += 2
+			return token{kind: tokPunct, text: op, line: lx.line}, nil
+		}
+	}
+	switch c {
+	case '+', '-', '*', '/', '%', '&', '|', '^', '<', '>', '!', '~',
+		'=', '(', ')', '{', '}', '[', ']', ',', ';':
+		lx.pos++
+		return token{kind: tokPunct, text: string(c), line: lx.line}, nil
+	}
+	return token{}, Error{Line: lx.line, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+// skipSpace consumes whitespace and // and /* */ comments.
+func (lx *lexer) skipSpace() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			lx.pos += 2
+			for lx.pos+1 < len(lx.src) && !(lx.src[lx.pos] == '*' && lx.src[lx.pos+1] == '/') {
+				if lx.src[lx.pos] == '\n' {
+					lx.line++
+				}
+				lx.pos++
+			}
+			lx.pos += 2
+			if lx.pos > len(lx.src) {
+				lx.pos = len(lx.src)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+func isNumberPart(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F' || c == 'x' || c == 'X'
+}

@@ -1,0 +1,600 @@
+package cc
+
+import "fmt"
+
+// parser is a recursive-descent parser with one token of lookahead.
+type parser struct {
+	lx  *lexer
+	tok token
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lx: newLexer(src)}
+	return p, p.advance()
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return Error{Line: p.tok.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// accept consumes the current token if it is the given punctuation/keyword.
+func (p *parser) accept(text string) (bool, error) {
+	if (p.tok.kind == tokPunct || p.tok.kind == tokKeyword) && p.tok.text == text {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+// expect consumes the given punctuation/keyword or fails.
+func (p *parser) expect(text string) error {
+	ok, err := p.accept(text)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return p.errorf("expected %q, found %s", text, p.tok)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errorf("expected identifier, found %s", p.tok)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+// parseProgram parses the full translation unit.
+func (p *parser) parseProgram() (*program, error) {
+	prog := &program{}
+	for p.tok.kind != tokEOF {
+		switch {
+		case p.tok.kind == tokKeyword && p.tok.text == "var":
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			prog.globals = append(prog.globals, g)
+		case p.tok.kind == tokKeyword && p.tok.text == "arr":
+			a, err := p.parseArray()
+			if err != nil {
+				return nil, err
+			}
+			prog.arrays = append(prog.arrays, a)
+		case p.tok.kind == tokKeyword && p.tok.text == "func":
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.funcs = append(prog.funcs, f)
+		default:
+			return nil, p.errorf("expected declaration, found %s", p.tok)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) parseGlobal() (*globalDecl, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume "var"
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	g := &globalDecl{name: name, line: line}
+	eq, err := p.accept("=")
+	if err != nil {
+		return nil, err
+	}
+	if eq {
+		if p.tok.kind != tokNumber {
+			return nil, p.errorf("global initialiser must be a constant")
+		}
+		g.init = int32(p.tok.val)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return g, p.expect(";")
+}
+
+func (p *parser) parseArray() (*arrayDecl, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume "arr"
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokNumber || p.tok.val <= 0 || p.tok.val > 1<<20 {
+		return nil, p.errorf("array size must be a positive constant")
+	}
+	size := int(p.tok.val)
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	return &arrayDecl{name: name, size: size, line: line}, p.expect(";")
+}
+
+func (p *parser) parseFunc() (*funcDecl, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume "func"
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	f := &funcDecl{name: name, line: line}
+	if p.tok.kind == tokIdent {
+		for {
+			param, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			f.params = append(f.params, param)
+			more, err := p.accept(",")
+			if err != nil {
+				return nil, err
+			}
+			if !more {
+				break
+			}
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if len(f.params) > 4 {
+		return nil, Error{Line: line, Msg: "functions take at most 4 parameters"}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.body = body
+	return f, nil
+}
+
+func (p *parser) parseBlock() ([]stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var stmts []stmt
+	for {
+		done, err := p.accept("}")
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return stmts, nil
+		}
+		if p.tok.kind == tokEOF {
+			return nil, p.errorf("unexpected end of input inside block")
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, st)
+	}
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	line := p.tok.line
+	if p.tok.kind == tokKeyword {
+		switch p.tok.text {
+		case "var":
+			st, err := p.parseSimple()
+			if err != nil {
+				return nil, err
+			}
+			return st, p.expect(";")
+		case "if":
+			return p.parseIf()
+		case "while":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			body, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			return &whileStmt{cond: cond, body: body, line: line}, nil
+		case "for":
+			return p.parseFor()
+		case "return":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if ok, err := p.accept(";"); err != nil {
+				return nil, err
+			} else if ok {
+				return &returnStmt{line: line}, nil
+			}
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &returnStmt{value: v, line: line}, p.expect(";")
+		case "break":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &breakStmt{line: line}, p.expect(";")
+		case "continue":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &continueStmt{line: line}, p.expect(";")
+		case "out":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &outStmt{value: v, line: line}, p.expect(";")
+		case "in":
+			// Expression statement starting with in(): parse as expression.
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &exprStmt{value: v, line: line}, p.expect(";")
+		}
+		return nil, p.errorf("unexpected keyword %q", p.tok.text)
+	}
+
+	if p.tok.kind == tokIdent {
+		st, err := p.parseSimple()
+		if err != nil {
+			return nil, err
+		}
+		return st, p.expect(";")
+	}
+	return nil, p.errorf("unexpected %s", p.tok)
+}
+
+// parseSimple parses a statement usable inside a for-clause — a var
+// declaration, a scalar or element assignment, or a call — without
+// consuming a trailing semicolon.
+func (p *parser) parseSimple() (stmt, error) {
+	line := p.tok.line
+	if p.tok.kind == tokKeyword && p.tok.text == "var" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &varStmt{name: name, init: init, line: line}, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.tok.kind == tokPunct && p.tok.text == "=":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &assignStmt{name: name, value: v, line: line}, nil
+	case p.tok.kind == tokPunct && p.tok.text == "[":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &assignStmt{name: name, index: idx, value: v, line: line}, nil
+	case p.tok.kind == tokPunct && p.tok.text == "(":
+		call, err := p.parseCall(name, line)
+		if err != nil {
+			return nil, err
+		}
+		return &exprStmt{value: call, line: line}, nil
+	}
+	return nil, p.errorf("expected '=', '[' or '(' after %q", name)
+}
+
+// parseFor parses for (init; cond; post) { body }; every clause may be
+// empty.
+func (p *parser) parseFor() (stmt, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume "for"
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	f := &forStmt{line: line}
+	if p.tok.kind != tokPunct || p.tok.text != ";" {
+		init, err := p.parseSimple()
+		if err != nil {
+			return nil, err
+		}
+		f.init = init
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokPunct || p.tok.text != ";" {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.cond = cond
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokPunct || p.tok.text != ")" {
+		post, err := p.parseSimple()
+		if err != nil {
+			return nil, err
+		}
+		f.post = post
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.body = body
+	return f, nil
+}
+
+func (p *parser) parseIf() (stmt, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume "if"
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	node := &ifStmt{cond: cond, then: then, line: line}
+	hasElse, err := p.accept("else")
+	if err != nil {
+		return nil, err
+	}
+	if hasElse {
+		if p.tok.kind == tokKeyword && p.tok.text == "if" {
+			chained, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			node.els = []stmt{chained}
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			node.els = els
+		}
+	}
+	return node, nil
+}
+
+// Operator precedence parsing. Levels from weakest to strongest.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseExpr() (expr, error) { return p.parseBinary(0) }
+
+func (p *parser) parseBinary(level int) (expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	x, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		if p.tok.kind == tokPunct {
+			for _, op := range precLevels[level] {
+				if p.tok.text == op {
+					matched = op
+					break
+				}
+			}
+		}
+		if matched == "" {
+			return x, nil
+		}
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		y, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		x = &binaryExpr{op: matched, x: x, y: y, line: line}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	if p.tok.kind == tokPunct && (p.tok.text == "-" || p.tok.text == "!" || p.tok.text == "~") {
+		op := p.tok.text
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: op, x: x, line: line}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	line := p.tok.line
+	switch {
+	case p.tok.kind == tokNumber:
+		v := int32(p.tok.val)
+		return &numberExpr{val: v, line: line}, p.advance()
+
+	case p.tok.kind == tokKeyword && p.tok.text == "in":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &inExpr{line: line}, nil
+
+	case p.tok.kind == tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.tok.kind == tokPunct && p.tok.text == "[":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &indexExpr{name: name, idx: idx, line: line}, p.expect("]")
+		case p.tok.kind == tokPunct && p.tok.text == "(":
+			return p.parseCall(name, line)
+		}
+		return &identExpr{name: name, line: line}, nil
+
+	case p.tok.kind == tokPunct && p.tok.text == "(":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.expect(")")
+	}
+	return nil, p.errorf("expected expression, found %s", p.tok)
+}
+
+// parseCall parses the argument list of name(...); the '(' is current.
+func (p *parser) parseCall(name string, line int) (expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	call := &callExpr{name: name, line: line}
+	if done, err := p.accept(")"); err != nil {
+		return nil, err
+	} else if done {
+		return call, nil
+	}
+	for {
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.args = append(call.args, arg)
+		more, err := p.accept(",")
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+	}
+	if len(call.args) > 4 {
+		return nil, Error{Line: line, Msg: "calls take at most 4 arguments"}
+	}
+	return call, p.expect(")")
+}

@@ -1,0 +1,74 @@
+// Package cc implements a small C-like language ("mini-C") compiling to the
+// repository's assembly. The paper's benchmarks were compiled C programs;
+// this compiler completes the substrate so workloads can be written at the
+// level the original programs were, producing the register pressure,
+// immediates, spills and calling conventions a compiler produces.
+//
+// The language: 32-bit words only.
+//
+//	var g = 3;                 // global word
+//	arr table[256];            // global word array
+//
+//	func add(a, b) { return a + b; }
+//
+//	func main() {
+//	    var i = 0;
+//	    while (i < 64) {
+//	        table[i] = add(i, in());   // in() reads program input
+//	        i = i + 1;
+//	    }
+//	    if (table[0] >= 10) { out(table[0]); } else { out(0); }
+//	}
+//
+// Statements: var, assignment (variable or array element), if/else, while,
+// break, continue, return, out(expr), expression statements. Expressions:
+// + - * / % & | ^ << >> comparisons, unary - ! ~, calls, array indexing,
+// in(), integer/char literals. Logical && and || evaluate both operands
+// (no short circuit) and yield 0/1.
+package cc
+
+import "fmt"
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // operators and delimiters, identified by text
+	tokKeyword
+)
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	val  int64 // for tokNumber
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return fmt.Sprintf("number %d", t.val)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+var keywords = map[string]bool{
+	"var": true, "arr": true, "func": true, "if": true, "else": true,
+	"while": true, "for": true, "return": true, "break": true, "continue": true,
+	"out": true, "in": true,
+}
+
+// Error is a compile diagnostic with a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e Error) Error() string { return fmt.Sprintf("cc: line %d: %s", e.Line, e.Msg) }

@@ -1,0 +1,813 @@
+// Package core is the public facade of the predictability-model library.
+// It ties the substrates together: assemble or load a program, execute it
+// into a trace, run the DPG model with a chosen predictor, and reproduce
+// the paper's experiments.
+//
+// Quick use:
+//
+//	w, _ := workloads.ByName("gcc")
+//	tr, _ := w.Trace()
+//	res := core.Analyze(tr, core.WithKind(predictor.KindContext))
+//	fmt.Println(res.Pct(res.NodeProp()))
+//
+// or, for the paper's full evaluation, build a Suite and run experiments:
+//
+//	s := core.NewSuite(core.SuiteConfig{})
+//	s.Run("fig5", os.Stdout)
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/dpg"
+	"repro/internal/predictor"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Option configures Analyze.
+type Option func(*dpg.Config)
+
+// WithKind selects one of the paper's predictors (default: context-based).
+func WithKind(k predictor.Kind) Option {
+	return func(c *dpg.Config) {
+		c.Predictor = k.Factory()
+		c.PredictorName = k.String()
+	}
+}
+
+// WithPredictor installs a custom value predictor through its factory. The
+// model instantiates it twice (input side and output side).
+func WithPredictor(name string, f predictor.Factory) Option {
+	return func(c *dpg.Config) {
+		c.Predictor = f
+		c.PredictorName = name
+	}
+}
+
+// WithoutPaths disables influence tracking for faster classification-only
+// runs.
+func WithoutPaths() Option {
+	return func(c *dpg.Config) { c.DisablePaths = true }
+}
+
+// WithSharedInputOutput switches to a single shared predictor instance for
+// inputs and outputs (the short-circuit ablation; the paper splits them).
+func WithSharedInputOutput() Option {
+	return func(c *dpg.Config) { c.SharedInputOutput = true }
+}
+
+// Analyze runs the predictability model over a trace.
+func Analyze(t *trace.Trace, opts ...Option) *dpg.Result {
+	cfg := dpg.Config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.Predictor == nil {
+		cfg.Predictor = predictor.KindContext.Factory()
+		cfg.PredictorName = predictor.KindContext.String()
+	}
+	return dpg.RunWith(t, cfg)
+}
+
+// SuiteConfig parameterises a full evaluation run.
+type SuiteConfig struct {
+	// Scale multiplies every workload's default rounds (1.0 if zero).
+	// Scaling down speeds up the full figure set for smoke runs.
+	Scale float64
+	// Seed selects the workload input seed (1 if zero).
+	Seed uint64
+	// Parallel bounds the number of concurrent model runs during
+	// Precompute (and RunAll, which precomputes first). Zero or one means
+	// sequential.
+	Parallel int
+	// Progress, if non-nil, receives one line per model run.
+	Progress io.Writer
+}
+
+// Suite caches traces and model results across the paper's experiments so
+// regenerating every figure touches each (workload, predictor) pair once.
+// Suites are safe for concurrent use; independent model runs proceed in
+// parallel (one model run never blocks another).
+type Suite struct {
+	cfg SuiteConfig
+
+	mu      sync.Mutex
+	traces  map[string]*traceEntry
+	results map[string]*resultEntry
+	done    map[string]int // predictor runs completed per workload
+}
+
+type traceEntry struct {
+	once sync.Once
+	t    *trace.Trace
+	err  error
+}
+
+type resultEntry struct {
+	once sync.Once
+	res  *dpg.Result
+	err  error
+}
+
+// NewSuite prepares an experiment suite.
+func NewSuite(cfg SuiteConfig) *Suite {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1.0
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Suite{
+		cfg:     cfg,
+		traces:  make(map[string]*traceEntry),
+		results: make(map[string]*resultEntry),
+		done:    make(map[string]int),
+	}
+}
+
+// traceFor returns (and caches) the workload's trace at the suite scale.
+func (s *Suite) traceFor(name string) (*trace.Trace, error) {
+	s.mu.Lock()
+	te := s.traces[name]
+	if te == nil {
+		te = &traceEntry{}
+		s.traces[name] = te
+	}
+	s.mu.Unlock()
+	te.once.Do(func() {
+		te.t, te.err = s.traceOnce(name)
+	})
+	return te.t, te.err
+}
+
+// Result returns (and caches) the model result for one workload and
+// predictor. The trace is released once all three standard predictors have
+// consumed it. Distinct (workload, predictor) pairs compute concurrently.
+func (s *Suite) Result(name string, kind predictor.Kind) (*dpg.Result, error) {
+	key := name + "/" + kind.String()
+	s.mu.Lock()
+	re := s.results[key]
+	if re == nil {
+		re = &resultEntry{}
+		s.results[key] = re
+	}
+	s.mu.Unlock()
+	re.once.Do(func() {
+		t, err := s.traceFor(name)
+		if err != nil {
+			re.err = err
+			return
+		}
+		if s.cfg.Progress != nil {
+			fmt.Fprintf(s.cfg.Progress, "running %-5s with %-10s (%d events)\n", name, kind, t.Len())
+		}
+		re.res = dpg.Run(t, kind)
+		s.mu.Lock()
+		s.done[name]++
+		if s.done[name] >= len(predictor.Kinds) {
+			if te := s.traces[name]; te != nil {
+				te.t = nil // free the trace memory; recompute if needed again
+				s.traces[name] = nil
+				delete(s.traces, name)
+			}
+		}
+		s.mu.Unlock()
+	})
+	return re.res, re.err
+}
+
+// Precompute runs every (workload, predictor) model pass up front, using up
+// to cfg.Parallel concurrent runs. Subsequent experiments then only read
+// cached results.
+func (s *Suite) Precompute() error {
+	par := s.cfg.Parallel
+	if par < 1 {
+		par = 1
+	}
+	type job struct {
+		name string
+		kind predictor.Kind
+	}
+	jobs := make(chan job)
+	errs := make(chan error, par)
+	var wg sync.WaitGroup
+	for i := 0; i < par; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if _, err := s.Result(j.name, j.kind); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for _, name := range allNames() {
+		for _, k := range predictor.Kinds {
+			jobs <- job{name: name, kind: k}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// resultsFor collects results for a set of workloads under one predictor.
+func (s *Suite) resultsFor(names []string, kind predictor.Kind) ([]*dpg.Result, error) {
+	out := make([]*dpg.Result, 0, len(names))
+	for _, n := range names {
+		r, err := s.Result(n, kind)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func intNames() []string {
+	names := make([]string, 0, 8)
+	for _, w := range workloads.Integer() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+func floatNames() []string {
+	names := make([]string, 0, 4)
+	for _, w := range workloads.Float() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+func allNames() []string { return append(intNames(), floatNames()...) }
+
+// Experiments lists the runnable experiment ids with a one-line description
+// of the table/figure each reproduces.
+func Experiments() map[string]string {
+	return map[string]string{
+		"table1": "Table 1: benchmark DPG characteristics",
+		"fig5":   "Figure 5: overall node and arc predictability",
+		"fig6":   "Figure 6: generation breakdown",
+		"fig7":   "Figure 7: propagation breakdown",
+		"fig8":   "Figure 8: termination breakdown",
+		"fig9":   "Figure 9: generator-class path analysis",
+		"fig10":  "Figure 10: tree depth and aggregate propagation (gcc, context)",
+		"fig11":  "Figure 11: generates per propagate and distances (com/go/gcc, context)",
+		"fig12":  "Figure 12: predictable sequence lengths (INT average)",
+		"fig13":  "Figure 13: branch predictability behavior (INT average)",
+		// Extensions beyond the paper's figures, quantifying its prose
+		// claims (see DESIGN.md §5).
+		"attribution": "Extension: node classes by operation group (paper §4.2-4.4 narrative)",
+		"hotspots":    "Extension: static generate points and concentration (paper §4.5 claim)",
+		"unpred":      "Extension: decomposition of unpredictability (paper §6 future work)",
+		"correlation": "Extension: input-correlated output prediction (paper §6 proposal)",
+		"reuse":       "Extension: instruction reuse potential (paper §1.2/§6)",
+		"addresses":   "Extension: address vs data predictability at memory ops (paper §1)",
+		"confidence":  "Extension: confidence-gated value prediction sweep (paper §1.2)",
+		"ilp":         "Extension: dataflow-limit ILP with and without value prediction (paper §1 / ref [9])",
+		"speculation": "Extension: width-limited value speculation vs confidence threshold (paper §1.2)",
+	}
+}
+
+// ExperimentIDs returns the experiment ids in presentation order.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(Experiments()))
+	for id := range Experiments() {
+		ids = append(ids, id)
+	}
+	rank := func(id string) int {
+		switch id {
+		case "table1":
+			return 0
+		case "attribution":
+			return 100
+		case "hotspots":
+			return 101
+		case "unpred":
+			return 102
+		case "correlation":
+			return 103
+		case "reuse":
+			return 104
+		case "addresses":
+			return 105
+		case "confidence":
+			return 106
+		case "ilp":
+			return 107
+		case "speculation":
+			return 108
+		}
+		var n int
+		fmt.Sscanf(id, "fig%d", &n)
+		return n
+	}
+	sort.Slice(ids, func(i, j int) bool { return rank(ids[i]) < rank(ids[j]) })
+	return ids
+}
+
+// Run executes one experiment by id and renders it to w.
+func (s *Suite) Run(id string, w io.Writer) error {
+	switch id {
+	case "table1":
+		return s.table1(w)
+	case "fig5":
+		return s.fig5(w)
+	case "fig6", "fig7", "fig8":
+		return s.breakdown(id, w)
+	case "fig9":
+		return s.fig9(w)
+	case "fig10":
+		return s.fig10(w)
+	case "fig11":
+		return s.fig11(w)
+	case "fig12":
+		return s.fig12(w)
+	case "fig13":
+		return s.fig13(w)
+	case "attribution":
+		return s.attribution(w)
+	case "hotspots":
+		return s.hotspots(w)
+	case "unpred":
+		return s.unpredictability(w)
+	case "correlation":
+		return s.correlation(w)
+	case "reuse":
+		return s.reuse(w)
+	case "addresses":
+		return s.addresses(w)
+	case "confidence":
+		return s.confidence(w)
+	case "ilp":
+		return s.ilp(w)
+	case "speculation":
+		return s.speculation(w)
+	}
+	return fmt.Errorf("core: unknown experiment %q (known: %v)", id, ExperimentIDs())
+}
+
+// RunAll executes every experiment in order, precomputing the model runs
+// in parallel first when the suite is configured for it.
+func (s *Suite) RunAll(w io.Writer) error {
+	if s.cfg.Parallel > 1 {
+		if err := s.Precompute(); err != nil {
+			return err
+		}
+	}
+	for _, id := range ExperimentIDs() {
+		if err := s.Run(id, w); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func (s *Suite) table1(w io.Writer) error {
+	// DPG characteristics are predictor-independent; use last-value (the
+	// cheapest) and share its results with the other figures.
+	results, err := s.resultsFor(allNames(), predictor.KindLast)
+	if err != nil {
+		return err
+	}
+	report.WriteTable1(w, analysis.Table1(results))
+	return nil
+}
+
+func (s *Suite) fig5(w io.Writer) error {
+	var rows []analysis.OverallRow
+	perKind := map[predictor.Kind][]analysis.OverallRow{}
+	for _, name := range allNames() {
+		for _, k := range predictor.Kinds {
+			r, err := s.Result(name, k)
+			if err != nil {
+				return err
+			}
+			row := analysis.Overall(r)
+			rows = append(rows, row)
+			perKind[k] = append(perKind[k], row)
+		}
+	}
+	nInt := len(intNames())
+	for _, k := range predictor.Kinds {
+		rows = append(rows, analysis.AverageOverall(perKind[k][:nInt], "INT"))
+	}
+	for _, k := range predictor.Kinds {
+		rows = append(rows, analysis.AverageOverall(perKind[k][nInt:], "FLOAT"))
+	}
+	report.WriteOverall(w, rows)
+	return nil
+}
+
+func (s *Suite) breakdown(id string, w io.Writer) error {
+	var gen []analysis.GenRow
+	var prop []analysis.PropRow
+	var term []analysis.TermRow
+	for _, name := range allNames() {
+		for _, k := range predictor.Kinds {
+			r, err := s.Result(name, k)
+			if err != nil {
+				return err
+			}
+			switch id {
+			case "fig6":
+				gen = append(gen, analysis.Generation(r))
+			case "fig7":
+				prop = append(prop, analysis.Propagation(r))
+			case "fig8":
+				term = append(term, analysis.Termination(r))
+			}
+		}
+	}
+	switch id {
+	case "fig6":
+		report.WriteGeneration(w, gen)
+	case "fig7":
+		report.WritePropagation(w, prop)
+	case "fig8":
+		report.WriteTermination(w, term)
+	}
+	return nil
+}
+
+func (s *Suite) fig9(w io.Writer) error {
+	var classRows []analysis.PathClassRow
+	byKind := map[predictor.Kind][]*dpg.Result{}
+	for _, k := range predictor.Kinds {
+		results, err := s.resultsFor(intNames(), k)
+		if err != nil {
+			return err
+		}
+		byKind[k] = results
+		var rows []analysis.PathClassRow
+		for _, r := range results {
+			rows = append(rows, analysis.PathClasses(r))
+		}
+		classRows = append(classRows, analysis.AveragePathClasses(rows, "INT"))
+	}
+	report.WritePathClasses(w, classRows)
+
+	combos := analysis.Combos(byKind[predictor.KindContext], 24)
+	report.WriteCombos(w, combos,
+		func(mask int) float64 { return analysis.ComboPctFor(byKind[predictor.KindLast], mask) },
+		func(mask int) float64 { return analysis.ComboPctFor(byKind[predictor.KindStride], mask) },
+	)
+	return nil
+}
+
+func (s *Suite) fig10(w io.Writer) error {
+	r, err := s.Result("gcc", predictor.KindContext)
+	if err != nil {
+		return err
+	}
+	report.WriteTrees(w, analysis.Trees(r))
+	return nil
+}
+
+func (s *Suite) fig11(w io.Writer) error {
+	var rows []analysis.InfluenceCDFs
+	for _, name := range []string{"com", "go", "gcc"} {
+		r, err := s.Result(name, predictor.KindContext)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, analysis.Influence(r))
+	}
+	report.WriteInfluence(w, rows)
+	return nil
+}
+
+func (s *Suite) fig12(w io.Writer) error {
+	var rows []analysis.SeqRow
+	for _, k := range predictor.Kinds {
+		results, err := s.resultsFor(intNames(), k)
+		if err != nil {
+			return err
+		}
+		var per []analysis.SeqRow
+		for _, r := range results {
+			per = append(per, analysis.Sequences(r))
+		}
+		rows = append(rows, analysis.AverageSequences(per, "INT"))
+	}
+	report.WriteSequences(w, rows)
+	return nil
+}
+
+func (s *Suite) fig13(w io.Writer) error {
+	var rows []analysis.BranchRow
+	for _, k := range predictor.Kinds {
+		results, err := s.resultsFor(intNames(), k)
+		if err != nil {
+			return err
+		}
+		var per []analysis.BranchRow
+		for _, r := range results {
+			per = append(per, analysis.BranchClasses(r))
+		}
+		rows = append(rows, analysis.AverageBranches(per, "INT"))
+	}
+	report.WriteBranches(w, rows)
+	// The paper's headline branch observation.
+	var fracs []float64
+	for _, r := range func() []*dpg.Result {
+		out, _ := s.resultsFor(intNames(), predictor.KindContext)
+		return out
+	}() {
+		fracs = append(fracs, analysis.MispredictedWithPredictableInputs(r))
+	}
+	var sum float64
+	for _, f := range fracs {
+		sum += f
+	}
+	if len(fracs) > 0 {
+		fmt.Fprintf(w, "mispredicted branches with all-predictable inputs (context, INT avg): %.1f%%\n\n", sum/float64(len(fracs)))
+	}
+	return nil
+}
+
+func (s *Suite) attribution(w io.Writer) error {
+	results, err := s.resultsFor(intNames(), predictor.KindContext)
+	if err != nil {
+		return err
+	}
+	classes := []dpg.NodeClass{
+		dpg.NodeGenNN, dpg.NodeGenIN, // §4.2: compare/logical/shift/branch
+		dpg.NodePropPN,                 // §4.3: memory
+		dpg.NodeTermPN,                 // §4.4: memory
+		dpg.NodeTermPP, dpg.NodeTermPI, // §4.4: context history limits
+	}
+	report.WriteAttribution(w, analysis.Attribution(results, classes))
+
+	bcls := analysis.GroupShare(results, dpg.NodeGenNN,
+		dpg.GroupBranch, dpg.GroupCompare, dpg.GroupLogical, dpg.GroupShift)
+	mix := analysis.GroupShare(results, dpg.NodeGenIN,
+		dpg.GroupBranch, dpg.GroupCompare, dpg.GroupLogical, dpg.GroupShift)
+	mem := analysis.GroupShare(results, dpg.NodeTermPN, dpg.GroupMemory)
+	fmt.Fprintf(w, "paper §4.2 check: branch/compare/logical/shift share of n,n->p = %.1f%%, of i,n->p = %.1f%% (paper: 70-95%%)\n", bcls, mix)
+	fmt.Fprintf(w, "paper §4.4 check: memory share of p,n->n terminations = %.1f%% (paper: primary cause)\n\n", mem)
+	return nil
+}
+
+func (s *Suite) hotspots(w io.Writer) error {
+	for _, name := range []string{"gcc", "com"} {
+		r, err := s.Result(name, predictor.KindContext)
+		if err != nil {
+			return err
+		}
+		wl, _ := workloads.ByName(name)
+		prog, err := wl.Program()
+		if err != nil {
+			return err
+		}
+		disasm := func(pc uint32) string {
+			if int(pc) < len(prog.Instrs) {
+				return prog.Instrs[pc].String()
+			}
+			return "?"
+		}
+		top := analysis.TopGeneratePoints(r, 10)
+		report.WriteHotspots(w, name, top, disasm)
+		gens, tree := analysis.GenerateConcentration(r, 10)
+		fmt.Fprintf(w, "%s: %d static generate points; top 10 contribute %.1f%% of generates and %.1f%% of aggregate propagation\n\n",
+			name, analysis.StaticGeneratePoints(r), gens, tree)
+	}
+	return nil
+}
+
+func (s *Suite) unpredictability(w io.Writer) error {
+	var rows []analysis.UnpredRow
+	perKind := map[predictor.Kind][]analysis.UnpredRow{}
+	for _, name := range allNames() {
+		for _, k := range predictor.Kinds {
+			r, err := s.Result(name, k)
+			if err != nil {
+				return err
+			}
+			row := analysis.Unpredictability(r)
+			rows = append(rows, row)
+			perKind[k] = append(perKind[k], row)
+		}
+	}
+	nInt := len(intNames())
+	for _, k := range predictor.Kinds {
+		rows = append(rows, analysis.AverageUnpredictability(perKind[k][:nInt], "INT"))
+	}
+	for _, k := range predictor.Kinds {
+		rows = append(rows, analysis.AverageUnpredictability(perKind[k][nInt:], "FLOAT"))
+	}
+	report.WriteUnpredictability(w, rows)
+	return nil
+}
+
+// correlation compares standard PC-keyed output prediction against the
+// paper's §6 proposal of correlating output predictions with the
+// instruction's current input values, reporting the change in propagation
+// and in the p,p->n / p,i->n terminations the proposal targets.
+func (s *Suite) correlation(w io.Writer) error {
+	fmt.Fprintln(w, "Correlation: output prediction keyed by PC vs (PC, input values) — context predictor")
+	fmt.Fprintf(w, "%-6s %14s %14s %18s %18s\n", "bench", "prop% (pc)", "prop% (corr)", "pp/pi->n% (pc)", "pp/pi->n% (corr)")
+	for _, name := range intNames() {
+		base, err := s.Result(name, predictor.KindContext)
+		if err != nil {
+			return err
+		}
+		t, err := s.traceOnce(name)
+		if err != nil {
+			return err
+		}
+		corr := dpg.RunWith(t, dpg.Config{
+			Predictor:        predictor.KindContext.Factory(),
+			PredictorName:    "context+corr",
+			CorrelateOutputs: true,
+		})
+		prop := func(r *dpg.Result) float64 { return r.Pct(r.NodeProp() + r.ArcTotal(dpg.ArcPP)) }
+		term := func(r *dpg.Result) float64 {
+			return r.Pct(r.NodeCount[dpg.NodeTermPP] + r.NodeCount[dpg.NodeTermPI])
+		}
+		fmt.Fprintf(w, "%-6s %14.1f %14.1f %18.2f %18.2f\n",
+			name, prop(base), prop(corr), term(base), term(corr))
+	}
+	fmt.Fprintln(w, "note: wholesale correlation fragments the tables (every input combination")
+	fmt.Fprintln(w, "warms up separately), so overall propagation drops even where the targeted")
+	fmt.Fprintln(w, "p,p->n / p,i->n terminations shrink — evidence that the paper's correlation")
+	fmt.Fprintln(w, "proposal must be applied selectively, not as the default output key.")
+	fmt.Fprintln(w)
+	return nil
+}
+
+// reuse reports instruction-reuse potential per integer benchmark next to
+// the fully-predictable instruction share, connecting the model's
+// predictable regions to the reuse/memoization application of §6.
+func (s *Suite) reuse(w io.Writer) error {
+	fmt.Fprintln(w, "Reuse: 64K-entry reuse buffer hit rate vs fully predictable instructions (context)")
+	fmt.Fprintf(w, "%-6s %10s %12s %12s %16s\n", "bench", "eligible", "reuse%", "load-reuse%", "predictable%")
+	for _, name := range intNames() {
+		t, err := s.traceOnce(name)
+		if err != nil {
+			return err
+		}
+		rs := analysis.Reuse(t, 16)
+		res, err := s.Result(name, predictor.KindContext)
+		if err != nil {
+			return err
+		}
+		loadPct := 0.0
+		if rs.Loads > 0 {
+			loadPct = 100 * float64(rs.LoadsReused) / float64(rs.Loads)
+		}
+		predPct := 100 * float64(res.Seq.PredictableInstrs) / float64(res.Nodes)
+		fmt.Fprintf(w, "%-6s %10d %12.1f %12.1f %16.1f\n",
+			name, rs.Eligible, rs.ReusePct(), loadPct, predPct)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// traceOnce regenerates a workload trace at the suite's scale without
+// touching the result cache (used by experiments that need the raw trace
+// even after the standard predictor runs released it).
+func (s *Suite) traceOnce(name string) (*trace.Trace, error) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown workload %q", name)
+	}
+	rounds := int(float64(w.Rounds) * s.cfg.Scale)
+	if rounds < 2 {
+		rounds = 2
+	}
+	return w.TraceRounds(rounds, s.cfg.Seed)
+}
+
+// addresses reports the address/data predictability cross table per
+// benchmark — including the paper's dominant termination case, predictable
+// address with unpredictable data.
+func (s *Suite) addresses(w io.Writer) error {
+	fmt.Fprintln(w, "Addresses: effective-address (2-delta stride) vs data predictability at memory ops (context)")
+	fmt.Fprintf(w, "%-6s %10s %10s %10s %10s %10s %10s\n",
+		"bench", "mem-ops", "a+d+%", "a+d-%", "a-d+%", "a-d-%", "addr-acc%")
+	for _, name := range allNames() {
+		r, err := s.Result(name, predictor.KindContext)
+		if err != nil {
+			return err
+		}
+		a := r.Addr
+		total := a.Loads + a.Stores
+		if total == 0 {
+			continue
+		}
+		pct := func(c uint64) float64 { return 100 * float64(c) / float64(total) }
+		addrAcc := pct(a.Count[1][0] + a.Count[1][1])
+		fmt.Fprintf(w, "%-6s %10d %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+			name, total, pct(a.Count[1][1]), pct(a.Count[1][0]), pct(a.Count[0][1]), pct(a.Count[0][0]), addrAcc)
+	}
+	fmt.Fprintln(w, "a+ = address predicted, d+ = data predicted; a+d- is the paper's dominant p,n->n case")
+	fmt.Fprintln(w)
+	return nil
+}
+
+// confidence sweeps a saturating confidence gate over output-side value
+// prediction, showing the coverage/accuracy trade (§1.2: confidence is
+// "probably essential for effective value prediction and speculation").
+func (s *Suite) confidence(w io.Writer) error {
+	const maxLevel = 7
+	fmt.Fprintln(w, "Confidence: coverage%/accuracy% of context value prediction gated at threshold t")
+	fmt.Fprintf(w, "%-6s", "bench")
+	for th := 0; th <= maxLevel; th++ {
+		fmt.Fprintf(w, "        t=%d", th)
+	}
+	fmt.Fprintln(w)
+	for _, name := range intNames() {
+		t, err := s.traceOnce(name)
+		if err != nil {
+			return err
+		}
+		points := analysis.ConfidenceSweep(t, predictor.KindContext, maxLevel)
+		fmt.Fprintf(w, "%-6s", name)
+		for _, pt := range points {
+			fmt.Fprintf(w, " %5.1f/%4.1f", pt.CoveragePct, pt.AccuracyPct)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// ilp reports the dataflow-limit ILP study — the paper's motivating
+// application of value prediction (ref [9], exceeding the dataflow limit).
+func (s *Suite) ilp(w io.Writer) error {
+	fmt.Fprintln(w, "ILP: dataflow-limit instructions/cycle without and with value prediction")
+	fmt.Fprintf(w, "%-6s %10s %10s", "bench", "instrs", "base-ILP")
+	for _, k := range predictor.Kinds {
+		fmt.Fprintf(w, " %10s %8s", k.Letter()+"-ILP", k.Letter()+"-spd")
+	}
+	fmt.Fprintln(w)
+	for _, name := range allNames() {
+		t, err := s.traceOnce(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-6s %10d", name, t.Len())
+		first := true
+		for _, k := range predictor.Kinds {
+			st := analysis.ILP(t, k)
+			if first {
+				fmt.Fprintf(w, " %10.2f", st.ILPBase())
+				first = false
+			}
+			fmt.Fprintf(w, " %10.2f %7.2fx", st.ILPVP(), st.Speedup())
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// speculation sweeps the confidence threshold of a width-limited
+// value-speculating machine, quantifying §1.2: without confidence gating,
+// misspeculation recovery can erase (or invert) the speculation win.
+func (s *Suite) speculation(w io.Writer) error {
+	fmt.Fprintln(w, "Speculation: 64-wide (dataflow-bound) machine, context value prediction, 8-cycle recovery; IPC / misspec% by confidence threshold")
+	thresholds := []uint8{0, 1, 3, 7}
+	fmt.Fprintf(w, "%-6s %9s", "bench", "no-spec")
+	for _, th := range thresholds {
+		fmt.Fprintf(w, "      t=%d", th)
+	}
+	fmt.Fprintln(w)
+	for _, name := range intNames() {
+		t, err := s.traceOnce(name)
+		if err != nil {
+			return err
+		}
+		// Baseline: threshold above saturation means never speculate.
+		base := analysis.Speculate(t, predictor.KindContext, analysis.SpecConfig{
+			Width: 64, Threshold: 8, MaxConfidence: 7, Penalty: 8,
+		})
+		fmt.Fprintf(w, "%-6s %9.2f", name, base.IPC())
+		for _, th := range thresholds {
+			st := analysis.Speculate(t, predictor.KindContext, analysis.SpecConfig{
+				Width: 64, Threshold: th, MaxConfidence: 7, Penalty: 8,
+			})
+			fmt.Fprintf(w, " %4.2f/%2.0f%%", st.IPC(), st.MisspecPct())
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

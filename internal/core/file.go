@@ -1,0 +1,105 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dpg"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// AnalyzeFile runs the model over a trace file without loading the whole
+// trace into memory. It makes two passes: the first collects the static
+// execution counts the model needs up front (write-once classification);
+// the second streams events through the builder.
+func AnalyzeFile(path string, opts ...Option) (*dpg.Result, error) {
+	cfg := dpg.Config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.Predictor == nil {
+		cfg.Predictor = predictor.KindContext.Factory()
+		cfg.PredictorName = predictor.KindContext.String()
+	}
+
+	// Pass 1: static counts from the footer.
+	counts, name, err := fileStaticCounts(path)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 2: stream events.
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	b := dpg.NewBuilder(name, counts, cfg)
+	var e trace.Event
+	for {
+		err := r.Next(&e)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: streaming %s: %w", path, err)
+		}
+		b.Observe(&e)
+	}
+	return b.Finish(), nil
+}
+
+// fileStaticCounts drains a trace file for its footer.
+func fileStaticCounts(path string) ([]uint64, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return nil, "", err
+	}
+	var e trace.Event
+	for {
+		err := r.Next(&e)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, "", fmt.Errorf("core: scanning %s: %w", path, err)
+		}
+	}
+	return r.StaticCounts(), r.Name(), nil
+}
+
+// DumpJSON precomputes every (workload, predictor) model result and writes
+// them as a JSON object keyed "workload/predictor" — the machine-readable
+// companion to the text figures, for plotting or downstream analysis.
+// Array fields are indexed by the dpg enums (NodeClass, ArcUse, ArcLabel,
+// GenClass, OpGroup) in declaration order.
+func (s *Suite) DumpJSON(w io.Writer) error {
+	if err := s.Precompute(); err != nil {
+		return err
+	}
+	all := make(map[string]*dpg.Result)
+	for _, name := range allNames() {
+		for _, k := range predictor.Kinds {
+			r, err := s.Result(name, k)
+			if err != nil {
+				return err
+			}
+			all[name+"/"+k.String()] = r
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(all)
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func TestAnalyzeFileMatchesInMemory(t *testing.T) {
+	w, _ := workloads.ByName("fig1")
+	tr, err := w.TraceRounds(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fig1.dpg")
+	if err := trace.WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := AnalyzeFile(path, WithKind(predictor.KindStride))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inMem := Analyze(tr, WithKind(predictor.KindStride))
+	if fromFile.NodeCount != inMem.NodeCount ||
+		fromFile.ArcCount != inMem.ArcCount ||
+		fromFile.Path != inMem.Path ||
+		fromFile.Trees != inMem.Trees ||
+		fromFile.Seq != inMem.Seq ||
+		fromFile.Branch != inMem.Branch {
+		t.Error("streaming file analysis diverges from in-memory analysis")
+	}
+	if fromFile.Name != "fig1" {
+		t.Errorf("name = %q", fromFile.Name)
+	}
+}
+
+func TestAnalyzeFileDefaultPredictor(t *testing.T) {
+	w, _ := workloads.ByName("fig1")
+	tr, _ := w.TraceRounds(3, 1)
+	path := filepath.Join(t.TempDir(), "t.dpg")
+	if err := trace.WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnalyzeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Predictor != "context" {
+		t.Errorf("default predictor = %q", res.Predictor)
+	}
+}
+
+func TestAnalyzeFileErrors(t *testing.T) {
+	if _, err := AnalyzeFile(filepath.Join(t.TempDir(), "missing.dpg")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Corrupt file: valid header, truncated body.
+	w, _ := workloads.ByName("fig1")
+	tr, _ := w.TraceRounds(3, 1)
+	path := filepath.Join(t.TempDir(), "bad.dpg")
+	if err := trace.WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeFile(path); err == nil {
+		t.Error("truncated file accepted")
+	}
+}
+
+func TestDumpJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("JSON dump in -short mode")
+	}
+	var buf bytes.Buffer
+	s := NewSuite(SuiteConfig{Scale: 0.03, Parallel: 4})
+	if err := s.DumpJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	// 12 workloads x 3 predictors.
+	if len(decoded) != 36 {
+		t.Errorf("dump has %d entries, want 36", len(decoded))
+	}
+	if _, ok := decoded["gcc/context"]; !ok {
+		t.Error("missing gcc/context entry")
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment output")
+
+// TestGoldenExperiments locks the complete experiment output at a fixed
+// small scale. The whole pipeline — workload generation, execution,
+// predictors, model, analysis, rendering — is deterministic, so any
+// change to these bytes is a real behavioural change and must be reviewed
+// (then refreshed with `go test ./internal/core -run Golden -update`).
+func TestGoldenExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden run in -short mode")
+	}
+	var buf bytes.Buffer
+	s := NewSuite(SuiteConfig{Scale: 0.05})
+	if err := s.RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_experiments.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		// Find the first differing line for a useful message.
+		gotLines := bytes.Split(buf.Bytes(), []byte("\n"))
+		wantLines := bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+			if !bytes.Equal(gotLines[i], wantLines[i]) {
+				t.Fatalf("experiment output diverged from golden at line %d:\n got: %s\nwant: %s",
+					i+1, gotLines[i], wantLines[i])
+			}
+		}
+		t.Fatalf("experiment output length changed: got %d lines, want %d lines",
+			len(gotLines), len(wantLines))
+	}
+}

@@ -1,0 +1,251 @@
+// Package dpg implements the paper's dynamic prediction graph (DPG) model —
+// the primary contribution of Sazeides & Smith, "Modeling Program
+// Predictability" (ISCA 1998).
+//
+// The model streams over a dynamic instruction trace. Every dynamic
+// instruction is a node; every true data dependence is an arc labeled <x,y>
+// where x says whether the producer's result was predicted correctly at
+// production and y whether the consumer's source operand was predicted
+// correctly at consumption. D nodes stand for program input and statically
+// allocated data (never predicted at production). On top of the labels the
+// model classifies generation, propagation, and termination of
+// predictability for nodes and arcs, tracks the generator influence sets
+// needed for the paper's path/tree analyses, and accumulates every statistic
+// the evaluation section reports.
+package dpg
+
+// ArcLabel is the <x,y> label of a dependence arc: x is the producer-side
+// prediction outcome, y the consumer-side outcome.
+type ArcLabel uint8
+
+// Arc labels. ArcNP arcs generate predictability, ArcPP arcs propagate it,
+// ArcPN arcs terminate it, and ArcNN arcs propagate unpredictability.
+const (
+	ArcNN ArcLabel = iota // <n,n>
+	ArcNP                 // <n,p> generate
+	ArcPN                 // <p,n> terminate
+	ArcPP                 // <p,p> propagate
+	numArcLabel
+)
+
+// String returns the paper's notation for the label.
+func (l ArcLabel) String() string {
+	switch l {
+	case ArcNN:
+		return "n,n"
+	case ArcNP:
+		return "n,p"
+	case ArcPN:
+		return "p,n"
+	case ArcPP:
+		return "p,p"
+	}
+	return "?"
+}
+
+// arcLabel builds a label from the two outcomes.
+func arcLabel(producerPredicted, consumerPredicted bool) ArcLabel {
+	switch {
+	case producerPredicted && consumerPredicted:
+		return ArcPP
+	case producerPredicted:
+		return ArcPN
+	case consumerPredicted:
+		return ArcNP
+	default:
+		return ArcNN
+	}
+}
+
+// ArcUse classifies how a produced value is communicated (paper §2):
+// single-use when one arc passes the value from a dynamic producer to
+// instances of a given static consumer, repeated-use when several do.
+// Repeated-use splits further by producer: write-once control flow (the
+// producing static instruction executes exactly once in the program),
+// repeated-input use (the producer is a D node), and all other repeated use.
+type ArcUse uint8
+
+// Arc use classes, in the paper's presentation order.
+const (
+	UseSingle        ArcUse = iota // <1:...>
+	UseRepeated                    // <r:...>
+	UseRepeatedInput               // <rd:...>
+	UseWriteOnce                   // <wl:...>
+	numArcUse
+)
+
+// String returns the paper's tag for the use class.
+func (u ArcUse) String() string {
+	switch u {
+	case UseSingle:
+		return "1"
+	case UseRepeated:
+		return "r"
+	case UseRepeatedInput:
+		return "rd"
+	case UseWriteOnce:
+		return "wl"
+	}
+	return "?"
+}
+
+// NodeClass classifies a dynamic instruction by the prediction outcomes of
+// its inputs and its output, using the paper's x,y->z notation. The input
+// summary distinguishes predicted inputs (p), unpredicted inputs (n) and
+// immediate operands (i); the output is predicted (p) or not (n).
+type NodeClass uint8
+
+// Node classes. Gen* nodes generate predictability (no correctly predicted
+// input, predicted output), Prop* nodes propagate (>=1 predicted input,
+// predicted output), Term* nodes terminate (>=1 predicted input,
+// unpredicted output), Unpred* nodes have no predicted input and an
+// unpredicted output (they propagate unpredictability).
+const (
+	NodeGenII    NodeClass = iota // i,i->p : only immediate inputs
+	NodeGenNN                     // n,n->p : all inputs unpredicted
+	NodeGenIN                     // i,n->p : mixed immediate and unpredicted
+	NodePropPP                    // p,p->p : all inputs predicted
+	NodePropPI                    // p,i->p : predicted inputs plus immediate
+	NodePropPN                    // p,n->p : predicted and unpredicted inputs
+	NodeTermPP                    // p,p->n
+	NodeTermPI                    // p,i->n
+	NodeTermPN                    // p,n->n
+	NodeUnpredII                  // i,i->n
+	NodeUnpredNN                  // n,n->n
+	NodeUnpredIN                  // i,n->n
+	numNodeClass
+)
+
+// String returns the paper's notation for the class.
+func (c NodeClass) String() string {
+	switch c {
+	case NodeGenII:
+		return "i,i->p"
+	case NodeGenNN:
+		return "n,n->p"
+	case NodeGenIN:
+		return "i,n->p"
+	case NodePropPP:
+		return "p,p->p"
+	case NodePropPI:
+		return "p,i->p"
+	case NodePropPN:
+		return "p,n->p"
+	case NodeTermPP:
+		return "p,p->n"
+	case NodeTermPI:
+		return "p,i->n"
+	case NodeTermPN:
+		return "p,n->n"
+	case NodeUnpredII:
+		return "i,i->n"
+	case NodeUnpredNN:
+		return "n,n->n"
+	case NodeUnpredIN:
+		return "i,n->n"
+	}
+	return "?"
+}
+
+// classifyNode maps the input summary and output outcome to a NodeClass.
+// anyP: some input was predicted correctly at consumption. anyN: some
+// input was not. hasImm: the instruction carries an immediate operand.
+func classifyNode(anyP, anyN, hasImm, outP bool) NodeClass {
+	switch {
+	case anyP && !anyN && !hasImm:
+		if outP {
+			return NodePropPP
+		}
+		return NodeTermPP
+	case anyP && !anyN && hasImm:
+		if outP {
+			return NodePropPI
+		}
+		return NodeTermPI
+	case anyP && anyN:
+		if outP {
+			return NodePropPN
+		}
+		return NodeTermPN
+	case !anyP && !anyN: // immediates only (or no inputs at all)
+		if outP {
+			return NodeGenII
+		}
+		return NodeUnpredII
+	case hasImm: // !anyP, anyN, imm
+		if outP {
+			return NodeGenIN
+		}
+		return NodeUnpredIN
+	default: // !anyP, anyN, no imm
+		if outP {
+			return NodeGenNN
+		}
+		return NodeUnpredNN
+	}
+}
+
+// Generates reports whether the class is a generation class.
+func (c NodeClass) Generates() bool {
+	return c == NodeGenII || c == NodeGenNN || c == NodeGenIN
+}
+
+// Propagates reports whether the class is a propagation class.
+func (c NodeClass) Propagates() bool {
+	return c == NodePropPP || c == NodePropPI || c == NodePropPN
+}
+
+// Terminates reports whether the class is a termination class.
+func (c NodeClass) Terminates() bool {
+	return c == NodeTermPP || c == NodeTermPI || c == NodeTermPN
+}
+
+// GenClass identifies one of the paper's six generator classes for path
+// analysis (§4.5).
+type GenClass uint8
+
+// Generator classes: C control flow (<r:n,p> and <1:n,p> arcs), D input
+// data (<rd:n,p> arcs), W write-once (<wl:n,p> arcs), I all-immediate nodes
+// (i,i->p), N all-unpredicted nodes (n,n->p), M mixed immediate/unpredicted
+// nodes (i,n->p).
+const (
+	GenC GenClass = iota
+	GenD
+	GenW
+	GenI
+	GenN
+	GenM
+	NumGenClass
+)
+
+// String returns the single-letter class tag from the paper.
+func (g GenClass) String() string {
+	switch g {
+	case GenC:
+		return "C"
+	case GenD:
+		return "D"
+	case GenW:
+		return "W"
+	case GenI:
+		return "I"
+	case GenN:
+		return "N"
+	case GenM:
+		return "M"
+	}
+	return "?"
+}
+
+// genClassForNode maps a generating node class to its generator class.
+func genClassForNode(c NodeClass) GenClass {
+	switch c {
+	case NodeGenII:
+		return GenI
+	case NodeGenNN:
+		return GenN
+	case NodeGenIN:
+		return GenM
+	}
+	panic("dpg: node class " + c.String() + " is not a generator")
+}

@@ -1,0 +1,41 @@
+package dpg
+
+import "repro/internal/isa"
+
+// Fragment is a recorded window of the DPG — the concrete labeled graph the
+// paper draws in Fig. 3 for the first iterations of its Fig. 1 example.
+// Recording is enabled with Config.GraphLimit and covers the first
+// GraphLimit dynamic instructions.
+type Fragment struct {
+	Nodes []FragmentNode
+	Arcs  []FragmentArc
+}
+
+// NodeRef identifies an arc endpoint: a dynamic instruction node or a D
+// (data) node.
+type NodeRef struct {
+	ID uint64
+	D  bool
+}
+
+// FragmentNode is one dynamic instruction in the window.
+type FragmentNode struct {
+	// ID is the dynamic instruction index (0-based from trace start).
+	ID uint64
+	PC uint32
+	Op isa.Op
+	// Class is the node classification; Classified is false for neutral
+	// nodes (direct jumps, nop, halt, out).
+	Class      NodeClass
+	Classified bool
+	// HasImm marks an immediate operand (drawn inside the node in Fig. 2).
+	HasImm bool
+}
+
+// FragmentArc is one dependence arc whose consumer lies in the window.
+type FragmentArc struct {
+	From  NodeRef
+	To    uint64 // consumer dynamic instruction index
+	Label ArcLabel
+	Value uint32 // the value passed along the arc
+}

@@ -1,0 +1,198 @@
+package dpg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+func TestFragmentRecording(t *testing.T) {
+	tr := traceOf(t, `
+	main:	li $t0, 5
+		addi $t1, $t0, 1
+		addi $t2, $t1, 2
+		halt
+	`, nil, 0)
+	r := RunWith(tr, Config{
+		Predictor:  predictor.KindLast.Factory(),
+		GraphLimit: 3,
+	})
+	g := r.Graph
+	if g == nil {
+		t.Fatal("no fragment recorded")
+	}
+	if len(g.Nodes) != 3 {
+		t.Fatalf("fragment has %d nodes, want 3 (limit)", len(g.Nodes))
+	}
+	if g.Nodes[0].Op != isa.OpLi || !g.Nodes[0].HasImm || !g.Nodes[0].Classified {
+		t.Errorf("node 0: %+v", g.Nodes[0])
+	}
+	// Two arcs inside the window: li->addi and addi->addi.
+	if len(g.Arcs) != 2 {
+		t.Fatalf("fragment has %d arcs, want 2", len(g.Arcs))
+	}
+	a0 := g.Arcs[0]
+	if a0.From.ID != 0 || a0.From.D || a0.To != 1 || a0.Value != 5 {
+		t.Errorf("arc 0: %+v", a0)
+	}
+	if a0.Label != ArcNN {
+		t.Errorf("cold arc label = %s, want n,n", a0.Label)
+	}
+	a1 := g.Arcs[1]
+	if a1.From.ID != 1 || a1.To != 2 || a1.Value != 6 {
+		t.Errorf("arc 1: %+v", a1)
+	}
+}
+
+func TestFragmentRecordsDNodes(t *testing.T) {
+	tr := traceOf(t, `
+		.data
+	v:	.word 77
+		.text
+	main:	lw $t0, v($zero)
+		halt
+	`, nil, 0)
+	r := RunWith(tr, Config{
+		Predictor:  predictor.KindLast.Factory(),
+		GraphLimit: 2,
+	})
+	if len(r.Graph.Arcs) != 1 {
+		t.Fatalf("arcs = %d, want 1 (memory D input)", len(r.Graph.Arcs))
+	}
+	a := r.Graph.Arcs[0]
+	if !a.From.D || a.Value != 77 {
+		t.Errorf("D arc: %+v", a)
+	}
+}
+
+func TestFragmentDisabledByDefault(t *testing.T) {
+	tr := traceOf(t, "main: halt", nil, 0)
+	r := Run(tr, predictor.KindLast)
+	if r.Graph != nil {
+		t.Error("fragment recorded without GraphLimit")
+	}
+}
+
+func TestFragmentWindowRespectsLimit(t *testing.T) {
+	tr := traceOf(t, `
+	main:	li $t0, 0
+	loop:	addi $t0, $t0, 1
+		slti $t1, $t0, 50
+		bne $t1, $zero, loop
+		halt
+	`, nil, 0)
+	r := RunWith(tr, Config{
+		Predictor:  predictor.KindStride.Factory(),
+		GraphLimit: 10,
+	})
+	if len(r.Graph.Nodes) != 10 {
+		t.Errorf("window has %d nodes, want 10", len(r.Graph.Nodes))
+	}
+	for _, a := range r.Graph.Arcs {
+		if a.To >= 10 {
+			t.Errorf("arc to node %d outside window", a.To)
+		}
+	}
+	// Stride warms up inside the window: at least one predicted-consumer
+	// arc should appear.
+	hasP := false
+	for _, a := range r.Graph.Arcs {
+		if a.Label == ArcNP || a.Label == ArcPP {
+			hasP = true
+		}
+	}
+	if !hasP {
+		t.Error("no predicted arcs inside warm window")
+	}
+}
+
+func TestCorrelateOutputsRuns(t *testing.T) {
+	// The correlated configuration must satisfy every invariant and change
+	// only output-side classification.
+	// Irregular inputs drawn from a small set: the doubled output is
+	// unlearnable for a PC-keyed predictor (irregular order) but exactly
+	// learnable once keyed by (PC, input value).
+	input := make([]uint32, 400)
+	x := uint32(123456789)
+	for i := range input {
+		x = x*1664525 + 1013904223
+		input[i] = (x >> 13) & 7
+	}
+	tr := traceOf(t, `
+	main:	li $t0, 0
+	loop:	in $t1
+		add $t2, $t1, $t1
+		addi $t0, $t0, 1
+		slti $t3, $t0, 400
+		bne $t3, $zero, loop
+		halt
+	`, input, 0)
+	base := RunWith(tr, Config{Predictor: predictor.KindLast.Factory(), PredictorName: "pc"})
+	corr := RunWith(tr, Config{Predictor: predictor.KindLast.Factory(), PredictorName: "corr", CorrelateOutputs: true})
+	checkInvariants(t, base)
+	checkInvariants(t, corr)
+	if base.Arcs != corr.Arcs || base.Nodes != corr.Nodes {
+		t.Error("correlation changed graph shape")
+	}
+	// With correlation the add's output becomes predictable despite its
+	// unpredicted input: n,n->p generation appears.
+	if corr.NodeCount[NodeGenNN] <= base.NodeCount[NodeGenNN] {
+		t.Errorf("correlated n,n->p (%d) should beat PC-keyed (%d) on f(irregular input)",
+			corr.NodeCount[NodeGenNN], base.NodeCount[NodeGenNN])
+	}
+}
+
+func TestInvariantsOnRandomTraces(t *testing.T) {
+	// Property: the model's conservation laws hold on arbitrary
+	// well-formed traces, not only on real program executions.
+	rng := rand.New(rand.NewSource(2026))
+	ops := []isa.Op{
+		isa.OpAdd, isa.OpAddi, isa.OpLi, isa.OpAnd, isa.OpSll, isa.OpSlt,
+		isa.OpLw, isa.OpSw, isa.OpLb, isa.OpSb, isa.OpBeq, isa.OpBlez,
+		isa.OpJ, isa.OpJal, isa.OpJr, isa.OpIn, isa.OpOut, isa.OpNop,
+		isa.OpMulf, isa.OpCvtsw,
+	}
+	for trial := 0; trial < 5; trial++ {
+		tr := trace.New("rand", 128)
+		for i := 0; i < 20_000; i++ {
+			op := ops[rng.Intn(len(ops))]
+			info := isa.InfoFor(op)
+			e := trace.Event{
+				PC:     uint32(rng.Intn(128)),
+				Op:     op,
+				DstReg: isa.NoReg,
+				HasImm: info.HasImm,
+				Taken:  isa.IsBranch(op) && rng.Intn(2) == 0,
+			}
+			if info.HasRs {
+				e.SrcReg[e.NSrc] = uint8(rng.Intn(32))
+				e.SrcVal[e.NSrc] = rng.Uint32() % 64
+				e.NSrc++
+			}
+			if info.HasRt && !info.Unary {
+				e.SrcReg[e.NSrc] = uint8(rng.Intn(32))
+				e.SrcVal[e.NSrc] = rng.Uint32() % 64
+				e.NSrc++
+			}
+			if info.HasRd {
+				e.DstReg = uint8(rng.Intn(32))
+				e.DstVal = rng.Uint32() % 64
+			}
+			if isa.MemWidth(op) != 0 || op == isa.OpIn {
+				e.Addr = rng.Uint32() % 4096
+				e.MemVal = rng.Uint32() % 64
+			}
+			tr.Append(e)
+		}
+		for _, k := range predictor.Kinds {
+			r := Run(tr, k)
+			checkInvariants(t, r)
+			if r.Nodes != uint64(tr.Len()) {
+				t.Fatalf("node count %d != trace length %d", r.Nodes, tr.Len())
+			}
+		}
+	}
+}

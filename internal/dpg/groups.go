@@ -1,0 +1,95 @@
+package dpg
+
+import "repro/internal/isa"
+
+// OpGroup buckets opcodes the way the paper's narrative does when it
+// attributes classification behaviour to instruction kinds: "the majority
+// of these are due to branch, compare, logical, and shift instructions"
+// (§4.2), "memory instructions are responsible for most of the nodes that
+// propagate predictability and have an unpredictable input" (§4.3), and
+// "p,n->n is caused primarily by memory instructions" (§4.4).
+type OpGroup uint8
+
+// Operation groups.
+const (
+	GroupAddSub  OpGroup = iota // integer add/subtract
+	GroupMulDiv                 // integer multiply/divide/remainder
+	GroupLogical                // and/or/xor/nor (register and immediate)
+	GroupShift                  // shifts by immediate or register
+	GroupCompare                // slt-family and float compares
+	GroupImm                    // immediate loads (li/la/lui)
+	GroupMemory                 // loads and stores
+	GroupBranch                 // conditional branches
+	GroupJump                   // direct and indirect jumps
+	GroupFloat                  // float arithmetic and conversions
+	GroupOther                  // in/out/halt/nop
+	NumOpGroups
+)
+
+// String names the group.
+func (g OpGroup) String() string {
+	switch g {
+	case GroupAddSub:
+		return "add/sub"
+	case GroupMulDiv:
+		return "mul/div"
+	case GroupLogical:
+		return "logical"
+	case GroupShift:
+		return "shift"
+	case GroupCompare:
+		return "compare"
+	case GroupImm:
+		return "imm-load"
+	case GroupMemory:
+		return "memory"
+	case GroupBranch:
+		return "branch"
+	case GroupJump:
+		return "jump"
+	case GroupFloat:
+		return "float"
+	case GroupOther:
+		return "other"
+	}
+	return "?"
+}
+
+// GroupOf returns the group of an opcode.
+func GroupOf(op isa.Op) OpGroup {
+	switch op {
+	case isa.OpAdd, isa.OpAddu, isa.OpSub, isa.OpSubu, isa.OpAddi, isa.OpAddiu:
+		return GroupAddSub
+	case isa.OpMul, isa.OpDiv, isa.OpDivu, isa.OpRem, isa.OpRemu:
+		return GroupMulDiv
+	case isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpNor, isa.OpAndi, isa.OpOri, isa.OpXori:
+		return GroupLogical
+	case isa.OpSll, isa.OpSrl, isa.OpSra, isa.OpSllv, isa.OpSrlv, isa.OpSrav:
+		return GroupShift
+	case isa.OpSlt, isa.OpSltu, isa.OpSlti, isa.OpSltiu, isa.OpCltf, isa.OpClef, isa.OpCeqf:
+		return GroupCompare
+	case isa.OpLi, isa.OpLa, isa.OpLui:
+		return GroupImm
+	case isa.OpLw, isa.OpLb, isa.OpLbu, isa.OpSw, isa.OpSb:
+		return GroupMemory
+	case isa.OpBeq, isa.OpBne, isa.OpBlez, isa.OpBgtz, isa.OpBltz, isa.OpBgez:
+		return GroupBranch
+	case isa.OpJ, isa.OpJal, isa.OpJr, isa.OpJalr:
+		return GroupJump
+	case isa.OpAddf, isa.OpSubf, isa.OpMulf, isa.OpDivf, isa.OpAbsf, isa.OpNegf, isa.OpCvtsw, isa.OpCvtws:
+		return GroupFloat
+	default:
+		return GroupOther
+	}
+}
+
+// GenPoint aggregates the generator instances attributed to one static
+// instruction: how many generate events it produced and the total
+// propagation (tree elements) those generators influenced. Generating arcs
+// are attributed to the consuming instruction — the program point whose
+// input stream became predictable.
+type GenPoint struct {
+	PC       uint32
+	Gens     uint64
+	TreeSize uint64
+}

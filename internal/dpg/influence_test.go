@@ -1,0 +1,115 @@
+package dpg
+
+import "testing"
+
+func items(s inflSet) map[uint32]uint32 {
+	m := map[uint32]uint32{}
+	for _, it := range s.items {
+		m[it.gen] = it.dist
+	}
+	return m
+}
+
+func TestSingleInfl(t *testing.T) {
+	s := singleInfl(7)
+	if len(s.items) != 1 || s.items[0].gen != 7 || s.items[0].dist != 0 || s.over {
+		t.Errorf("singleInfl = %+v", s)
+	}
+}
+
+func TestBumpedCopies(t *testing.T) {
+	s := singleInfl(3)
+	b := s.bumped()
+	if b.items[0].dist != 1 {
+		t.Errorf("bumped dist = %d, want 1", b.items[0].dist)
+	}
+	// The original must be untouched (values are shared between consumers).
+	if s.items[0].dist != 0 {
+		t.Error("bumped mutated its receiver")
+	}
+	b.items[0].gen = 99
+	if s.items[0].gen != 3 {
+		t.Error("bumped aliases its receiver's storage")
+	}
+}
+
+func TestMergeUnionsMaxDistance(t *testing.T) {
+	a := inflSet{items: []inflItem{{gen: 1, dist: 5}, {gen: 2, dist: 1}}}
+	b := inflSet{items: []inflItem{{gen: 1, dist: 3}, {gen: 3, dist: 7}}}
+	m := mergeInfl([]inflSet{a, b}, MaxTrackedGens)
+	got := items(m)
+	want := map[uint32]uint32{1: 5, 2: 1, 3: 7}
+	if len(got) != len(want) {
+		t.Fatalf("merged = %v, want %v", got, want)
+	}
+	for g, d := range want {
+		if got[g] != d {
+			t.Errorf("gen %d dist = %d, want %d (longest path wins)", g, got[g], d)
+		}
+	}
+	if m.over {
+		t.Error("merge under the cap must not set overflow")
+	}
+	if m.maxDist() != 7 {
+		t.Errorf("maxDist = %d, want 7", m.maxDist())
+	}
+}
+
+func TestMergeEdgeCases(t *testing.T) {
+	if got := mergeInfl(nil, 4); len(got.items) != 0 || got.over {
+		t.Error("empty merge not empty")
+	}
+	one := singleInfl(5)
+	if got := mergeInfl([]inflSet{one}, 4); len(got.items) != 1 || got.items[0].gen != 5 {
+		t.Error("single-set merge should pass through")
+	}
+}
+
+func TestTrimKeepsLargestDistances(t *testing.T) {
+	s := inflSet{}
+	for g := uint32(0); g < 10; g++ {
+		s.items = append(s.items, inflItem{gen: g, dist: g * 10})
+	}
+	s.trim(3)
+	if len(s.items) != 3 || !s.over {
+		t.Fatalf("trim result: %d items, over=%v", len(s.items), s.over)
+	}
+	// The survivors must be the three largest distances (the earliest
+	// generators, which Fig. 11's distance metric needs exact).
+	got := items(s)
+	for _, g := range []uint32{7, 8, 9} {
+		if got[g] != g*10 {
+			t.Errorf("survivor set %v missing gen %d", got, g)
+		}
+	}
+	if s.maxDist() != 90 {
+		t.Errorf("maxDist after trim = %d, want 90", s.maxDist())
+	}
+}
+
+func TestMergeOverflowPropagates(t *testing.T) {
+	over := inflSet{items: []inflItem{{gen: 1, dist: 1}}, over: true}
+	clean := inflSet{items: []inflItem{{gen: 2, dist: 2}}}
+	m := mergeInfl([]inflSet{over, clean}, MaxTrackedGens)
+	if !m.over {
+		t.Error("overflow flag lost in merge")
+	}
+}
+
+func TestMergeCapsAtLimit(t *testing.T) {
+	var sets []inflSet
+	for g := uint32(0); g < 20; g++ {
+		sets = append(sets, inflSet{items: []inflItem{{gen: g, dist: g}}})
+	}
+	m := mergeInfl(sets, 6)
+	if len(m.items) != 6 || !m.over {
+		t.Fatalf("capped merge: %d items, over=%v", len(m.items), m.over)
+	}
+	// Largest distances survive.
+	got := items(m)
+	for g := uint32(14); g < 20; g++ {
+		if _, ok := got[g]; !ok {
+			t.Errorf("survivors %v missing gen %d", got, g)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package dpg
+
+import "math/bits"
+
+// HistBuckets is the number of logarithmic histogram buckets used for path
+// lengths, distances and sequence lengths. Bucket b covers values v with
+// bits.Len32(v) == b, i.e. 0; 1; 2–3; 4–7; ... 2^30–(2^31-1).
+const HistBuckets = 32
+
+// BucketOf returns the logarithmic bucket index for v.
+func BucketOf(v uint32) int { return bits.Len32(v) }
+
+// BucketLo returns the smallest value in bucket b.
+func BucketLo(b int) uint32 {
+	if b == 0 {
+		return 0
+	}
+	return 1 << uint(b-1)
+}
+
+// BucketHi returns the largest value in bucket b.
+func BucketHi(b int) uint32 {
+	if b == 0 {
+		return 0
+	}
+	return 1<<uint(b) - 1
+}
+
+// MaxTrackedGens is the influence-set cap: the number of distinct
+// generators tracked exactly per value. The paper reports 70–85% of
+// propagates are influenced by fewer than 4 generates, so the default cap
+// sits far beyond the mass of the distribution.
+const MaxTrackedGens = 12
+
+// PathStats aggregates the per-propagating-element path analysis (§4.5):
+// which generator classes influence each propagating node/arc, how many
+// distinct generators do, and how far the earliest one is.
+type PathStats struct {
+	// ClassElems[c] counts propagating elements on predictable paths that
+	// begin at a class-c generator. An element influenced by several
+	// classes is counted once per class (the paper's Fig. 9 top graph).
+	ClassElems [NumGenClass]uint64
+	// ComboElems[mask] counts propagating elements whose exact influencing
+	// class set is mask (bit c set = class c present); each element counts
+	// once (Fig. 9 bottom graph).
+	ComboElems [1 << NumGenClass]uint64
+	// NumGenHist[k] counts propagating elements influenced by exactly k
+	// distinct generators for k <= MaxTrackedGens; the last slot counts
+	// elements whose sets overflowed (> MaxTrackedGens). (Fig. 11 top.)
+	NumGenHist [MaxTrackedGens + 2]uint64
+	// DistHist buckets (logarithmically) the distance from each propagating
+	// element to the earliest (farthest) generator influencing it.
+	// (Fig. 11 bottom.)
+	DistHist [HistBuckets]uint64
+	// Elems is the total number of propagating elements (nodes + arcs).
+	Elems uint64
+}
+
+// TreeStats aggregates per-generator tree shape (§4.5, Fig. 10): for every
+// generator instance, the longest predictable path it originates and the
+// total number of propagating elements in its tree.
+type TreeStats struct {
+	// GensByDepth[b] counts generators whose longest path length falls in
+	// log bucket b.
+	GensByDepth [HistBuckets]uint64
+	// SizeByDepth[b] sums tree sizes (propagating elements, with
+	// multiplicity across trees) over generators in depth bucket b —
+	// the paper's "aggregate propagation".
+	SizeByDepth [HistBuckets]uint64
+	// ClassGens counts generator instances per class.
+	ClassGens [NumGenClass]uint64
+	// Gens is the total generator count, Size the total aggregate
+	// propagation.
+	Gens uint64
+	Size uint64
+}
+
+// SeqStats aggregates predictable contiguous sequences (§4.6, Fig. 12):
+// maximal runs of dynamic instructions whose inputs and outputs are all
+// predicted correctly.
+type SeqStats struct {
+	// InstrByLen[b] counts instructions contained in maximal predictable
+	// runs whose length falls in log bucket b.
+	InstrByLen [HistBuckets]uint64
+	// RunsByLen[b] counts the runs themselves.
+	RunsByLen [HistBuckets]uint64
+	// PredictableInstrs is the total number of fully predictable
+	// instructions.
+	PredictableInstrs uint64
+}
+
+// AddrStats cross-tabulates address vs data predictability at memory
+// instructions — the address-prediction extension the paper names in §1
+// ("further extensions to address and dependence prediction are clearly
+// possible"). Addresses are predicted by a per-PC 2-delta stride predictor
+// (the predictor originally proposed for addresses); data outcomes are the
+// memory-value operand's consumer-side predictions for loads and the data
+// register's for stores.
+type AddrStats struct {
+	// Count[a][d]: a=1 if the effective address was predicted, d=1 if the
+	// data value was.
+	Count [2][2]uint64
+	// Loads and Stores are the populations.
+	Loads  uint64
+	Stores uint64
+}
+
+// BranchStats classifies conditional branch nodes (§5, Fig. 13): the node
+// class uses value-prediction outcomes for the inputs and the gshare
+// direction prediction as the output.
+type BranchStats struct {
+	Count [numNodeClass]uint64
+	// Branches is the total conditional branch count; Correct the number
+	// gshare predicted correctly.
+	Branches uint64
+	Correct  uint64
+}
+
+// Result holds every statistic one model run produces. Percentages in the
+// paper's figures are computed against Nodes+Arcs (the paper expresses all
+// y-axes as a percentage of total nodes and arcs).
+type Result struct {
+	// Name is the workload; Predictor the value predictor used.
+	Name      string
+	Predictor string
+
+	// Nodes counts dynamic instructions, Arcs dynamic true dependences.
+	Nodes uint64
+	Arcs  uint64
+	// DNodes counts data nodes created (program input, statically
+	// allocated data, initial machine state); DArcs counts arcs whose
+	// producer is a D node.
+	DNodes uint64
+	DArcs  uint64
+	// NeutralNodes counts nodes with no classified output (direct jumps,
+	// nop, halt, out); they are included in Nodes.
+	NeutralNodes uint64
+
+	// NodeCount[c] counts dynamic instructions per node class.
+	NodeCount [numNodeClass]uint64
+	// NodeByGroup[g][c] splits NodeCount by operation group, supporting the
+	// paper's attribution claims (compare/logical/shift dominate n,n->p;
+	// memory dominates p,n->p and p,n->n).
+	NodeByGroup [NumOpGroups][numNodeClass]uint64
+	// ArcCount[u][l] counts arcs per use class and label.
+	ArcCount [numArcUse][numArcLabel]uint64
+
+	Path   PathStats
+	Trees  TreeStats
+	Seq    SeqStats
+	Branch BranchStats
+	Addr   AddrStats
+
+	// GenPoints aggregates generator instances by the static instruction
+	// they are attributed to (§4.5: "most predictability originates from a
+	// relatively small number of generate points"). Nil when paths are
+	// disabled.
+	GenPoints map[uint32]*GenPoint
+
+	// Graph is the recorded DPG fragment (paper Fig. 3) when
+	// Config.GraphLimit is set; nil otherwise.
+	Graph *Fragment
+}
+
+// Elems returns the denominator the paper uses: total nodes plus arcs.
+func (r *Result) Elems() uint64 { return r.Nodes + r.Arcs }
+
+// NodeGen returns the number of generating nodes.
+func (r *Result) NodeGen() uint64 {
+	return r.NodeCount[NodeGenII] + r.NodeCount[NodeGenNN] + r.NodeCount[NodeGenIN]
+}
+
+// NodeProp returns the number of propagating nodes.
+func (r *Result) NodeProp() uint64 {
+	return r.NodeCount[NodePropPP] + r.NodeCount[NodePropPI] + r.NodeCount[NodePropPN]
+}
+
+// NodeTerm returns the number of terminating nodes.
+func (r *Result) NodeTerm() uint64 {
+	return r.NodeCount[NodeTermPP] + r.NodeCount[NodeTermPI] + r.NodeCount[NodeTermPN]
+}
+
+// ArcTotal sums arc counts over all use classes for label l.
+func (r *Result) ArcTotal(l ArcLabel) uint64 {
+	var t uint64
+	for u := ArcUse(0); u < numArcUse; u++ {
+		t += r.ArcCount[u][l]
+	}
+	return t
+}
+
+// Pct expresses count as a percentage of the paper's nodes+arcs
+// denominator.
+func (r *Result) Pct(count uint64) float64 {
+	e := r.Elems()
+	if e == 0 {
+		return 0
+	}
+	return 100 * float64(count) / float64(e)
+}
+
+// EdgesPerNode returns the arcs/nodes ratio reported in Table 1.
+func (r *Result) EdgesPerNode() float64 {
+	if r.Nodes == 0 {
+		return 0
+	}
+	return float64(r.Arcs) / float64(r.Nodes)
+}

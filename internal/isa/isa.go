@@ -1,0 +1,386 @@
+// Package isa defines the MIPS-like 32-bit instruction set used by the
+// predictability model's execution substrate.
+//
+// The instruction set deliberately mirrors the SimpleScalar PISA subset that
+// the paper's running examples use (Fig. 1 of Sazeides & Smith is expressible
+// verbatim): a 32-register integer core, immediate forms, word and byte
+// memory operations, compare-and-branch control flow, and a small IEEE-754
+// float32 extension so the floating-point workloads exercise real FP value
+// sequences. Instructions are represented as decoded structs rather than bit
+// patterns; the trace format (internal/trace) is the interchange encoding.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the 32 architectural registers. Register 0 is
+// hardwired to zero; the predictability model treats reads of $0 as
+// immediate operands (part of the instruction), matching the paper's
+// treatment of "add $6,$0,$0" as an immediate-class initialisation.
+type Reg uint8
+
+// NumRegs is the architectural register count.
+const NumRegs = 32
+
+// Zero is the hardwired zero register.
+const Zero Reg = 0
+
+// NoReg marks an absent register operand in compact encodings.
+const NoReg uint8 = 0xFF
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcode values. The groups mirror the operand formats in opInfo.
+const (
+	OpInvalid Op = iota
+
+	// Three-register ALU: rd <- rs OP rt.
+	OpAdd
+	OpAddu
+	OpSub
+	OpSubu
+	OpAnd
+	OpOr
+	OpXor
+	OpNor
+	OpSlt
+	OpSltu
+	OpSllv
+	OpSrlv
+	OpSrav
+	OpMul
+	OpDiv
+	OpDivu
+	OpRem
+	OpRemu
+
+	// Register-immediate ALU: rd <- rs OP imm.
+	OpAddi
+	OpAddiu
+	OpAndi
+	OpOri
+	OpXori
+	OpSlti
+	OpSltiu
+	OpSll // shift by immediate amount
+	OpSrl
+	OpSra
+
+	// Immediate-only: rd <- imm (li, la, lui).
+	OpLui
+	OpLi
+	OpLa
+
+	// Float32 ALU on the integer register file (values are IEEE-754 bit
+	// patterns): rd <- rs OP rt.
+	OpAddf
+	OpSubf
+	OpMulf
+	OpDivf
+	OpCltf // rd <- (rs <f rt) ? 1 : 0
+	OpClef // rd <- (rs <=f rt) ? 1 : 0
+	OpCeqf // rd <- (rs ==f rt) ? 1 : 0
+
+	// Float32 unary: rd <- OP rs.
+	OpAbsf
+	OpNegf
+	OpCvtsw // int32 -> float32
+	OpCvtws // float32 -> int32 (truncating)
+
+	// Memory: loads rd <- mem[rs+imm], stores mem[rs+imm] <- rt.
+	OpLw
+	OpLb
+	OpLbu
+	OpSw
+	OpSb
+
+	// Conditional branches. Two-source (beq/bne) and one-source
+	// (blez/bgtz/bltz/bgez) compare-and-branch; imm is the absolute target
+	// instruction index (resolved by the assembler).
+	OpBeq
+	OpBne
+	OpBlez
+	OpBgtz
+	OpBltz
+	OpBgez
+
+	// Jumps. Direct jumps carry the target in imm; jr/jalr take it from rs.
+	OpJ
+	OpJal
+	OpJr
+	OpJalr
+
+	// System: in reads the next program-input word into rd (a D-node source
+	// in the model); out consumes rs; halt stops execution; nop does nothing.
+	OpIn
+	OpOut
+	OpHalt
+	OpNop
+
+	opCount // sentinel
+)
+
+// Class groups opcodes by their role in the predictability model.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassALU     Class = iota // integer and float computation
+	ClassLoad                 // memory read (pass-through node)
+	ClassStore                // memory write (pass-through node)
+	ClassBranch               // conditional branch (gshare-predicted direction)
+	ClassJump                 // direct jump (neutral node: no predicted output)
+	ClassJumpReg              // register-indirect jump (pass-through node)
+	ClassSys                  // in/out/halt/nop
+)
+
+// Info describes the static operand shape of an opcode.
+type Info struct {
+	Name  string
+	Class Class
+
+	// HasRd reports whether the instruction writes a destination register.
+	HasRd bool
+	// HasRs and HasRt report which register source fields are read.
+	HasRs bool
+	HasRt bool
+	// HasImm reports whether the instruction carries an immediate operand
+	// that participates in the computation (shift amounts, ALU immediates,
+	// load/store offsets). Branch/jump targets are control immediates and
+	// are not flagged here, matching the paper's accounting of "immediate
+	// instruction values".
+	HasImm bool
+	// Unary marks single-source float ops (rs only, no rt).
+	Unary bool
+}
+
+var opInfo = [opCount]Info{
+	OpInvalid: {Name: "invalid", Class: ClassSys},
+
+	OpAdd:  {Name: "add", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpAddu: {Name: "addu", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpSub:  {Name: "sub", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpSubu: {Name: "subu", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpAnd:  {Name: "and", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpOr:   {Name: "or", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpXor:  {Name: "xor", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpNor:  {Name: "nor", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpSlt:  {Name: "slt", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpSltu: {Name: "sltu", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpSllv: {Name: "sllv", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpSrlv: {Name: "srlv", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpSrav: {Name: "srav", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpMul:  {Name: "mul", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpDiv:  {Name: "div", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpDivu: {Name: "divu", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpRem:  {Name: "rem", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpRemu: {Name: "remu", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+
+	OpAddi:  {Name: "addi", Class: ClassALU, HasRd: true, HasRs: true, HasImm: true},
+	OpAddiu: {Name: "addiu", Class: ClassALU, HasRd: true, HasRs: true, HasImm: true},
+	OpAndi:  {Name: "andi", Class: ClassALU, HasRd: true, HasRs: true, HasImm: true},
+	OpOri:   {Name: "ori", Class: ClassALU, HasRd: true, HasRs: true, HasImm: true},
+	OpXori:  {Name: "xori", Class: ClassALU, HasRd: true, HasRs: true, HasImm: true},
+	OpSlti:  {Name: "slti", Class: ClassALU, HasRd: true, HasRs: true, HasImm: true},
+	OpSltiu: {Name: "sltiu", Class: ClassALU, HasRd: true, HasRs: true, HasImm: true},
+	OpSll:   {Name: "sll", Class: ClassALU, HasRd: true, HasRs: true, HasImm: true},
+	OpSrl:   {Name: "srl", Class: ClassALU, HasRd: true, HasRs: true, HasImm: true},
+	OpSra:   {Name: "sra", Class: ClassALU, HasRd: true, HasRs: true, HasImm: true},
+
+	OpLui: {Name: "lui", Class: ClassALU, HasRd: true, HasImm: true},
+	OpLi:  {Name: "li", Class: ClassALU, HasRd: true, HasImm: true},
+	OpLa:  {Name: "la", Class: ClassALU, HasRd: true, HasImm: true},
+
+	OpAddf: {Name: "addf", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpSubf: {Name: "subf", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpMulf: {Name: "mulf", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpDivf: {Name: "divf", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpCltf: {Name: "cltf", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpClef: {Name: "clef", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+	OpCeqf: {Name: "ceqf", Class: ClassALU, HasRd: true, HasRs: true, HasRt: true},
+
+	OpAbsf:  {Name: "absf", Class: ClassALU, HasRd: true, HasRs: true, Unary: true},
+	OpNegf:  {Name: "negf", Class: ClassALU, HasRd: true, HasRs: true, Unary: true},
+	OpCvtsw: {Name: "cvtsw", Class: ClassALU, HasRd: true, HasRs: true, Unary: true},
+	OpCvtws: {Name: "cvtws", Class: ClassALU, HasRd: true, HasRs: true, Unary: true},
+
+	OpLw:  {Name: "lw", Class: ClassLoad, HasRd: true, HasRs: true, HasImm: true},
+	OpLb:  {Name: "lb", Class: ClassLoad, HasRd: true, HasRs: true, HasImm: true},
+	OpLbu: {Name: "lbu", Class: ClassLoad, HasRd: true, HasRs: true, HasImm: true},
+	OpSw:  {Name: "sw", Class: ClassStore, HasRs: true, HasRt: true, HasImm: true},
+	OpSb:  {Name: "sb", Class: ClassStore, HasRs: true, HasRt: true, HasImm: true},
+
+	OpBeq:  {Name: "beq", Class: ClassBranch, HasRs: true, HasRt: true},
+	OpBne:  {Name: "bne", Class: ClassBranch, HasRs: true, HasRt: true},
+	OpBlez: {Name: "blez", Class: ClassBranch, HasRs: true},
+	OpBgtz: {Name: "bgtz", Class: ClassBranch, HasRs: true},
+	OpBltz: {Name: "bltz", Class: ClassBranch, HasRs: true},
+	OpBgez: {Name: "bgez", Class: ClassBranch, HasRs: true},
+
+	OpJ:    {Name: "j", Class: ClassJump},
+	OpJal:  {Name: "jal", Class: ClassJump, HasRd: true},
+	OpJr:   {Name: "jr", Class: ClassJumpReg, HasRs: true},
+	OpJalr: {Name: "jalr", Class: ClassJumpReg, HasRd: true, HasRs: true},
+
+	OpIn:   {Name: "in", Class: ClassSys, HasRd: true},
+	OpOut:  {Name: "out", Class: ClassSys, HasRs: true},
+	OpHalt: {Name: "halt", Class: ClassSys},
+	OpNop:  {Name: "nop", Class: ClassSys},
+}
+
+// InfoFor returns the operand metadata for op. It panics for out-of-range
+// opcodes, which indicates a corrupted trace or program.
+func InfoFor(op Op) Info {
+	if op >= opCount {
+		panic(fmt.Sprintf("isa: invalid opcode %d", op))
+	}
+	return opInfo[op]
+}
+
+// Valid reports whether op is a defined opcode.
+func Valid(op Op) bool { return op > OpInvalid && op < opCount }
+
+// NumOps returns the number of opcode values (including OpInvalid), for
+// table sizing.
+func NumOps() int { return int(opCount) }
+
+// String returns the mnemonic for op.
+func (op Op) String() string {
+	if op >= opCount {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opInfo[op].Name
+}
+
+// Instruction is one decoded instruction. Field use depends on the opcode:
+//
+//   - ALU three-register: Rd <- Rs op Rt
+//   - ALU immediate:      Rd <- Rs op Imm
+//   - loads:              Rd <- mem[Rs+Imm]
+//   - stores:             mem[Rs+Imm] <- Rt
+//   - branches:           compare Rs (and Rt), Imm = absolute target index
+//   - j/jal:              Imm = absolute target index; jal writes Rd (= $ra)
+//   - jr/jalr:            target in Rs; jalr writes Rd
+type Instruction struct {
+	Op  Op
+	Rd  Reg
+	Rs  Reg
+	Rt  Reg
+	Imm int32
+}
+
+// Info returns the operand metadata for the instruction's opcode.
+func (ins Instruction) Info() Info { return InfoFor(ins.Op) }
+
+// String disassembles the instruction.
+func (ins Instruction) String() string {
+	info := ins.Info()
+	switch ins.Op {
+	case OpLw, OpLb, OpLbu:
+		return fmt.Sprintf("%s $%d, %d($%d)", info.Name, ins.Rd, ins.Imm, ins.Rs)
+	case OpSw, OpSb:
+		return fmt.Sprintf("%s $%d, %d($%d)", info.Name, ins.Rt, ins.Imm, ins.Rs)
+	case OpBeq, OpBne:
+		return fmt.Sprintf("%s $%d, $%d, %d", info.Name, ins.Rs, ins.Rt, ins.Imm)
+	case OpBlez, OpBgtz, OpBltz, OpBgez:
+		return fmt.Sprintf("%s $%d, %d", info.Name, ins.Rs, ins.Imm)
+	case OpJ, OpJal:
+		return fmt.Sprintf("%s %d", info.Name, ins.Imm)
+	case OpJr:
+		return fmt.Sprintf("%s $%d", info.Name, ins.Rs)
+	case OpJalr:
+		return fmt.Sprintf("%s $%d, $%d", info.Name, ins.Rd, ins.Rs)
+	case OpIn:
+		return fmt.Sprintf("in $%d", ins.Rd)
+	case OpOut:
+		return fmt.Sprintf("out $%d", ins.Rs)
+	case OpHalt, OpNop:
+		return info.Name
+	case OpLi, OpLa, OpLui:
+		return fmt.Sprintf("%s $%d, %d", info.Name, ins.Rd, ins.Imm)
+	default:
+		if info.Unary {
+			return fmt.Sprintf("%s $%d, $%d", info.Name, ins.Rd, ins.Rs)
+		}
+		if info.HasImm {
+			return fmt.Sprintf("%s $%d, $%d, %d", info.Name, ins.Rd, ins.Rs, ins.Imm)
+		}
+		return fmt.Sprintf("%s $%d, $%d, $%d", info.Name, ins.Rd, ins.Rs, ins.Rt)
+	}
+}
+
+// Validate checks structural invariants of the instruction (register ranges
+// and opcode validity). The assembler produces only valid instructions; this
+// guards hand-constructed programs and decoded traces.
+func (ins Instruction) Validate() error {
+	if !Valid(ins.Op) {
+		return fmt.Errorf("isa: invalid opcode %d", uint8(ins.Op))
+	}
+	if ins.Rd >= NumRegs || ins.Rs >= NumRegs || ins.Rt >= NumRegs {
+		return fmt.Errorf("isa: %s: register out of range (rd=%d rs=%d rt=%d)", ins.Op, ins.Rd, ins.Rs, ins.Rt)
+	}
+	info := InfoFor(ins.Op)
+	if info.HasRd && ins.Rd == Zero && info.Class != ClassJump && info.Class != ClassJumpReg {
+		// Writing $0 is architecturally a no-op; allow it (programs may use
+		// it to discard results) but it is usually an assembler bug, so it
+		// is reported by the assembler, not here.
+		_ = info
+	}
+	return nil
+}
+
+// IsPassThrough reports whether the model treats this opcode as a
+// pass-through node: its output predictability is copied from its data
+// input's consumer-side prediction and the output predictor is never
+// consulted. Per the paper (§3), memory instructions and register-indirect
+// jumps are pass-through and never generate predictability. The `in`
+// instruction is likewise pass-through from its D-node source.
+func IsPassThrough(op Op) bool {
+	switch op {
+	case OpLw, OpLb, OpLbu, OpSw, OpSb, OpJr, OpJalr, OpIn:
+		return true
+	}
+	return false
+}
+
+// RegName returns the conventional MIPS name for a register number.
+func RegName(r Reg) string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("$%d", r)
+}
+
+var regNames = [NumRegs]string{
+	"$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+	"$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+	"$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+	"$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+}
+
+// LookupReg resolves a register name ("$5", "$t0", "$zero") to its number.
+func LookupReg(name string) (Reg, bool) {
+	if name == "" || name[0] != '$' {
+		return 0, false
+	}
+	for i, n := range regNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	// Numeric form.
+	num := 0
+	for _, c := range name[1:] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		num = num*10 + int(c-'0')
+		if num >= NumRegs {
+			return 0, false
+		}
+	}
+	if len(name) == 1 {
+		return 0, false
+	}
+	return Reg(num), true
+}

@@ -1,0 +1,291 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestInfoForAllOps(t *testing.T) {
+	for op := Op(1); op < Op(NumOps()); op++ {
+		info := InfoFor(op)
+		if info.Name == "" {
+			t.Errorf("opcode %d has no name", op)
+		}
+		if op.String() != info.Name {
+			t.Errorf("op %d: String()=%q want %q", op, op.String(), info.Name)
+		}
+	}
+}
+
+func TestInfoForPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InfoFor(out of range) did not panic")
+		}
+	}()
+	InfoFor(Op(NumOps()))
+}
+
+func TestValid(t *testing.T) {
+	if Valid(OpInvalid) {
+		t.Error("OpInvalid reported valid")
+	}
+	if !Valid(OpAdd) || !Valid(OpHalt) {
+		t.Error("real opcodes reported invalid")
+	}
+	if Valid(Op(200)) {
+		t.Error("out-of-range opcode reported valid")
+	}
+}
+
+func TestSourceRegs(t *testing.T) {
+	tests := []struct {
+		ins  Instruction
+		want []Reg
+	}{
+		{Instruction{Op: OpAdd, Rd: 1, Rs: 2, Rt: 3}, []Reg{2, 3}},
+		{Instruction{Op: OpAddi, Rd: 1, Rs: 2, Imm: 5}, []Reg{2}},
+		{Instruction{Op: OpLi, Rd: 1, Imm: 5}, nil},
+		{Instruction{Op: OpLw, Rd: 1, Rs: 2, Imm: 8}, []Reg{2}},
+		{Instruction{Op: OpSw, Rs: 2, Rt: 3, Imm: 8}, []Reg{2, 3}},
+		{Instruction{Op: OpBeq, Rs: 4, Rt: 5}, []Reg{4, 5}},
+		{Instruction{Op: OpBlez, Rs: 4}, []Reg{4}},
+		{Instruction{Op: OpJ, Imm: 10}, nil},
+		{Instruction{Op: OpJal, Rd: 31, Imm: 10}, nil},
+		{Instruction{Op: OpJr, Rs: 31}, []Reg{31}},
+		{Instruction{Op: OpNegf, Rd: 1, Rs: 2}, []Reg{2}},
+		{Instruction{Op: OpCvtsw, Rd: 1, Rs: 2}, []Reg{2}},
+		{Instruction{Op: OpIn, Rd: 3}, nil},
+		{Instruction{Op: OpOut, Rs: 3}, []Reg{3}},
+		{Instruction{Op: OpHalt}, nil},
+	}
+	for _, tt := range tests {
+		regs, n := SourceRegs(tt.ins)
+		if n != len(tt.want) {
+			t.Errorf("%s: got %d sources, want %d", tt.ins, n, len(tt.want))
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if regs[i] != tt.want[i] {
+				t.Errorf("%s: slot %d = $%d, want $%d", tt.ins, i, regs[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestDestReg(t *testing.T) {
+	if r, ok := DestReg(Instruction{Op: OpAdd, Rd: 7}); !ok || r != 7 {
+		t.Errorf("add dest = %d,%v want 7,true", r, ok)
+	}
+	if _, ok := DestReg(Instruction{Op: OpSw}); ok {
+		t.Error("store reported a register destination")
+	}
+	if _, ok := DestReg(Instruction{Op: OpBeq}); ok {
+		t.Error("branch reported a register destination")
+	}
+	if r, ok := DestReg(Instruction{Op: OpJal, Rd: 31}); !ok || r != 31 {
+		t.Error("jal should write $ra")
+	}
+}
+
+func TestDataSlot(t *testing.T) {
+	tests := []struct {
+		op   Op
+		slot int
+		mem  bool
+		ok   bool
+	}{
+		{OpLw, 0, true, true},
+		{OpLb, 0, true, true},
+		{OpLbu, 0, true, true},
+		{OpIn, 0, true, true},
+		{OpSw, 1, false, true},
+		{OpSb, 1, false, true},
+		{OpJr, 0, false, true},
+		{OpJalr, 0, false, true},
+		{OpAdd, 0, false, false},
+		{OpBeq, 0, false, false},
+	}
+	for _, tt := range tests {
+		slot, mem, ok := DataSlot(tt.op)
+		if ok != tt.ok || (ok && (slot != tt.slot || mem != tt.mem)) {
+			t.Errorf("DataSlot(%s) = %d,%v,%v want %d,%v,%v", tt.op, slot, mem, ok, tt.slot, tt.mem, tt.ok)
+		}
+	}
+}
+
+func TestPassThroughMatchesDataSlot(t *testing.T) {
+	// Every pass-through opcode must have a defined data slot and vice versa.
+	for op := Op(1); op < Op(NumOps()); op++ {
+		_, _, hasSlot := DataSlot(op)
+		if IsPassThrough(op) != hasSlot {
+			t.Errorf("%s: IsPassThrough=%v but DataSlot ok=%v", op, IsPassThrough(op), hasSlot)
+		}
+	}
+}
+
+func TestMemWidth(t *testing.T) {
+	if MemWidth(OpLw) != 4 || MemWidth(OpSw) != 4 {
+		t.Error("word ops should have width 4")
+	}
+	if MemWidth(OpLb) != 1 || MemWidth(OpLbu) != 1 || MemWidth(OpSb) != 1 {
+		t.Error("byte ops should have width 1")
+	}
+	if MemWidth(OpAdd) != 0 {
+		t.Error("non-memory op should have width 0")
+	}
+}
+
+func TestWritesValue(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want bool
+	}{
+		{OpAdd, true}, {OpLi, true}, {OpLw, true}, {OpSw, true},
+		{OpBeq, true}, {OpJr, true}, {OpJalr, true}, {OpJal, true},
+		{OpJ, false}, {OpNop, false}, {OpHalt, false}, {OpOut, false},
+		{OpIn, true},
+	}
+	for _, tt := range tests {
+		if got := WritesValue(tt.op); got != tt.want {
+			t.Errorf("WritesValue(%s) = %v, want %v", tt.op, got, tt.want)
+		}
+	}
+}
+
+func TestHasImmediateOperand(t *testing.T) {
+	tests := []struct {
+		ins  Instruction
+		want bool
+	}{
+		{Instruction{Op: OpAddi, Rd: 1, Rs: 2, Imm: 5}, true},
+		{Instruction{Op: OpAdd, Rd: 1, Rs: 2, Rt: 3}, false},
+		// The paper's Fig. 1 initialisation: add $6,$0,$0 is immediate-class.
+		{Instruction{Op: OpAdd, Rd: 6, Rs: 0, Rt: 0}, true},
+		{Instruction{Op: OpAddu, Rd: 6, Rs: 5, Rt: 0}, true},
+		{Instruction{Op: OpLi, Rd: 1, Imm: 7}, true},
+		// Offset-0 memory addressing carries no immediate value.
+		{Instruction{Op: OpLw, Rd: 1, Rs: 2, Imm: 0}, false},
+		{Instruction{Op: OpLw, Rd: 1, Rs: 2, Imm: 4}, true},
+		{Instruction{Op: OpSw, Rt: 1, Rs: 2, Imm: 0}, false},
+		{Instruction{Op: OpJal, Rd: 31, Imm: 4}, true},
+		{Instruction{Op: OpBeq, Rs: 2, Rt: 0}, true},
+		{Instruction{Op: OpBeq, Rs: 2, Rt: 3}, false},
+	}
+	for _, tt := range tests {
+		if got := HasImmediateOperand(tt.ins); got != tt.want {
+			t.Errorf("HasImmediateOperand(%s) = %v, want %v", tt.ins, got, tt.want)
+		}
+	}
+}
+
+func TestIsPassThrough(t *testing.T) {
+	pass := []Op{OpLw, OpLb, OpLbu, OpSw, OpSb, OpJr, OpJalr, OpIn}
+	for _, op := range pass {
+		if !IsPassThrough(op) {
+			t.Errorf("%s should be pass-through", op)
+		}
+	}
+	for _, op := range []Op{OpAdd, OpLi, OpBeq, OpJ, OpOut} {
+		if IsPassThrough(op) {
+			t.Errorf("%s should not be pass-through", op)
+		}
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	tests := []struct {
+		name string
+		reg  Reg
+		ok   bool
+	}{
+		{"$zero", 0, true}, {"$0", 0, true}, {"$t0", 8, true},
+		{"$s0", 16, true}, {"$ra", 31, true}, {"$31", 31, true},
+		{"$5", 5, true}, {"$32", 0, false}, {"$x9", 0, false},
+		{"zero", 0, false}, {"$", 0, false}, {"", 0, false},
+	}
+	for _, tt := range tests {
+		reg, ok := LookupReg(tt.name)
+		if ok != tt.ok || (ok && reg != tt.reg) {
+			t.Errorf("LookupReg(%q) = %d,%v want %d,%v", tt.name, reg, ok, tt.reg, tt.ok)
+		}
+	}
+}
+
+func TestRegNameRoundTrip(t *testing.T) {
+	for r := Reg(0); r < NumRegs; r++ {
+		name := RegName(r)
+		got, ok := LookupReg(name)
+		if !ok || got != r {
+			t.Errorf("round trip $%d via %q failed: got %d,%v", r, name, got, ok)
+		}
+	}
+}
+
+func TestLookupRegNumericProperty(t *testing.T) {
+	// Property: any numeric register string in range resolves to its number.
+	f := func(n uint8) bool {
+		r := Reg(n % NumRegs)
+		got, ok := LookupReg(RegName(r))
+		return ok && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	tests := []struct {
+		ins  Instruction
+		want string
+	}{
+		{Instruction{Op: OpAdd, Rd: 1, Rs: 2, Rt: 3}, "add $1, $2, $3"},
+		{Instruction{Op: OpAddi, Rd: 1, Rs: 2, Imm: -4}, "addi $1, $2, -4"},
+		{Instruction{Op: OpLw, Rd: 5, Rs: 4, Imm: 16}, "lw $5, 16($4)"},
+		{Instruction{Op: OpSw, Rt: 5, Rs: 4, Imm: 16}, "sw $5, 16($4)"},
+		{Instruction{Op: OpBeq, Rs: 2, Rt: 0, Imm: 9}, "beq $2, $0, 9"},
+		{Instruction{Op: OpBlez, Rs: 2, Imm: 9}, "blez $2, 9"},
+		{Instruction{Op: OpJ, Imm: 3}, "j 3"},
+		{Instruction{Op: OpJr, Rs: 31}, "jr $31"},
+		{Instruction{Op: OpJalr, Rd: 31, Rs: 8}, "jalr $31, $8"},
+		{Instruction{Op: OpIn, Rd: 2}, "in $2"},
+		{Instruction{Op: OpOut, Rs: 2}, "out $2"},
+		{Instruction{Op: OpHalt}, "halt"},
+		{Instruction{Op: OpNop}, "nop"},
+		{Instruction{Op: OpLi, Rd: 9, Imm: 42}, "li $9, 42"},
+		{Instruction{Op: OpNegf, Rd: 1, Rs: 2}, "negf $1, $2"},
+	}
+	for _, tt := range tests {
+		if got := tt.ins.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Instruction{Op: OpAdd, Rd: 1, Rs: 2, Rt: 3}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid instruction rejected: %v", err)
+	}
+	bad := Instruction{Op: OpInvalid}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+	badReg := Instruction{Op: OpAdd, Rd: 40}
+	if err := badReg.Validate(); err == nil {
+		t.Error("out-of-range register accepted")
+	}
+	if err := badReg.Validate(); err != nil && !strings.Contains(err.Error(), "register") {
+		t.Errorf("unexpected error text: %v", err)
+	}
+}
+
+func TestUnaryOpsHaveSingleSource(t *testing.T) {
+	for _, op := range []Op{OpAbsf, OpNegf, OpCvtsw, OpCvtws} {
+		_, n := SourceRegs(Instruction{Op: op, Rd: 1, Rs: 2, Rt: 3})
+		if n != 1 {
+			t.Errorf("%s: got %d sources, want 1", op, n)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package isa
+
+// SourceRegs returns the register source operands of ins in canonical slot
+// order, without allocating. Slot order matters to the model: input
+// predictors are keyed by (PC, slot).
+//
+//   - three-register ALU: slot0=Rs, slot1=Rt
+//   - immediate ALU, unary FP, loads: slot0=Rs
+//   - stores: slot0=Rs (address), slot1=Rt (data)
+//   - beq/bne: slot0=Rs, slot1=Rt; single-source branches: slot0=Rs
+//   - jr/jalr, out: slot0=Rs
+//
+// Reads of the hardwired zero register are still reported here; callers that
+// implement the model's "$0 is an immediate" rule filter them out.
+func SourceRegs(ins Instruction) (regs [2]Reg, n int) {
+	info := InfoFor(ins.Op)
+	if info.HasRs {
+		regs[n] = ins.Rs
+		n++
+	}
+	if info.HasRt && !info.Unary {
+		regs[n] = ins.Rt
+		n++
+	}
+	return regs, n
+}
+
+// DestReg returns the destination register of ins and whether it has one.
+// Stores have no register destination (their output is the memory value).
+func DestReg(ins Instruction) (Reg, bool) {
+	info := InfoFor(ins.Op)
+	if !info.HasRd {
+		return 0, false
+	}
+	return ins.Rd, true
+}
+
+// DataSlot returns the source slot index that carries the pass-through data
+// operand for pass-through opcodes, and whether the data operand is the
+// memory value (loads and `in`) rather than a register.
+//
+//   - loads, in: data is the memory/input value (mem=true, slot unused)
+//   - stores:    data is Rt, slot 1
+//   - jr/jalr:   data is Rs, slot 0
+//
+// For non-pass-through opcodes ok is false.
+func DataSlot(op Op) (slot int, mem bool, ok bool) {
+	switch op {
+	case OpLw, OpLb, OpLbu, OpIn:
+		return 0, true, true
+	case OpSw, OpSb:
+		return 1, false, true
+	case OpJr, OpJalr:
+		return 0, false, true
+	}
+	return 0, false, false
+}
+
+// MemWidth returns the access width in bytes for memory opcodes, or 0.
+func MemWidth(op Op) int {
+	switch op {
+	case OpLw, OpSw:
+		return 4
+	case OpLb, OpLbu, OpSb:
+		return 1
+	}
+	return 0
+}
+
+// IsLoad reports whether op reads memory.
+func IsLoad(op Op) bool { return InfoFor(op).Class == ClassLoad }
+
+// IsStore reports whether op writes memory.
+func IsStore(op Op) bool { return InfoFor(op).Class == ClassStore }
+
+// IsBranch reports whether op is a conditional branch.
+func IsBranch(op Op) bool { return InfoFor(op).Class == ClassBranch }
+
+// WritesValue reports whether the node corresponding to op produces a value
+// the model classifies: a register result, a stored memory value, a branch
+// direction, or an indirect-jump target. Direct jumps, nop, halt and out
+// produce no predicted output and are neutral nodes.
+func WritesValue(op Op) bool {
+	info := InfoFor(op)
+	switch info.Class {
+	case ClassStore, ClassBranch, ClassJumpReg:
+		return true
+	}
+	return info.HasRd
+}
+
+// HasImmediateOperand reports whether, for the model's node classification,
+// ins carries an immediate input. This covers explicit immediates (shift
+// amounts, ALU immediates, nonzero load/store offsets), reads of the
+// hardwired zero register (the paper treats "add $6,$0,$0" as
+// immediate-class), and jal's statically known return address. A memory
+// access with offset 0 is pure register addressing and carries no immediate
+// value — this distinction matters for workloads like mgrid, which the
+// paper singles out for having almost no immediate inputs.
+func HasImmediateOperand(ins Instruction) bool {
+	info := InfoFor(ins.Op)
+	if info.HasImm {
+		if MemWidth(ins.Op) != 0 {
+			return ins.Imm != 0
+		}
+		return true
+	}
+	if ins.Op == OpJal {
+		return true
+	}
+	regs, n := SourceRegs(ins)
+	for i := 0; i < n; i++ {
+		if regs[i] == Zero {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,68 @@
+package predictor
+
+// Delayed wraps a predictor so that updates take effect only after a fixed
+// number of subsequent operations — approximating the pipeline-delay update
+// timing the paper deliberately avoided (§3: "the predictors are
+// immediately updated following a prediction; introducing delayed update
+// timing would have imposed particular implementation idiosyncrasies").
+// Wrapping lets the reproduction quantify exactly how much that caveat
+// matters (see BenchmarkAblationDelayedUpdate).
+type Delayed struct {
+	inner Predictor
+	delay int
+	queue []pendingUpdate
+}
+
+type pendingUpdate struct {
+	key    uint64
+	actual uint32
+}
+
+// NewDelayed wraps inner so each Update is applied only after delay further
+// Update calls have been issued (delay 0 behaves exactly like inner).
+func NewDelayed(inner Predictor, delay int) *Delayed {
+	if delay < 0 {
+		panic("predictor: negative update delay")
+	}
+	return &Delayed{inner: inner, delay: delay}
+}
+
+// Name implements Predictor.
+func (d *Delayed) Name() string { return d.inner.Name() + "+delay" }
+
+// Predict implements Predictor: predictions see only the state of updates
+// that have already drained from the delay queue.
+func (d *Delayed) Predict(key uint64) (uint32, bool) {
+	return d.inner.Predict(key)
+}
+
+// Update implements Predictor: the new observation enters the queue, and
+// the oldest queued observation (if the queue is full) drains into the
+// wrapped predictor.
+func (d *Delayed) Update(key uint64, actual uint32) {
+	if d.delay == 0 {
+		d.inner.Update(key, actual)
+		return
+	}
+	d.queue = append(d.queue, pendingUpdate{key: key, actual: actual})
+	if len(d.queue) > d.delay {
+		u := d.queue[0]
+		copy(d.queue, d.queue[1:])
+		d.queue = d.queue[:len(d.queue)-1]
+		d.inner.Update(u.key, u.actual)
+	}
+}
+
+// Flush drains all pending updates (useful at end of trace in tests).
+func (d *Delayed) Flush() {
+	for _, u := range d.queue {
+		d.inner.Update(u.key, u.actual)
+	}
+	d.queue = d.queue[:0]
+}
+
+// Reset implements Predictor.
+func (d *Delayed) Reset() {
+	d.inner.Reset()
+	d.queue = d.queue[:0]
+}

@@ -1,0 +1,41 @@
+package predictor_test
+
+import (
+	"fmt"
+
+	"repro/internal/predictor"
+)
+
+// Feed a strided sequence to the 2-delta stride predictor: after two
+// observations the stride is learned and every later value is predicted.
+func ExampleStride() {
+	p := predictor.NewStride(8)
+	correct := 0
+	for i := uint32(0); i < 10; i++ {
+		v := 100 + 3*i
+		if pred, ok := p.Predict(1); ok && pred == v {
+			correct++
+		}
+		p.Update(1, v)
+	}
+	fmt.Println(correct, "of 10 predicted")
+	// Output: 8 of 10 predicted
+}
+
+// The context predictor learns arbitrary repeating patterns that no stride
+// fits.
+func ExampleContext() {
+	p := predictor.NewContext(8, 16, 4)
+	pattern := []uint32{7, 1, 7, 2}
+	correct := 0
+	n := 40
+	for i := 0; i < n; i++ {
+		v := pattern[i%len(pattern)]
+		if pred, ok := p.Predict(1); ok && pred == v {
+			correct++
+		}
+		p.Update(1, v)
+	}
+	fmt.Println(correct > n/2)
+	// Output: true
+}

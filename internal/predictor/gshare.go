@@ -1,0 +1,60 @@
+package predictor
+
+// GShare is McFarling's gshare conditional-branch predictor as used in the
+// paper: a 64K-entry table of 2-bit saturating counters indexed by the
+// branch PC XORed with the global branch history register.
+type GShare struct {
+	mask     uint32
+	histBits uint
+	history  uint32
+	counters []uint8
+}
+
+// NewGShare returns a gshare predictor with 2^bits two-bit counters and a
+// history register of the same width.
+func NewGShare(bits int) *GShare {
+	if bits <= 0 || bits > 30 {
+		panic("predictor: gshare bits out of range")
+	}
+	return &GShare{
+		mask:     1<<uint(bits) - 1,
+		histBits: uint(bits),
+		counters: make([]uint8, 1<<uint(bits)),
+	}
+}
+
+func (g *GShare) index(pc uint32) uint32 {
+	return (pc ^ g.history) & g.mask
+}
+
+// Predict returns the predicted direction for the branch at pc.
+// Counters start at 0 (strongly not-taken); predictions are available
+// immediately (cold entries predict not-taken), matching hardware.
+func (g *GShare) Predict(pc uint32) bool {
+	return g.counters[g.index(pc)] >= 2
+}
+
+// Update trains the counter for pc with the resolved direction and shifts
+// it into the global history.
+func (g *GShare) Update(pc uint32, taken bool) {
+	c := &g.counters[g.index(pc)]
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+	g.history = (g.history << 1) & g.mask
+	if taken {
+		g.history |= 1
+	}
+}
+
+// Reset clears counters and history.
+func (g *GShare) Reset() {
+	g.history = 0
+	for i := range g.counters {
+		g.counters[i] = 0
+	}
+}

@@ -1,0 +1,107 @@
+// Package predictor implements the value and branch predictors the paper's
+// model is parameterised with: last-value with 2-bit hysteresis, 2-delta
+// stride, a two-level context-based (FCM) predictor with a shared second
+// level, and a gshare branch predictor.
+//
+// All value predictors implement the Predictor interface so the model (and
+// downstream users, see examples/custompredictor) can plug in alternatives.
+// Matching the paper's methodology, predictors are updated immediately after
+// each prediction, and the model instantiates separate but identical
+// predictors for instruction inputs and outputs.
+package predictor
+
+// Predictor predicts the next 32-bit value of the sequence identified by
+// key. Keys are arbitrary (the model uses PC-derived keys); implementations
+// typically truncate them into a fixed-size table, so aliasing between keys
+// is allowed — the paper's predictors alias the same way.
+type Predictor interface {
+	// Predict returns the predicted next value for key. ok is false when
+	// the predictor has no confident prediction (cold entry or replacement
+	// hysteresis in progress); the model counts that as a misprediction.
+	Predict(key uint64) (value uint32, ok bool)
+	// Update observes the actual value for key, immediately after Predict.
+	Update(key uint64, actual uint32)
+	// Name identifies the predictor in reports ("last-value", "stride",
+	// "context").
+	Name() string
+	// Reset clears all state, as if freshly constructed.
+	Reset()
+}
+
+// Factory constructs a fresh predictor instance. The model needs a factory
+// rather than an instance because it builds separate input- and output-side
+// predictors (paper §3: prevents input/output prediction "short circuits").
+type Factory func() Predictor
+
+// Kind names one of the paper's three value predictor configurations.
+type Kind int
+
+// The paper's predictor suite. KindLast is the 2^16-entry last-value
+// predictor, KindStride the 2^16-entry 2-delta stride predictor, and
+// KindContext the two-level context-based predictor (2^16-entry first
+// level, shared 2^20-entry second level).
+const (
+	KindLast Kind = iota
+	KindStride
+	KindContext
+)
+
+// Kinds lists the paper's three predictors in presentation order (L, S, C).
+var Kinds = []Kind{KindLast, KindStride, KindContext}
+
+// String returns the short name used in the paper's figures.
+func (k Kind) String() string {
+	switch k {
+	case KindLast:
+		return "last-value"
+	case KindStride:
+		return "stride"
+	case KindContext:
+		return "context"
+	}
+	return "unknown"
+}
+
+// Letter returns the single-letter tag (L/S/C) used on the paper's x-axes.
+func (k Kind) Letter() string {
+	switch k {
+	case KindLast:
+		return "L"
+	case KindStride:
+		return "S"
+	case KindContext:
+		return "C"
+	}
+	return "?"
+}
+
+// New returns a fresh instance of the paper's configuration for k.
+func (k Kind) New() Predictor {
+	switch k {
+	case KindLast:
+		return NewLastValue(DefaultTableBits)
+	case KindStride:
+		return NewStride(DefaultTableBits)
+	case KindContext:
+		return NewContext(DefaultTableBits, DefaultL2Bits, DefaultOrder)
+	}
+	panic("predictor: unknown kind")
+}
+
+// Factory returns a Factory for k, for APIs that take one.
+func (k Kind) Factory() Factory { return k.New }
+
+// Default table geometry, from the paper (§3).
+const (
+	// DefaultTableBits sizes the last-value, stride and context first-level
+	// tables at 2^16 entries.
+	DefaultTableBits = 16
+	// DefaultL2Bits sizes the context predictor's shared second-level table
+	// at 2^20 entries.
+	DefaultL2Bits = 20
+	// DefaultOrder is the context predictor's history length (last 4
+	// values, in hashed form).
+	DefaultOrder = 4
+	// DefaultGShareBits sizes the gshare branch predictor at 64K entries.
+	DefaultGShareBits = 16
+)

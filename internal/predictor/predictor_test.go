@@ -1,0 +1,374 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// feed runs a value sequence through p under one key and returns the number
+// of correct predictions.
+func feed(p Predictor, key uint64, seq []uint32) int {
+	correct := 0
+	for _, v := range seq {
+		if pred, ok := p.Predict(key); ok && pred == v {
+			correct++
+		}
+		p.Update(key, v)
+	}
+	return correct
+}
+
+func constSeq(v uint32, n int) []uint32 {
+	s := make([]uint32, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func strideSeq(start, stride uint32, n int) []uint32 {
+	s := make([]uint32, n)
+	for i := range s {
+		s[i] = start + uint32(i)*stride
+	}
+	return s
+}
+
+func repeatSeq(pattern []uint32, n int) []uint32 {
+	s := make([]uint32, n)
+	for i := range s {
+		s[i] = pattern[i%len(pattern)]
+	}
+	return s
+}
+
+func TestLastValueConstant(t *testing.T) {
+	p := NewLastValue(8)
+	if got := feed(p, 1, constSeq(42, 100)); got != 99 {
+		t.Errorf("constant sequence: %d/100 correct, want 99", got)
+	}
+}
+
+func TestLastValueMissesStride(t *testing.T) {
+	p := NewLastValue(8)
+	if got := feed(p, 1, strideSeq(0, 1, 100)); got != 0 {
+		t.Errorf("stride sequence: %d/100 correct, want 0", got)
+	}
+}
+
+func TestLastValueHysteresis(t *testing.T) {
+	p := NewLastValue(8)
+	key := uint64(3)
+	// Train on 7 to saturate the counter.
+	for i := 0; i < 4; i++ {
+		p.Update(key, 7)
+	}
+	// A burst of 3 different values must not immediately replace the value:
+	// the counter (saturated at 3) decrements on each miss.
+	p.Update(key, 100)
+	p.Update(key, 101)
+	if v, ok := p.Predict(key); !ok || v != 7 {
+		t.Errorf("value replaced too eagerly: %d,%v", v, ok)
+	}
+	p.Update(key, 102) // counter hits 0
+	p.Update(key, 103) // replacement
+	if v, _ := p.Predict(key); v != 103 {
+		t.Errorf("value not replaced after sustained misses: %d", v)
+	}
+}
+
+func TestStridePredictsStride(t *testing.T) {
+	p := NewStride(8)
+	// After the first two values the stride is learned; from the third
+	// prediction on everything is correct: 98 hits from 100.
+	if got := feed(p, 1, strideSeq(10, 3, 100)); got != 98 {
+		t.Errorf("stride sequence: %d/100 correct, want 98", got)
+	}
+}
+
+func TestStrideSubsumesLastValue(t *testing.T) {
+	p := NewStride(8)
+	if got := feed(p, 1, constSeq(9, 100)); got != 99 {
+		t.Errorf("constant sequence: %d/100 correct, want 99", got)
+	}
+}
+
+func TestStrideTwoDeltaHysteresis(t *testing.T) {
+	p := NewStride(8)
+	key := uint64(1)
+	// Learn stride 1: 0,1,2,3.
+	for _, v := range []uint32{0, 1, 2, 3} {
+		p.Update(key, v)
+	}
+	// One irregular value (jump to 100). 2-delta must keep stride 1.
+	p.Update(key, 100)
+	if v, ok := p.Predict(key); !ok || v != 101 {
+		t.Errorf("after single irregular delta: predict %d, want 101 (stride kept)", v)
+	}
+	// Two consecutive observations of stride 50 adopt it.
+	p.Update(key, 150)
+	p.Update(key, 200)
+	if v, _ := p.Predict(key); v != 250 {
+		t.Errorf("after two stride-50 deltas: predict %d, want 250", v)
+	}
+}
+
+func TestStrideWrapAround(t *testing.T) {
+	p := NewStride(8)
+	// Stride arithmetic must wrap modulo 2^32 like hardware.
+	seq := []uint32{0xfffffffe, 0xffffffff, 0, 1, 2}
+	if got := feed(p, 1, seq); got != 3 {
+		t.Errorf("wrapping stride: %d/5 correct, want 3", got)
+	}
+}
+
+func TestContextLearnsRepeatingPattern(t *testing.T) {
+	p := NewContext(8, 16, 4)
+	pattern := []uint32{3, 1, 4, 1, 5, 9, 2, 6}
+	got := feed(p, 1, repeatSeq(pattern, 400))
+	// After the first full period the context table has seen every
+	// (context -> next) mapping; allow warm-up slack.
+	if got < 380 {
+		t.Errorf("repeating pattern: %d/400 correct, want >= 380", got)
+	}
+}
+
+func TestContextBeatsStrideOnPattern(t *testing.T) {
+	pattern := []uint32{7, 7, 7, 0, 2, 0} // no single stride fits
+	seq := repeatSeq(pattern, 600)
+	s := feed(NewStride(8), 1, seq)
+	c := feed(NewContext(8, 16, 4), 1, seq)
+	if c <= s {
+		t.Errorf("context (%d) should beat stride (%d) on a repeating non-stride pattern", c, s)
+	}
+}
+
+func TestContextLimitedHistoryWeakness(t *testing.T) {
+	// The paper's §4.4 example: 0..9 repeating is order-1 predictable, but
+	// masked through an AND the output 0,0,0,0,0,0,0,0,1,1 repeating is
+	// ambiguous for short histories on the 0-runs... with order 4 the
+	// boundary transitions 0->1 after eight 0s remain ambiguous.
+	in := make([]uint32, 0, 500)
+	for i := 0; i < 50; i++ {
+		for d := uint32(0); d < 10; d++ {
+			in = append(in, (d>>3)&1) // 8 zeros then 2 ones
+		}
+	}
+	got := feed(NewContext(8, 16, 4), 1, in)
+	if got >= len(in)-2 {
+		t.Errorf("order-4 context should mispredict ambiguous run boundaries: %d/%d", got, len(in))
+	}
+	// But it should still get the bulk of the run bodies right.
+	if got < len(in)/2 {
+		t.Errorf("context should predict most of the run bodies: %d/%d", got, len(in))
+	}
+}
+
+func TestContextSharedSecondLevel(t *testing.T) {
+	// Constructive interference: two keys with identical histories share
+	// the L2 entry, so training via key 1 serves key 2.
+	p := NewContext(8, 16, 4)
+	seq := []uint32{11, 22, 33, 44}
+	for _, v := range seq {
+		p.Update(1, v)
+	}
+	p.Update(1, 55) // L2[ctx(11,22,33,44)] = 55
+	for _, v := range seq {
+		p.Update(2, v)
+	}
+	if v, ok := p.Predict(2); !ok || v != 55 {
+		t.Errorf("shared L2 should serve key 2: %d,%v", v, ok)
+	}
+}
+
+func TestPredictorResets(t *testing.T) {
+	for _, kind := range Kinds {
+		p := kind.New()
+		feed(p, 1, constSeq(5, 10))
+		p.Reset()
+		if _, ok := p.Predict(1); ok {
+			t.Errorf("%s: prediction survives Reset", p.Name())
+		}
+	}
+}
+
+func TestKindMetadata(t *testing.T) {
+	if KindLast.String() != "last-value" || KindStride.String() != "stride" || KindContext.String() != "context" {
+		t.Error("kind names wrong")
+	}
+	if KindLast.Letter() != "L" || KindStride.Letter() != "S" || KindContext.Letter() != "C" {
+		t.Error("kind letters wrong")
+	}
+	if Kind(99).String() != "unknown" || Kind(99).Letter() != "?" {
+		t.Error("unknown kind not handled")
+	}
+	for _, k := range Kinds {
+		p := k.Factory()()
+		if p.Name() != k.String() {
+			t.Errorf("factory name %q != kind %q", p.Name(), k.String())
+		}
+	}
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLastValue(0) },
+		func() { NewLastValue(31) },
+		func() { NewStride(-1) },
+		func() { NewContext(0, 16, 4) },
+		func() { NewContext(8, 0, 4) },
+		func() { NewContext(8, 16, 0) },
+		func() { NewContext(8, 16, 9) },
+		func() { NewGShare(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad constructor args did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPaperAccuracyOrdering(t *testing.T) {
+	// On a workload mix of constant, sawtooth (loop-index-like) and
+	// repeating-pattern sequences, the paper's ordering
+	// context >= stride >= last-value must hold. Sequences are finite and
+	// repeating, like real program value streams — an unbounded random
+	// stride would unfairly favour the stride predictor, since no
+	// finite-context predictor can learn values it has never seen.
+	rng := rand.New(rand.NewSource(42))
+	type namedSeq struct {
+		key uint64
+		seq []uint32
+	}
+	var seqs []namedSeq
+	for k := uint64(0); k < 30; k++ {
+		var s []uint32
+		switch k % 3 {
+		case 0:
+			s = constSeq(rng.Uint32(), 300)
+		case 1:
+			// Sawtooth: a loop index 0..period-1 scaled by a stride,
+			// repeated — the shape of the paper's Fig. 1 sequences.
+			s = repeatSeq(strideSeq(rng.Uint32()%100, 1+rng.Uint32()%15, 30), 300)
+		case 2:
+			pat := make([]uint32, 2+rng.Intn(4))
+			for i := range pat {
+				pat[i] = rng.Uint32() % 8
+			}
+			s = repeatSeq(pat, 300)
+		}
+		seqs = append(seqs, namedSeq{key: k, seq: s})
+	}
+	score := func(p Predictor) int {
+		total := 0
+		for _, ns := range seqs {
+			total += feed(p, ns.key, ns.seq)
+		}
+		return total
+	}
+	l := score(NewLastValue(DefaultTableBits))
+	s := score(NewStride(DefaultTableBits))
+	c := score(NewContext(DefaultTableBits, DefaultL2Bits, DefaultOrder))
+	if !(c >= s && s >= l) {
+		t.Errorf("accuracy ordering violated: context=%d stride=%d last=%d", c, s, l)
+	}
+	if l == 0 {
+		t.Error("last-value predicted nothing on constant-heavy mix")
+	}
+}
+
+func TestGShareLearnsBias(t *testing.T) {
+	g := NewGShare(10)
+	pc := uint32(12)
+	correct := 0
+	for i := 0; i < 100; i++ {
+		if g.Predict(pc) == true {
+			correct++
+		}
+		g.Update(pc, true)
+	}
+	// The first several predictions index cold counters because every
+	// update shifts the history register (and thus the table index); once
+	// the history saturates at all-ones the counter trains and stays.
+	if correct < 85 {
+		t.Errorf("always-taken branch: %d/100 correct", correct)
+	}
+}
+
+func TestGShareLearnsAlternation(t *testing.T) {
+	// A strict alternation is captured by history correlation; a 2-bit
+	// bimodal table alone could not exceed ~50%.
+	g := NewGShare(12)
+	pc := uint32(77)
+	correct := 0
+	n := 500
+	for i := 0; i < n; i++ {
+		taken := i%2 == 0
+		if g.Predict(pc) == taken {
+			correct++
+		}
+		g.Update(pc, taken)
+	}
+	if correct < n*9/10 {
+		t.Errorf("alternating branch: %d/%d correct", correct, n)
+	}
+}
+
+func TestGShareLoopBranch(t *testing.T) {
+	// The paper's Fig. 1 inner loop: (T)^63 NT, repeated. gshare should
+	// mispredict at most the loop exits once history warms up.
+	g := NewGShare(DefaultGShareBits)
+	pc := uint32(11)
+	wrong := 0
+	n := 0
+	for iter := 0; iter < 50; iter++ {
+		for i := 0; i < 64; i++ {
+			taken := i != 63
+			if g.Predict(pc) != taken {
+				wrong++
+			}
+			g.Update(pc, taken)
+			n++
+		}
+	}
+	if wrong > n/10 {
+		t.Errorf("loop branch mispredicts %d/%d", wrong, n)
+	}
+	g.Reset()
+	if g.history != 0 {
+		t.Error("reset did not clear history")
+	}
+}
+
+func TestAliasingIsDeterministic(t *testing.T) {
+	// Property: predictions depend only on the update history, not on
+	// pointer identity or call ordering quirks.
+	f := func(keys []uint64, vals []uint32) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		p1 := NewLastValue(6)
+		p2 := NewLastValue(6)
+		for i := 0; i < n; i++ {
+			p1.Update(keys[i], vals[i])
+			p2.Update(keys[i], vals[i])
+		}
+		for i := 0; i < n; i++ {
+			v1, ok1 := p1.Predict(keys[i])
+			v2, ok2 := p2.Predict(keys[i])
+			if v1 != v2 || ok1 != ok2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/dpg"
+)
+
+// WriteAttribution renders the op-group attribution of node classes —
+// quantifying the paper's §4.2–4.4 narrative about which instruction kinds
+// cause each behaviour.
+func WriteAttribution(w io.Writer, rows []analysis.AttributionRow) {
+	headers := []string{"class", "total"}
+	for g := dpg.OpGroup(0); g < dpg.NumOpGroups; g++ {
+		headers = append(headers, g.String())
+	}
+	data := make([][]string, len(rows))
+	for i, r := range rows {
+		row := []string{r.Class.String(), Count(r.Total)}
+		for g := dpg.OpGroup(0); g < dpg.NumOpGroups; g++ {
+			row = append(row, Pct(r.GroupPct[g]))
+		}
+		data[i] = row
+	}
+	Table(w, "Attribution: Node Classes by Operation Group (% of class)", headers, data)
+}
+
+// WriteHotspots renders the top static generate points. disasm, if
+// non-nil, supplies a listing line for a PC.
+func WriteHotspots(w io.Writer, name string, rows []analysis.HotspotRow, disasm func(pc uint32) string) {
+	headers := []string{"pc", "gens", "gens%", "tree-size", "tree%", "instruction"}
+	data := make([][]string, len(rows))
+	for i, r := range rows {
+		ins := ""
+		if disasm != nil {
+			ins = disasm(r.PC)
+		}
+		data[i] = []string{
+			fmt.Sprintf("%d", r.PC),
+			Count(r.Gens), Pct(r.GensPct),
+			Count(r.TreeSize), Pct(r.TreePct),
+			ins,
+		}
+	}
+	Table(w, fmt.Sprintf("Generate Points: top static instructions by influenced propagation (%s)", name),
+		headers, data)
+}
+
+// WriteUnpredictability renders the decomposition of the unpredictability
+// remainder — the part of Fig. 5 that the paper leaves unexplored ("study
+// of unpredictable values... remains for future research", §6).
+func WriteUnpredictability(w io.Writer, rows []analysis.UnpredRow) {
+	data := make([][]string, len(rows))
+	for i, r := range rows {
+		data[i] = []string{
+			r.Name, predLetter(r.Predictor),
+			Pct(r.NodeII), Pct(r.NodeNN), Pct(r.NodeIN),
+			Pct(r.ArcNN), Pct(r.ArcNNSingle),
+			Pct(r.Neutral), Pct(r.Total),
+		}
+	}
+	Table(w, "Unpredictability: decomposition of the Fig. 5 remainder (% of nodes+arcs)",
+		[]string{"bench", "pred", "i,i->n", "n,n->n", "i,n->n", "<n,n>", "<1:n,n>", "neutral", "total"}, data)
+}

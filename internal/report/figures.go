@@ -1,0 +1,206 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/dpg"
+)
+
+// WriteTable1 renders Table 1 (benchmark characteristics).
+func WriteTable1(w io.Writer, rows []analysis.Table1Row) {
+	data := make([][]string, len(rows))
+	for i, r := range rows {
+		data[i] = []string{
+			r.Name,
+			Count(r.Nodes),
+			Count(r.Arcs),
+			fmt.Sprintf("%.2f", r.EdgesPerNd),
+			Pct2(r.DNodePct),
+			Pct2(r.DArcPct),
+		}
+	}
+	Table(w, "Table 1: Benchmark Characteristics",
+		[]string{"bench", "nodes", "arcs", "arcs/node", "D-node%", "D-arc%"}, data)
+}
+
+// WriteOverall renders Fig. 5 (overall node and arc predictability). Rows
+// should be grouped by benchmark with the L/S/C predictors adjacent, ending
+// with the INT and FLOAT averages.
+func WriteOverall(w io.Writer, rows []analysis.OverallRow) {
+	data := make([][]string, len(rows))
+	for i, r := range rows {
+		data[i] = []string{
+			r.Name, predLetter(r.Predictor),
+			Pct(r.NodeGen), Pct(r.NodeProp), Pct(r.NodeTerm),
+			Pct(r.ArcGen), Pct(r.ArcProp), Pct(r.ArcTerm),
+			Pct(r.UnpredPct),
+		}
+	}
+	Table(w, "Figure 5: Overall Node and Arc Predictability (% of nodes+arcs)",
+		[]string{"bench", "pred", "n-gen", "n-prop", "n-term", "a-gen", "a-prop", "a-term", "unpred"}, data)
+}
+
+// WriteGeneration renders Fig. 6 (node and arc generation breakdown).
+func WriteGeneration(w io.Writer, rows []analysis.GenRow) {
+	data := make([][]string, len(rows))
+	for i, r := range rows {
+		data[i] = []string{
+			r.Name, predLetter(r.Predictor),
+			Pct(r.ArcWl), Pct(r.ArcRd), Pct(r.ArcR), Pct(r.Arc1),
+			Pct(r.NodeII), Pct(r.NodeNN), Pct(r.NodeIN),
+		}
+	}
+	Table(w, "Figure 6: Node and Arc Generation (% of nodes+arcs)",
+		[]string{"bench", "pred", "<wl:n,p>", "<rd:n,p>", "<r:n,p>", "<1:n,p>", "i,i->p", "n,n->p", "i,n->p"}, data)
+}
+
+// WritePropagation renders Fig. 7 (node and arc propagation breakdown).
+func WritePropagation(w io.Writer, rows []analysis.PropRow) {
+	data := make([][]string, len(rows))
+	for i, r := range rows {
+		data[i] = []string{
+			r.Name, predLetter(r.Predictor),
+			Pct(r.Arc1), Pct(r.ArcR), Pct(r.ArcWl), Pct(r.ArcRd),
+			Pct(r.NodePP), Pct(r.NodePI), Pct(r.NodePN),
+		}
+	}
+	Table(w, "Figure 7: Node and Arc Propagation (% of nodes+arcs)",
+		[]string{"bench", "pred", "<1:p,p>", "<r:p,p>", "<wl:p,p>", "<rd:p,p>", "p,p->p", "p,i->p", "p,n->p"}, data)
+}
+
+// WriteTermination renders Fig. 8 (node and arc termination breakdown).
+func WriteTermination(w io.Writer, rows []analysis.TermRow) {
+	data := make([][]string, len(rows))
+	for i, r := range rows {
+		data[i] = []string{
+			r.Name, predLetter(r.Predictor),
+			Pct(r.Arc1), Pct(r.ArcR), Pct(r.ArcWl), Pct(r.ArcRd),
+			Pct(r.NodePN), Pct(r.NodePP), Pct(r.NodePI),
+		}
+	}
+	Table(w, "Figure 8: Node and Arc Termination (% of nodes+arcs)",
+		[]string{"bench", "pred", "<1:p,n>", "<r:p,n>", "<wl:p,n>", "<rd:p,n>", "p,n->n", "p,p->n", "p,i->n"}, data)
+}
+
+// WritePathClasses renders the Fig. 9 top graph: overall contribution of
+// each generator class (INT averages per predictor).
+func WritePathClasses(w io.Writer, rows []analysis.PathClassRow) {
+	data := make([][]string, len(rows))
+	for i, r := range rows {
+		row := []string{r.Name, predLetter(r.Predictor)}
+		for c := dpg.GenClass(0); c < dpg.NumGenClass; c++ {
+			row = append(row, Pct(r.Class[c]))
+		}
+		data[i] = row
+	}
+	Table(w, "Figure 9 (top): Contribution of Generator Classes to Propagation (% of nodes+arcs, multi-counted)",
+		[]string{"set", "pred", "C", "D", "W", "I", "N", "M"}, data)
+}
+
+// WriteCombos renders the Fig. 9 bottom graph: exclusive combination sets,
+// ranked by the context-based predictor (as in the paper), with the L/S
+// percentages for the same combinations alongside.
+func WriteCombos(w io.Writer, combos []analysis.ComboShare, lastPct, stridePct func(mask int) float64) {
+	data := make([][]string, len(combos))
+	for i, cs := range combos {
+		data[i] = []string{
+			cs.Label(),
+			Pct(lastPct(cs.Mask)),
+			Pct(stridePct(cs.Mask)),
+			Pct(cs.Pct),
+		}
+	}
+	Table(w, "Figure 9 (bottom): Generator Class Combinations (% of nodes+arcs, counted once; ranked by context)",
+		[]string{"combo", "L", "S", "C"}, data)
+}
+
+// WriteTrees renders Fig. 10: cumulative tree depth and aggregate
+// propagation for one run.
+func WriteTrees(w io.Writer, tc analysis.TreeCDFs) {
+	fmt.Fprintf(w, "Figure 10: Longest Tree Path and Aggregate Propagation (%s, %s predictor)\n", tc.Name, tc.Predictor)
+	fmt.Fprintln(w, "cumulative % at longest-path-length <= x")
+	Series(w, "trees", tc.Trees.X, tc.Trees.Pct)
+	Series(w, "aggregate propagation", tc.Aggregate.X, tc.Aggregate.Pct)
+	fmt.Fprintln(w)
+}
+
+// WriteInfluence renders Fig. 11 for a set of runs: generates per propagate
+// and distance to the earliest generate.
+func WriteInfluence(w io.Writer, rows []analysis.InfluenceCDFs) {
+	fmt.Fprintln(w, "Figure 11 (top): Number of Generates Influencing a Propagate (cumulative %)")
+	for _, r := range rows {
+		Series(w, r.Name, r.NumGens.X, r.NumGens.Pct)
+		if r.OverflowPct > 0 {
+			fmt.Fprintf(w, "  (%s: %.2f%% of propagates exceed the %d-generator tracking cap)\n",
+				r.Name, r.OverflowPct, dpg.MaxTrackedGens)
+		}
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Figure 11 (bottom): Distance to the Earliest Influencing Generate (cumulative %)")
+	for _, r := range rows {
+		Series(w, r.Name, r.Distance.X, r.Distance.Pct)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteSequences renders Fig. 12: instructions in predictable sequences by
+// length bucket.
+func WriteSequences(w io.Writer, rows []analysis.SeqRow) {
+	fmt.Fprintln(w, "Figure 12: Predictable Sequence Length (% of instructions in sequences of length x)")
+	for _, r := range rows {
+		var xs []uint32
+		var ys []float64
+		for b := 1; b < dpg.HistBuckets; b++ {
+			if r.PctByLen[b] == 0 && dpg.BucketLo(b) > 1<<12 {
+				break
+			}
+			xs = append(xs, dpg.BucketHi(b))
+			ys = append(ys, r.PctByLen[b])
+		}
+		Series(w, fmt.Sprintf("%s/%s", r.Name, predLetter(r.Predictor)), xs, ys)
+		fmt.Fprintf(w, "  (%s/%s: %.1f%% of instructions fully predictable)\n",
+			r.Name, predLetter(r.Predictor), r.PredictablePct)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteBranches renders Fig. 13: branch predictability behaviour.
+func WriteBranches(w io.Writer, rows []analysis.BranchRow) {
+	classes := []dpg.NodeClass{
+		dpg.NodeGenII, dpg.NodeGenNN, dpg.NodeGenIN,
+		dpg.NodePropPP, dpg.NodePropPI, dpg.NodePropPN,
+		dpg.NodeUnpredII, dpg.NodeUnpredNN, dpg.NodeUnpredIN,
+		dpg.NodeTermPP, dpg.NodeTermPI, dpg.NodeTermPN,
+	}
+	headers := []string{"set", "pred"}
+	for _, c := range classes {
+		headers = append(headers, c.String())
+	}
+	headers = append(headers, "gshare-acc")
+	data := make([][]string, len(rows))
+	for i, r := range rows {
+		row := []string{r.Name, predLetter(r.Predictor)}
+		for _, c := range classes {
+			row = append(row, Pct(r.Pct[c]))
+		}
+		row = append(row, Pct(r.Accuracy))
+		data[i] = row
+	}
+	Table(w, "Figure 13: Branch Predictability Behavior (% of branches)", headers, data)
+}
+
+func predLetter(name string) string {
+	switch name {
+	case "last-value":
+		return "L"
+	case "stride":
+		return "S"
+	case "context":
+		return "C"
+	case "":
+		return "-"
+	}
+	return name
+}

@@ -1,0 +1,48 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dpg"
+)
+
+// WriteFragment renders a recorded DPG window as the paper's Fig. 3 does:
+// each dynamic node with its classification, and beneath it the labeled
+// arcs arriving from its producers. disasm, if non-nil, supplies the
+// instruction text for a PC.
+func WriteFragment(w io.Writer, frag *dpg.Fragment, disasm func(pc uint32) string) {
+	if frag == nil {
+		fmt.Fprintln(w, "(no DPG fragment recorded)")
+		return
+	}
+	// Index arcs by consumer.
+	byConsumer := make(map[uint64][]dpg.FragmentArc, len(frag.Nodes))
+	for _, a := range frag.Arcs {
+		byConsumer[a.To] = append(byConsumer[a.To], a)
+	}
+	fmt.Fprintf(w, "DPG fragment: %d nodes, %d arcs\n", len(frag.Nodes), len(frag.Arcs))
+	for _, n := range frag.Nodes {
+		ins := n.Op.String()
+		if disasm != nil {
+			ins = disasm(n.PC)
+		}
+		class := "-"
+		if n.Classified {
+			class = n.Class.String()
+		}
+		imm := ""
+		if n.HasImm {
+			imm = " (i)"
+		}
+		fmt.Fprintf(w, "n%-4d pc=%-3d %-24s%s  [%s]\n", n.ID, n.PC, ins, imm, class)
+		for _, a := range byConsumer[n.ID] {
+			src := fmt.Sprintf("n%d", a.From.ID)
+			if a.From.D {
+				src = fmt.Sprintf("D%d", a.From.ID)
+			}
+			fmt.Fprintf(w, "      <-%-6s <%s>  value=%#x\n", src, a.Label, a.Value)
+		}
+	}
+	fmt.Fprintln(w)
+}

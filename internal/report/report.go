@@ -1,0 +1,137 @@
+// Package report renders the analysis results as aligned text tables and
+// series — the same rows and curves the paper's tables and figures show.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table writes an aligned text table with a title, a header row, and data
+// rows. Columns are sized to their widest cell.
+func Table(w io.Writer, title string, headers []string, rows [][]string) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	}
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// pad right-pads (left-aligns) header-ish cells and left-pads numeric cells.
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	if looksNumeric(s) {
+		return strings.Repeat(" ", w-len(s)) + s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func looksNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9', c == '.', c == '-', c == '+', c == '%', c == 'e':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Pct formats a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// Pct2 formats a percentage with two decimals (for small fractions like the
+// D-node shares of Table 1).
+func Pct2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Count formats an integer count with thousands separators.
+func Count(v uint64) string {
+	s := fmt.Sprintf("%d", v)
+	if len(s) <= 3 {
+		return s
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+	}
+	for i := lead; i < len(s); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s[i : i+3])
+	}
+	return b.String()
+}
+
+// Series writes one named series of (x, y-percent) points on a single line,
+// for the paper's cumulative-distribution figures.
+func Series(w io.Writer, name string, xs []uint32, ys []float64) {
+	fmt.Fprintf(w, "%-22s", name)
+	for i := range xs {
+		fmt.Fprintf(w, " %s:%5.1f", xLabel(xs[i]), ys[i])
+	}
+	fmt.Fprintln(w)
+}
+
+func xLabel(x uint32) string {
+	switch {
+	case x >= 1<<20:
+		return fmt.Sprintf("%dM", x>>20)
+	case x >= 1<<10:
+		return fmt.Sprintf("%dK", x>>10)
+	default:
+		return fmt.Sprintf("%d", x)
+	}
+}
+
+// Bar renders a stacked-bar value list like "a=1.2 b=3.4" for figure rows.
+func Bar(segments ...Segment) string {
+	parts := make([]string, len(segments))
+	for i, s := range segments {
+		parts[i] = fmt.Sprintf("%s=%s", s.Label, Pct(s.Value))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Segment is one labeled value of a stacked bar.
+type Segment struct {
+	Label string
+	Value float64
+}

@@ -1,0 +1,208 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/dpg"
+	"repro/internal/isa"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, "My Title",
+		[]string{"name", "value"},
+		[][]string{{"alpha", "1.5"}, {"b", "123.0"}})
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "My Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if lines[1] != strings.Repeat("=", len("My Title")) {
+		t.Errorf("underline = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "name") || !strings.Contains(lines[2], "value") {
+		t.Errorf("header = %q", lines[2])
+	}
+	// Numeric cells right-align: "1.5" pads left to width of "value".
+	if !strings.Contains(out, "  1.5") {
+		t.Errorf("numeric right-alignment missing:\n%s", out)
+	}
+	// All data rows have equal header-derived prefix widths.
+	if len(lines) != 6 {
+		t.Errorf("expected 6 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, "", []string{"a"}, [][]string{{"x"}})
+	if strings.Contains(buf.String(), "=") {
+		t.Error("no-title table should have no underline")
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := map[uint64]string{
+		0:          "0",
+		999:        "999",
+		1000:       "1,000",
+		123456:     "123,456",
+		1234567:    "1,234,567",
+		1000000000: "1,000,000,000",
+	}
+	for in, want := range cases {
+		if got := Count(in); got != want {
+			t.Errorf("Count(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPctFormats(t *testing.T) {
+	if Pct(12.34) != "12.3" {
+		t.Errorf("Pct = %q", Pct(12.34))
+	}
+	if Pct2(0.056) != "0.06" {
+		t.Errorf("Pct2 = %q", Pct2(0.056))
+	}
+}
+
+func TestLooksNumeric(t *testing.T) {
+	for _, s := range []string{"1", "1.5", "-3", "12%", "1e9"} {
+		if !looksNumeric(s) {
+			t.Errorf("%q should look numeric", s)
+		}
+	}
+	for _, s := range []string{"", "abc", "a1", "p,p->n"} {
+		if looksNumeric(s) {
+			t.Errorf("%q should not look numeric", s)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var buf bytes.Buffer
+	Series(&buf, "trees", []uint32{1, 1024, 2 << 20}, []float64{10, 50, 100})
+	out := buf.String()
+	for _, want := range []string{"trees", "1: 10.0", "1K: 50.0", "2M:100.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q: %q", want, out)
+		}
+	}
+}
+
+func TestBar(t *testing.T) {
+	s := Bar(Segment{"a", 1.25}, Segment{"b", 3})
+	if s != "a=1.2 b=3.0" {
+		t.Errorf("Bar = %q", s)
+	}
+}
+
+func TestPredLetter(t *testing.T) {
+	cases := map[string]string{
+		"last-value": "L", "stride": "S", "context": "C",
+		"": "-", "hybrid": "hybrid",
+	}
+	for in, want := range cases {
+		if got := predLetter(in); got != want {
+			t.Errorf("predLetter(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// fakeResult builds a small synthetic Result for renderer tests.
+func fakeResult() *dpg.Result {
+	r := &dpg.Result{Name: "toy", Predictor: "stride", Nodes: 100, Arcs: 100}
+	r.NodeCount[dpg.NodePropPP] = 30
+	r.NodeCount[dpg.NodeGenII] = 5
+	r.NodeCount[dpg.NodeTermPN] = 10
+	r.ArcCount[dpg.UseSingle][dpg.ArcPP] = 40
+	r.ArcCount[dpg.UseRepeated][dpg.ArcNP] = 6
+	r.ArcCount[dpg.UseWriteOnce][dpg.ArcNP] = 2
+	r.Branch.Branches = 10
+	r.Branch.Correct = 9
+	r.Branch.Count[dpg.NodePropPI] = 9
+	r.Branch.Count[dpg.NodeTermPI] = 1
+	r.Seq.InstrByLen[2] = 40
+	r.Seq.PredictableInstrs = 40
+	r.Path.Elems = 70
+	r.Path.ClassElems[dpg.GenC] = 60
+	r.Path.ComboElems[1<<dpg.GenC] = 55
+	r.Path.NumGenHist[1] = 70
+	r.Path.DistHist[1] = 70
+	r.Trees.Gens = 13
+	r.Trees.GensByDepth[1] = 13
+	r.Trees.SizeByDepth[1] = 70
+	r.Trees.Size = 70
+	return r
+}
+
+func TestFigureRenderers(t *testing.T) {
+	r := fakeResult()
+	var buf bytes.Buffer
+
+	WriteTable1(&buf, analysis.Table1([]*dpg.Result{r}))
+	WriteOverall(&buf, []analysis.OverallRow{analysis.Overall(r)})
+	WriteGeneration(&buf, []analysis.GenRow{analysis.Generation(r)})
+	WritePropagation(&buf, []analysis.PropRow{analysis.Propagation(r)})
+	WriteTermination(&buf, []analysis.TermRow{analysis.Termination(r)})
+	WritePathClasses(&buf, []analysis.PathClassRow{analysis.PathClasses(r)})
+	WriteCombos(&buf, analysis.Combos([]*dpg.Result{r}, 24),
+		func(int) float64 { return 0 }, func(int) float64 { return 0 })
+	WriteTrees(&buf, analysis.Trees(r))
+	WriteInfluence(&buf, []analysis.InfluenceCDFs{analysis.Influence(r)})
+	WriteSequences(&buf, []analysis.SeqRow{analysis.Sequences(r)})
+	WriteBranches(&buf, []analysis.BranchRow{analysis.BranchClasses(r)})
+
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1", "Figure 5", "Figure 6", "Figure 7", "Figure 8",
+		"Figure 9 (top)", "Figure 9 (bottom)", "Figure 10", "Figure 11",
+		"Figure 12", "Figure 13",
+		"<wl:n,p>", "p,n->n", "gshare-acc", "toy",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("renderer output missing %q", want)
+		}
+	}
+	// Fig 5 row for the toy result: node prop = 30/200 = 15%.
+	if !strings.Contains(out, "15.0") {
+		t.Error("expected 15.0% node propagation in output")
+	}
+}
+
+func TestWriteFragment(t *testing.T) {
+	frag := &dpg.Fragment{
+		Nodes: []dpg.FragmentNode{
+			{ID: 0, PC: 0, Op: isa.OpLi, HasImm: true, Classified: true, Class: dpg.NodeGenII},
+			{ID: 1, PC: 1, Op: isa.OpAddi, HasImm: true, Classified: true, Class: dpg.NodePropPI},
+			{ID: 2, PC: 2, Op: isa.OpJ, Classified: false},
+		},
+		Arcs: []dpg.FragmentArc{
+			{From: dpg.NodeRef{ID: 0}, To: 1, Label: dpg.ArcPP, Value: 5},
+			{From: dpg.NodeRef{ID: 3, D: true}, To: 1, Label: dpg.ArcNP, Value: 9},
+		},
+	}
+	var buf bytes.Buffer
+	WriteFragment(&buf, frag, func(pc uint32) string { return "ins@" + Pct(float64(pc)) })
+	out := buf.String()
+	for _, want := range []string{"3 nodes, 2 arcs", "n0", "(i)", "[i,i->p]", "<p,p>", "D3", "<n,p>", "[-]", "value=0x5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fragment output missing %q:\n%s", want, out)
+		}
+	}
+	// Without a disassembler the opcode name appears.
+	buf.Reset()
+	WriteFragment(&buf, frag, nil)
+	if !strings.Contains(buf.String(), "li") {
+		t.Error("fragment without disasm should print mnemonics")
+	}
+	// Nil fragment is handled.
+	buf.Reset()
+	WriteFragment(&buf, nil, nil)
+	if !strings.Contains(buf.String(), "no DPG fragment") {
+		t.Error("nil fragment not reported")
+	}
+}

@@ -1,0 +1,371 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/isa"
+)
+
+// Binary stream layout (all multi-byte integers are unsigned varints):
+//
+//	magic   "DPGT"
+//	version byte (1)
+//	name    uvarint length + bytes
+//	static  uvarint program length
+//	events  repeated event records, terminated by an opcode byte 0
+//	counts  NumStatic uvarints (per-PC execution counts)
+//	magic   "END!"
+//
+// Each event record:
+//
+//	op      byte (never 0; 0 terminates the stream)
+//	pc      uvarint
+//	flags   byte: bit0..1 = NSrc, bit2 = has dst, bit3 = has mem,
+//	        bit4 = taken, bit5 = immediate operand
+//	srcs    NSrc × (reg byte + value uvarint)
+//	dst     reg byte + value uvarint                (if has dst)
+//	mem     addr uvarint + value uvarint            (if has mem)
+
+const (
+	headerMagic = "DPGT"
+	footerMagic = "END!"
+	version     = 1
+)
+
+const (
+	flagNSrcMask = 0x03
+	flagDst      = 0x04
+	flagMem      = 0x08
+	flagTaken    = 0x10
+	flagImm      = 0x20
+)
+
+// Writer serialises a trace to an io.Writer in streaming fashion,
+// accumulating the per-PC static counts itself and emitting them in the
+// footer on Close.
+type Writer struct {
+	w      *bufio.Writer
+	counts []uint64
+	n      int
+	buf    [binary.MaxVarintLen64]byte
+	err    error
+	closed bool
+}
+
+// NewWriter starts a trace stream for a program of numStatic instructions.
+func NewWriter(w io.Writer, name string, numStatic int) (*Writer, error) {
+	tw := &Writer{w: bufio.NewWriterSize(w, 1<<16), counts: make([]uint64, numStatic)}
+	tw.writeBytes([]byte(headerMagic))
+	tw.writeByte(version)
+	tw.writeUvarint(uint64(len(name)))
+	tw.writeBytes([]byte(name))
+	tw.writeUvarint(uint64(numStatic))
+	return tw, tw.err
+}
+
+func (tw *Writer) writeByte(b byte) {
+	if tw.err == nil {
+		tw.err = tw.w.WriteByte(b)
+	}
+}
+
+func (tw *Writer) writeBytes(b []byte) {
+	if tw.err == nil {
+		_, tw.err = tw.w.Write(b)
+	}
+}
+
+func (tw *Writer) writeUvarint(v uint64) {
+	if tw.err == nil {
+		n := binary.PutUvarint(tw.buf[:], v)
+		_, tw.err = tw.w.Write(tw.buf[:n])
+	}
+}
+
+// Write appends one event to the stream.
+func (tw *Writer) Write(e *Event) error {
+	if tw.closed {
+		return errors.New("trace: write after Close")
+	}
+	if e.Op == isa.OpInvalid {
+		return errors.New("trace: cannot encode invalid opcode")
+	}
+	if int(e.PC) >= len(tw.counts) {
+		return fmt.Errorf("trace: pc %d out of range (%d static)", e.PC, len(tw.counts))
+	}
+	if e.NSrc > 2 {
+		return fmt.Errorf("trace: event has %d source operands", e.NSrc)
+	}
+	tw.counts[e.PC]++
+	tw.n++
+
+	flags := e.NSrc & flagNSrcMask
+	if e.DstReg != isa.NoReg {
+		flags |= flagDst
+	}
+	hasMem := isa.MemWidth(e.Op) != 0 || e.Op == isa.OpIn
+	if hasMem {
+		flags |= flagMem
+	}
+	if e.Taken {
+		flags |= flagTaken
+	}
+	if e.HasImm {
+		flags |= flagImm
+	}
+	tw.writeByte(byte(e.Op))
+	tw.writeUvarint(uint64(e.PC))
+	tw.writeByte(flags)
+	for i := uint8(0); i < e.NSrc; i++ {
+		tw.writeByte(e.SrcReg[i])
+		tw.writeUvarint(uint64(e.SrcVal[i]))
+	}
+	if flags&flagDst != 0 {
+		tw.writeByte(e.DstReg)
+		tw.writeUvarint(uint64(e.DstVal))
+	}
+	if hasMem {
+		tw.writeUvarint(uint64(e.Addr))
+		tw.writeUvarint(uint64(e.MemVal))
+	}
+	return tw.err
+}
+
+// Count returns the number of events written so far.
+func (tw *Writer) Count() int { return tw.n }
+
+// Close terminates the event stream, writes the static-count footer, and
+// flushes. The Writer must not be used afterwards.
+func (tw *Writer) Close() error {
+	if tw.closed {
+		return nil
+	}
+	tw.closed = true
+	tw.writeByte(0) // event terminator
+	for _, c := range tw.counts {
+		tw.writeUvarint(c)
+	}
+	tw.writeBytes([]byte(footerMagic))
+	if tw.err == nil {
+		tw.err = tw.w.Flush()
+	}
+	return tw.err
+}
+
+// Reader decodes a trace stream. Events stream via Next; the static-count
+// footer becomes available after Next returns io.EOF.
+type Reader struct {
+	r         *bufio.Reader
+	name      string
+	numStatic int
+	counts    []uint64
+	done      bool
+}
+
+// NewReader parses the stream header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != headerMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if ver != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	numStatic, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading program length: %w", err)
+	}
+	// Bound the static program length so a corrupt header cannot drive the
+	// footer allocation (2^26 instructions is far beyond any real program
+	// for this ISA).
+	if numStatic > 1<<26 {
+		return nil, fmt.Errorf("trace: unreasonable program length %d", numStatic)
+	}
+	return &Reader{r: br, name: string(nameBuf), numStatic: int(numStatic)}, nil
+}
+
+// Name returns the workload name from the header.
+func (tr *Reader) Name() string { return tr.name }
+
+// NumStatic returns the static program length from the header.
+func (tr *Reader) NumStatic() int { return tr.numStatic }
+
+// Next decodes the next event into e. It returns io.EOF at the end of the
+// event stream, after which StaticCounts is available.
+func (tr *Reader) Next(e *Event) error {
+	if tr.done {
+		return io.EOF
+	}
+	opByte, err := tr.r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("trace: reading opcode: %w", err)
+	}
+	if opByte == 0 {
+		if err := tr.readFooter(); err != nil {
+			return err
+		}
+		tr.done = true
+		return io.EOF
+	}
+	op := isa.Op(opByte)
+	if !isa.Valid(op) {
+		return fmt.Errorf("trace: invalid opcode %d in stream", opByte)
+	}
+	pc, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		return fmt.Errorf("trace: reading pc: %w", err)
+	}
+	flags, err := tr.r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("trace: reading flags: %w", err)
+	}
+	nsrc := flags & flagNSrcMask
+	if nsrc > 2 {
+		return fmt.Errorf("trace: corrupt flags: %d source operands", nsrc)
+	}
+	*e = Event{PC: uint32(pc), Op: op, NSrc: nsrc, DstReg: isa.NoReg,
+		Taken: flags&flagTaken != 0, HasImm: flags&flagImm != 0}
+	for i := uint8(0); i < e.NSrc; i++ {
+		reg, err := tr.r.ReadByte()
+		if err != nil {
+			return fmt.Errorf("trace: reading src reg: %w", err)
+		}
+		val, err := binary.ReadUvarint(tr.r)
+		if err != nil {
+			return fmt.Errorf("trace: reading src val: %w", err)
+		}
+		e.SrcReg[i] = reg
+		e.SrcVal[i] = uint32(val)
+	}
+	if flags&flagDst != 0 {
+		reg, err := tr.r.ReadByte()
+		if err != nil {
+			return fmt.Errorf("trace: reading dst reg: %w", err)
+		}
+		val, err := binary.ReadUvarint(tr.r)
+		if err != nil {
+			return fmt.Errorf("trace: reading dst val: %w", err)
+		}
+		e.DstReg = reg
+		e.DstVal = uint32(val)
+	}
+	if flags&flagMem != 0 {
+		addr, err := binary.ReadUvarint(tr.r)
+		if err != nil {
+			return fmt.Errorf("trace: reading mem addr: %w", err)
+		}
+		val, err := binary.ReadUvarint(tr.r)
+		if err != nil {
+			return fmt.Errorf("trace: reading mem val: %w", err)
+		}
+		e.Addr = uint32(addr)
+		e.MemVal = uint32(val)
+	}
+	return nil
+}
+
+func (tr *Reader) readFooter() error {
+	tr.counts = make([]uint64, tr.numStatic)
+	for i := range tr.counts {
+		c, err := binary.ReadUvarint(tr.r)
+		if err != nil {
+			return fmt.Errorf("trace: reading static counts: %w", err)
+		}
+		tr.counts[i] = c
+	}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(tr.r, magic); err != nil {
+		return fmt.Errorf("trace: reading footer magic: %w", err)
+	}
+	if string(magic) != footerMagic {
+		return fmt.Errorf("trace: bad footer magic %q", magic)
+	}
+	return nil
+}
+
+// StaticCounts returns the per-PC execution counts; valid only after Next
+// has returned io.EOF.
+func (tr *Reader) StaticCounts() []uint64 { return tr.counts }
+
+// ReadAll decodes an entire stream into an in-memory Trace.
+func ReadAll(r io.Reader) (*Trace, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{Name: tr.Name(), NumStatic: tr.NumStatic()}
+	var e Event
+	for {
+		err := tr.Next(&e)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Events = append(t.Events, e)
+	}
+	t.StaticCount = tr.StaticCounts()
+	return t, nil
+}
+
+// WriteAll serialises an in-memory trace to w.
+func WriteAll(w io.Writer, t *Trace) error {
+	tw, err := NewWriter(w, t.Name, t.NumStatic)
+	if err != nil {
+		return err
+	}
+	for i := range t.Events {
+		if err := tw.Write(&t.Events[i]); err != nil {
+			return err
+		}
+	}
+	return tw.Close()
+}
+
+// ReadFile loads a trace file written by WriteFile or cmd/tracegen.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAll(f)
+}
+
+// WriteFile stores a trace to path.
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteAll(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// FuzzReader checks the trace decoder never panics and never fabricates
+// invalid events from arbitrary bytes.
+func FuzzReader(f *testing.F) {
+	// Seed with a real stream and some mutations of it.
+	var buf bytes.Buffer
+	tr := New("seed", 3)
+	tr.Append(Event{PC: 0, Op: isa.OpLi, DstReg: 8, DstVal: 1, HasImm: true})
+	tr.Append(Event{PC: 1, Op: isa.OpSw, NSrc: 2, SrcReg: [2]uint8{28, 8}, SrcVal: [2]uint32{4, 1}, DstReg: isa.NoReg, Addr: 4, MemVal: 1})
+	tr.Append(Event{PC: 2, Op: isa.OpBne, NSrc: 2, DstReg: isa.NoReg, Taken: true})
+	if err := WriteAll(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte("DPGT"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), good...)
+	if len(mutated) > 10 {
+		mutated[9] ^= 0xff
+	}
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var e Event
+		for i := 0; i < 1_000_000; i++ {
+			err := r.Next(&e)
+			if err == io.EOF {
+				// Clean EOF means the footer parsed: counts must exist.
+				if r.StaticCounts() == nil && r.NumStatic() > 0 {
+					t.Fatal("clean EOF without static counts")
+				}
+				return
+			}
+			if err != nil {
+				return
+			}
+			if !isa.Valid(e.Op) {
+				t.Fatalf("decoder produced invalid opcode %d", e.Op)
+			}
+			if e.NSrc > 2 {
+				t.Fatalf("decoder produced NSrc=%d", e.NSrc)
+			}
+		}
+		t.Fatal("decoder failed to terminate on bounded input")
+	})
+}

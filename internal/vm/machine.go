@@ -1,0 +1,341 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// StackTop is the initial stack pointer. The stack grows down and is far
+// from the data segment so the two never collide in practice.
+const StackTop uint32 = 0x7fff0000
+
+// InputSource supplies program input words for the `in` instruction — the
+// model's D-node values. Exhausted sources return ok=false and the machine
+// delivers zero.
+type InputSource func() (v uint32, ok bool)
+
+// SliceInput returns an InputSource that replays vals and then reports
+// exhaustion.
+func SliceInput(vals []uint32) InputSource {
+	i := 0
+	return func() (uint32, bool) {
+		if i >= len(vals) {
+			return 0, false
+		}
+		v := vals[i]
+		i++
+		return v, true
+	}
+}
+
+// Machine executes one program. The zero value is not usable; call New.
+type Machine struct {
+	prog *asm.Program
+	mem  *Memory
+	regs [isa.NumRegs]uint32
+	pc   int
+
+	input  InputSource
+	output func(uint32)
+
+	steps  uint64
+	halted bool
+}
+
+// New prepares a machine: loads the data segment, points $sp at the stack
+// top and $gp at the data base, and sets the PC to the program entry.
+func New(prog *asm.Program) *Machine {
+	m := &Machine{prog: prog, mem: NewMemory(), pc: prog.Entry}
+	m.mem.LoadBytes(prog.DataBase, prog.Data)
+	m.regs[29] = StackTop      // $sp
+	m.regs[28] = prog.DataBase // $gp
+	return m
+}
+
+// SetInput installs the program-input source.
+func (m *Machine) SetInput(in InputSource) { m.input = in }
+
+// SetOutput installs a sink for `out` values; nil discards them.
+func (m *Machine) SetOutput(out func(uint32)) { m.output = out }
+
+// Reg returns the current value of register r.
+func (m *Machine) Reg(r isa.Reg) uint32 { return m.regs[r] }
+
+// Mem returns the machine's memory (for tests and inspection).
+func (m *Machine) Mem() *Memory { return m.mem }
+
+// PC returns the current program counter (instruction index).
+func (m *Machine) PC() int { return m.pc }
+
+// Steps returns the number of instructions executed so far.
+func (m *Machine) Steps() uint64 { return m.steps }
+
+// Halted reports whether the program has executed halt.
+func (m *Machine) Halted() bool { return m.halted }
+
+// ErrLimit is returned by Run when the step limit is reached before halt.
+type ErrLimit struct{ Steps uint64 }
+
+func (e ErrLimit) Error() string {
+	return fmt.Sprintf("vm: step limit reached after %d instructions", e.Steps)
+}
+
+// Run executes until halt or until limit instructions have retired
+// (limit 0 means unlimited). emit, if non-nil, receives every dynamic
+// instruction; the Event is reused between calls and must be copied if
+// retained.
+func (m *Machine) Run(limit uint64, emit func(*trace.Event)) error {
+	var ev trace.Event
+	for !m.halted {
+		if limit > 0 && m.steps >= limit {
+			return ErrLimit{Steps: m.steps}
+		}
+		if m.pc < 0 || m.pc >= len(m.prog.Instrs) {
+			return fmt.Errorf("vm: pc %d out of range (program %q has %d instructions)", m.pc, m.prog.Name, len(m.prog.Instrs))
+		}
+		ins := m.prog.Instrs[m.pc]
+		if err := m.step(ins, &ev); err != nil {
+			return fmt.Errorf("vm: pc %d (%s): %w", ev.PC, ins, err)
+		}
+		m.steps++
+		if emit != nil {
+			emit(&ev)
+		}
+	}
+	return nil
+}
+
+// step executes one instruction, filling ev with its dynamic record.
+func (m *Machine) step(ins isa.Instruction, ev *trace.Event) error {
+	*ev = trace.Event{PC: uint32(m.pc), Op: ins.Op, DstReg: isa.NoReg, HasImm: isa.HasImmediateOperand(ins)}
+	srcs, n := isa.SourceRegs(ins)
+	ev.NSrc = uint8(n)
+	for i := 0; i < n; i++ {
+		ev.SrcReg[i] = uint8(srcs[i])
+		ev.SrcVal[i] = m.regs[srcs[i]]
+	}
+	rs := m.regs[ins.Rs]
+	rt := m.regs[ins.Rt]
+	next := m.pc + 1
+
+	setRd := func(v uint32) {
+		ev.DstReg = uint8(ins.Rd)
+		ev.DstVal = v
+		if ins.Rd != isa.Zero {
+			m.regs[ins.Rd] = v
+		}
+	}
+
+	switch ins.Op {
+	case isa.OpAdd, isa.OpAddu:
+		setRd(rs + rt)
+	case isa.OpSub, isa.OpSubu:
+		setRd(rs - rt)
+	case isa.OpAnd:
+		setRd(rs & rt)
+	case isa.OpOr:
+		setRd(rs | rt)
+	case isa.OpXor:
+		setRd(rs ^ rt)
+	case isa.OpNor:
+		setRd(^(rs | rt))
+	case isa.OpSlt:
+		setRd(boolWord(int32(rs) < int32(rt)))
+	case isa.OpSltu:
+		setRd(boolWord(rs < rt))
+	case isa.OpSllv:
+		setRd(rs << (rt & 31))
+	case isa.OpSrlv:
+		setRd(rs >> (rt & 31))
+	case isa.OpSrav:
+		setRd(uint32(int32(rs) >> (rt & 31)))
+	case isa.OpMul:
+		setRd(rs * rt)
+	case isa.OpDiv:
+		if rt == 0 {
+			setRd(0)
+		} else {
+			setRd(uint32(int32(rs) / int32(rt)))
+		}
+	case isa.OpDivu:
+		if rt == 0 {
+			setRd(0)
+		} else {
+			setRd(rs / rt)
+		}
+	case isa.OpRem:
+		if rt == 0 {
+			setRd(rs)
+		} else {
+			setRd(uint32(int32(rs) % int32(rt)))
+		}
+	case isa.OpRemu:
+		if rt == 0 {
+			setRd(rs)
+		} else {
+			setRd(rs % rt)
+		}
+
+	case isa.OpAddi, isa.OpAddiu:
+		setRd(rs + uint32(ins.Imm))
+	case isa.OpAndi:
+		setRd(rs & uint32(ins.Imm))
+	case isa.OpOri:
+		setRd(rs | uint32(ins.Imm))
+	case isa.OpXori:
+		setRd(rs ^ uint32(ins.Imm))
+	case isa.OpSlti:
+		setRd(boolWord(int32(rs) < ins.Imm))
+	case isa.OpSltiu:
+		setRd(boolWord(rs < uint32(ins.Imm)))
+	case isa.OpSll:
+		setRd(rs << (uint32(ins.Imm) & 31))
+	case isa.OpSrl:
+		setRd(rs >> (uint32(ins.Imm) & 31))
+	case isa.OpSra:
+		setRd(uint32(int32(rs) >> (uint32(ins.Imm) & 31)))
+
+	case isa.OpLui, isa.OpLi, isa.OpLa:
+		setRd(uint32(ins.Imm))
+
+	case isa.OpAddf:
+		setRd(f2w(w2f(rs) + w2f(rt)))
+	case isa.OpSubf:
+		setRd(f2w(w2f(rs) - w2f(rt)))
+	case isa.OpMulf:
+		setRd(f2w(w2f(rs) * w2f(rt)))
+	case isa.OpDivf:
+		setRd(f2w(w2f(rs) / w2f(rt)))
+	case isa.OpCltf:
+		setRd(boolWord(w2f(rs) < w2f(rt)))
+	case isa.OpClef:
+		setRd(boolWord(w2f(rs) <= w2f(rt)))
+	case isa.OpCeqf:
+		setRd(boolWord(w2f(rs) == w2f(rt)))
+	case isa.OpAbsf:
+		setRd(f2w(float32(math.Abs(float64(w2f(rs))))))
+	case isa.OpNegf:
+		setRd(f2w(-w2f(rs)))
+	case isa.OpCvtsw:
+		setRd(f2w(float32(int32(rs))))
+	case isa.OpCvtws:
+		setRd(uint32(int32(w2f(rs))))
+
+	case isa.OpLw:
+		addr := rs + uint32(ins.Imm)
+		v := m.mem.ReadWord(addr)
+		ev.Addr, ev.MemVal = addr, v
+		setRd(v)
+	case isa.OpLb:
+		addr := rs + uint32(ins.Imm)
+		v := uint32(int32(int8(m.mem.LoadByte(addr))))
+		ev.Addr, ev.MemVal = addr, v
+		setRd(v)
+	case isa.OpLbu:
+		addr := rs + uint32(ins.Imm)
+		v := uint32(m.mem.LoadByte(addr))
+		ev.Addr, ev.MemVal = addr, v
+		setRd(v)
+	case isa.OpSw:
+		addr := rs + uint32(ins.Imm)
+		m.mem.WriteWord(addr, rt)
+		ev.Addr, ev.MemVal = addr, rt
+	case isa.OpSb:
+		addr := rs + uint32(ins.Imm)
+		m.mem.StoreByte(addr, byte(rt))
+		ev.Addr, ev.MemVal = addr, rt&0xff
+
+	case isa.OpBeq:
+		if rs == rt {
+			next = int(ins.Imm)
+			ev.Taken = true
+		}
+	case isa.OpBne:
+		if rs != rt {
+			next = int(ins.Imm)
+			ev.Taken = true
+		}
+	case isa.OpBlez:
+		if int32(rs) <= 0 {
+			next = int(ins.Imm)
+			ev.Taken = true
+		}
+	case isa.OpBgtz:
+		if int32(rs) > 0 {
+			next = int(ins.Imm)
+			ev.Taken = true
+		}
+	case isa.OpBltz:
+		if int32(rs) < 0 {
+			next = int(ins.Imm)
+			ev.Taken = true
+		}
+	case isa.OpBgez:
+		if int32(rs) >= 0 {
+			next = int(ins.Imm)
+			ev.Taken = true
+		}
+
+	case isa.OpJ:
+		next = int(ins.Imm)
+	case isa.OpJal:
+		setRd(uint32(m.pc + 1))
+		next = int(ins.Imm)
+	case isa.OpJr:
+		next = int(rs)
+	case isa.OpJalr:
+		setRd(uint32(m.pc + 1))
+		next = int(rs)
+
+	case isa.OpIn:
+		var v uint32
+		if m.input != nil {
+			v, _ = m.input()
+		}
+		ev.MemVal = v
+		setRd(v)
+	case isa.OpOut:
+		if m.output != nil {
+			m.output(rs)
+		}
+	case isa.OpHalt:
+		m.halted = true
+	case isa.OpNop:
+		// nothing
+	default:
+		return fmt.Errorf("unimplemented opcode %s", ins.Op)
+	}
+
+	m.pc = next
+	return nil
+}
+
+func boolWord(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func w2f(w uint32) float32 { return math.Float32frombits(w) }
+func f2w(f float32) uint32 { return math.Float32bits(f) }
+
+// Trace assembles nothing new: it runs prog to completion (or limit) on a
+// fresh machine and returns the full in-memory trace. It is the convenience
+// path used by tests, examples and the figure harness.
+func Trace(prog *asm.Program, input InputSource, limit uint64) (*trace.Trace, error) {
+	m := New(prog)
+	m.SetInput(input)
+	t := trace.New(prog.Name, len(prog.Instrs))
+	err := m.Run(limit, func(e *trace.Event) { t.Append(*e) })
+	if err != nil {
+		if _, isLimit := err.(ErrLimit); !isLimit {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,94 @@
+// Package vm executes programs for the MIPS-like ISA and emits the dynamic
+// instruction stream the predictability model consumes. It is the
+// reproduction's substitute for SimpleScalar's trace-driven functional
+// simulator.
+package vm
+
+import "fmt"
+
+const pageShift = 12
+const pageSize = 1 << pageShift
+
+// Memory is a sparse, byte-addressable, little-endian memory. Unwritten
+// bytes read as zero. Pages are allocated on first touch.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint32, alloc bool) *[pageSize]byte {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint32) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint32, b byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = b
+}
+
+// ReadWord returns the little-endian 32-bit word at addr. Word accesses may
+// straddle a page boundary (the ISA does not require alignment).
+func (m *Memory) ReadWord(addr uint32) uint32 {
+	off := addr & (pageSize - 1)
+	if off <= pageSize-4 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return uint32(p[off]) | uint32(p[off+1])<<8 | uint32(p[off+2])<<16 | uint32(p[off+3])<<24
+	}
+	return uint32(m.LoadByte(addr)) |
+		uint32(m.LoadByte(addr+1))<<8 |
+		uint32(m.LoadByte(addr+2))<<16 |
+		uint32(m.LoadByte(addr+3))<<24
+}
+
+// WriteWord stores v at addr in little-endian order.
+func (m *Memory) WriteWord(addr uint32, v uint32) {
+	off := addr & (pageSize - 1)
+	if off <= pageSize-4 {
+		p := m.page(addr, true)
+		p[off] = byte(v)
+		p[off+1] = byte(v >> 8)
+		p[off+2] = byte(v >> 16)
+		p[off+3] = byte(v >> 24)
+		return
+	}
+	m.StoreByte(addr, byte(v))
+	m.StoreByte(addr+1, byte(v>>8))
+	m.StoreByte(addr+2, byte(v>>16))
+	m.StoreByte(addr+3, byte(v>>24))
+}
+
+// LoadBytes copies data into memory starting at base.
+func (m *Memory) LoadBytes(base uint32, data []byte) {
+	for i, b := range data {
+		m.StoreByte(base+uint32(i), b)
+	}
+}
+
+// PageCount returns the number of allocated pages (for tests and stats).
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// String summarises the memory footprint.
+func (m *Memory) String() string {
+	return fmt.Sprintf("vm.Memory{%d pages, %d KiB touched}", len(m.pages), len(m.pages)*pageSize/1024)
+}

@@ -1,0 +1,487 @@
+package vm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+func run(t *testing.T, src string, input []uint32) (*Machine, []uint32) {
+	t.Helper()
+	prog, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := New(prog)
+	if input != nil {
+		m.SetInput(SliceInput(input))
+	}
+	var out []uint32
+	m.SetOutput(func(v uint32) { out = append(out, v) })
+	if err := m.Run(1_000_000, nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m, out
+}
+
+func TestArithmetic(t *testing.T) {
+	m, _ := run(t, `
+	main:	li $t0, 7
+		li $t1, 3
+		add $s0, $t0, $t1
+		sub $s1, $t0, $t1
+		mul $s2, $t0, $t1
+		div $s3, $t0, $t1
+		rem $s4, $t0, $t1
+		and $s5, $t0, $t1
+		or  $s6, $t0, $t1
+		xor $s7, $t0, $t1
+		halt
+	`, nil)
+	want := map[isa.Reg]uint32{16: 10, 17: 4, 18: 21, 19: 2, 20: 1, 21: 3, 22: 7, 23: 4}
+	for r, w := range want {
+		if got := m.Reg(r); got != w {
+			t.Errorf("$%d = %d, want %d", r, got, w)
+		}
+	}
+}
+
+func TestSignedOps(t *testing.T) {
+	m, _ := run(t, `
+	main:	li $t0, -8
+		li $t1, 3
+		div $s0, $t0, $t1
+		rem $s1, $t0, $t1
+		slt $s2, $t0, $t1
+		sltu $s3, $t0, $t1
+		sra $s4, $t0, 1
+		srl $s5, $t0, 1
+		halt
+	`, nil)
+	if got := int32(m.Reg(16)); got != -2 {
+		t.Errorf("div -8/3 = %d, want -2", got)
+	}
+	if got := int32(m.Reg(17)); got != -2 {
+		t.Errorf("rem -8%%3 = %d, want -2", got)
+	}
+	if m.Reg(18) != 1 {
+		t.Error("slt -8<3 should be 1")
+	}
+	if m.Reg(19) != 0 {
+		t.Error("sltu 0xfffffff8<3 should be 0")
+	}
+	if got := int32(m.Reg(20)); got != -4 {
+		t.Errorf("sra -8>>1 = %d, want -4", got)
+	}
+	if got := m.Reg(21); got != 0x7ffffffc {
+		t.Errorf("srl = %#x, want 0x7ffffffc", got)
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	m, _ := run(t, `
+	main:	li $t0, 9
+		li $t1, 0
+		div $s0, $t0, $t1
+		divu $s1, $t0, $t1
+		rem $s2, $t0, $t1
+		remu $s3, $t0, $t1
+		halt
+	`, nil)
+	if m.Reg(16) != 0 || m.Reg(17) != 0 {
+		t.Error("division by zero should yield 0")
+	}
+	if m.Reg(18) != 9 || m.Reg(19) != 9 {
+		t.Error("remainder by zero should yield the numerator")
+	}
+}
+
+func TestShiftMasking(t *testing.T) {
+	m, _ := run(t, `
+	main:	li $t0, 1
+		li $t1, 33
+		sllv $s0, $t0, $t1
+		halt
+	`, nil)
+	if m.Reg(16) != 2 {
+		t.Errorf("shift counts mask to 5 bits: got %d, want 2", m.Reg(16))
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	m, _ := run(t, `
+	main:	li $zero, 99
+		addi $zero, $zero, 5
+		add $t0, $zero, $zero
+		halt
+	`, nil)
+	if m.Reg(0) != 0 {
+		t.Errorf("$0 = %d, want 0", m.Reg(0))
+	}
+	if m.Reg(8) != 0 {
+		t.Errorf("$t0 = %d, want 0", m.Reg(8))
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	m, _ := run(t, `
+		.data
+	arr:	.word 10, 20, 30
+	bytes:	.byte 0xff, 0x7f
+		.text
+	main:	lw $t0, arr($zero)
+		lw $t1, arr+4($zero)
+		la $t2, arr
+		lw $t3, 8($t2)
+		lb $t4, bytes($zero)
+		lbu $t5, bytes($zero)
+		lb $t6, bytes+1($zero)
+		li $t7, 77
+		sw $t7, arr($zero)
+		lw $s0, arr($zero)
+		sb $t7, bytes($zero)
+		lbu $s1, bytes($zero)
+		halt
+	`, nil)
+	if m.Reg(8) != 10 || m.Reg(9) != 20 || m.Reg(11) != 30 {
+		t.Errorf("loads: %d %d %d", m.Reg(8), m.Reg(9), m.Reg(11))
+	}
+	if int32(m.Reg(12)) != -1 {
+		t.Errorf("lb sign extension: %d", int32(m.Reg(12)))
+	}
+	if m.Reg(13) != 0xff {
+		t.Errorf("lbu zero extension: %#x", m.Reg(13))
+	}
+	if m.Reg(14) != 0x7f {
+		t.Errorf("lb positive: %#x", m.Reg(14))
+	}
+	if m.Reg(16) != 77 {
+		t.Errorf("store/load roundtrip: %d", m.Reg(16))
+	}
+	if m.Reg(17) != 77 {
+		t.Errorf("byte store/load roundtrip: %d", m.Reg(17))
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	m, _ := run(t, `
+	main:	li $t0, 0
+		li $t1, 0
+	loop:	add $t1, $t1, $t0
+		addiu $t0, $t0, 1
+		slti $t2, $t0, 10
+		bne $t2, $zero, loop
+		halt
+	`, nil)
+	if m.Reg(9) != 45 {
+		t.Errorf("sum 0..9 = %d, want 45", m.Reg(9))
+	}
+}
+
+func TestAllBranchKinds(t *testing.T) {
+	m, _ := run(t, `
+	main:	li $t0, -1
+		li $s0, 0
+		blez $t0, a
+		j fail
+	a:	bltz $t0, b
+		j fail
+	b:	li $t0, 1
+		bgtz $t0, c
+		j fail
+	c:	bgez $t0, d
+		j fail
+	d:	li $t1, 1
+		beq $t0, $t1, e
+		j fail
+	e:	li $t1, 2
+		bne $t0, $t1, ok
+	fail:	li $s0, 0
+		halt
+	ok:	li $s0, 1
+		halt
+	`, nil)
+	if m.Reg(16) != 1 {
+		t.Error("branch kinds misbehaved")
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	m, _ := run(t, `
+	main:	li $a0, 5
+		jal double
+		move $s0, $v0
+		li $a0, 21
+		jal double
+		move $s1, $v0
+		halt
+	double:	add $v0, $a0, $a0
+		jr $ra
+	`, nil)
+	if m.Reg(16) != 10 || m.Reg(17) != 42 {
+		t.Errorf("calls: %d %d", m.Reg(16), m.Reg(17))
+	}
+}
+
+func TestJalr(t *testing.T) {
+	m, _ := run(t, `
+	main:	la $t0, f
+		jalr $ra, $t0
+		halt
+	f:	li $s0, 123
+		jr $ra
+	`, nil)
+	if m.Reg(16) != 123 {
+		t.Errorf("jalr: $s0 = %d", m.Reg(16))
+	}
+}
+
+func TestInputOutput(t *testing.T) {
+	m, out := run(t, `
+	main:	in $t0
+		in $t1
+		add $t2, $t0, $t1
+		out $t2
+		in $t3
+		out $t3
+		halt
+	`, []uint32{4, 5})
+	if len(out) != 2 || out[0] != 9 {
+		t.Errorf("out = %v, want [9 0]", out)
+	}
+	if out[1] != 0 {
+		t.Error("exhausted input should read 0")
+	}
+	if m.Reg(11) != 0 {
+		t.Error("exhausted input register should be 0")
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	m, _ := run(t, `
+	main:	li $t0, 3
+		li $t1, 4
+		cvtsw $t2, $t0
+		cvtsw $t3, $t1
+		addf $s0, $t2, $t3
+		mulf $s1, $t2, $t3
+		divf $s2, $t3, $t2
+		subf $s3, $t2, $t3
+		negf $s4, $t2
+		absf $s5, $s4
+		cltf $s6, $t2, $t3
+		ceqf $s7, $t2, $t2
+		cvtws $v0, $s1
+		halt
+	`, nil)
+	f := func(r isa.Reg) float32 { return math.Float32frombits(m.Reg(r)) }
+	if f(16) != 7 || f(17) != 12 || f(19) != -1 {
+		t.Errorf("float arith: %v %v %v", f(16), f(17), f(19))
+	}
+	if got := f(18); got < 1.3 || got > 1.34 {
+		t.Errorf("divf 4/3 = %v", got)
+	}
+	if f(20) != -3 || f(21) != 3 {
+		t.Errorf("negf/absf: %v %v", f(20), f(21))
+	}
+	if m.Reg(22) != 1 || m.Reg(23) != 1 {
+		t.Errorf("float compares: %d %d", m.Reg(22), m.Reg(23))
+	}
+	if m.Reg(2) != 12 {
+		t.Errorf("cvtws: %d", m.Reg(2))
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	prog, _ := asm.Assemble("t", "main: j main")
+	m := New(prog)
+	err := m.Run(100, nil)
+	if _, ok := err.(ErrLimit); !ok {
+		t.Fatalf("expected ErrLimit, got %v", err)
+	}
+	if m.Steps() != 100 {
+		t.Errorf("steps = %d, want 100", m.Steps())
+	}
+}
+
+func TestPCOutOfRange(t *testing.T) {
+	prog, _ := asm.Assemble("t", "main: j 99")
+	m := New(prog)
+	if err := m.Run(10, nil); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestStackInitialised(t *testing.T) {
+	m, _ := run(t, `
+	main:	li $t0, 42
+		sw $t0, -4($sp)
+		lw $t1, -4($sp)
+		addiu $sp, $sp, -8
+		sw $t0, 0($sp)
+		halt
+	`, nil)
+	if m.Reg(9) != 42 {
+		t.Error("stack store/load failed")
+	}
+	if m.Reg(29) != StackTop-8 {
+		t.Errorf("$sp = %#x", m.Reg(29))
+	}
+}
+
+func TestTraceEmission(t *testing.T) {
+	prog, err := asm.Assemble("t", `
+		.data
+	v:	.word 5
+		.text
+	main:	lw $t0, v($zero)
+		addi $t1, $t0, 1
+		sw $t1, v($zero)
+		beq $t1, $zero, main
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Trace(prog, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("trace has %d events, want 5", tr.Len())
+	}
+	lw := tr.Events[0]
+	if lw.Op != isa.OpLw || lw.MemVal != 5 || lw.DstVal != 5 || lw.DstReg != 8 {
+		t.Errorf("lw event: %v", &lw)
+	}
+	if lw.Addr != asm.DefaultDataBase {
+		t.Errorf("lw addr = %#x", lw.Addr)
+	}
+	addi := tr.Events[1]
+	if addi.NSrc != 1 || addi.SrcReg[0] != 8 || addi.SrcVal[0] != 5 || addi.DstVal != 6 {
+		t.Errorf("addi event: %v", &addi)
+	}
+	sw := tr.Events[2]
+	if sw.Op != isa.OpSw || sw.MemVal != 6 || sw.DstReg != isa.NoReg {
+		t.Errorf("sw event: %v", &sw)
+	}
+	beq := tr.Events[3]
+	if beq.Taken {
+		t.Error("beq should not be taken")
+	}
+	if tr.StaticCount[0] != 1 {
+		t.Error("static count wrong")
+	}
+}
+
+func TestTraceStepLimitReturnsPartial(t *testing.T) {
+	prog, _ := asm.Assemble("t", "main: j main")
+	tr, err := Trace(prog, nil, 50)
+	if err != nil {
+		t.Fatalf("limit should not be an error from Trace: %v", err)
+	}
+	if tr.Len() != 50 {
+		t.Errorf("partial trace length = %d", tr.Len())
+	}
+}
+
+func TestMemorySparse(t *testing.T) {
+	m := NewMemory()
+	if m.ReadWord(0x12345678) != 0 {
+		t.Error("unwritten memory should read 0")
+	}
+	m.WriteWord(0x12345678, 0xdeadbeef)
+	if m.ReadWord(0x12345678) != 0xdeadbeef {
+		t.Error("roundtrip failed")
+	}
+	if m.LoadByte(0x12345678) != 0xef || m.LoadByte(0x1234567b) != 0xde {
+		t.Error("little-endian layout violated")
+	}
+	if m.PageCount() != 1 {
+		t.Errorf("pages = %d, want 1", m.PageCount())
+	}
+}
+
+func TestMemoryPageStraddle(t *testing.T) {
+	m := NewMemory()
+	addr := uint32(pageSize - 2) // straddles first/second page
+	m.WriteWord(addr, 0xa1b2c3d4)
+	if got := m.ReadWord(addr); got != 0xa1b2c3d4 {
+		t.Errorf("straddling word = %#x", got)
+	}
+	if m.PageCount() != 2 {
+		t.Errorf("pages = %d, want 2", m.PageCount())
+	}
+}
+
+func TestMemoryWordRoundTripProperty(t *testing.T) {
+	m := NewMemory()
+	f := func(addr, val uint32) bool {
+		m.WriteWord(addr, val)
+		return m.ReadWord(addr) == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	// Two runs of the same program+input must produce identical traces.
+	src := `
+	main:	li $t0, 0
+		li $t1, 0
+	loop:	in $t2
+		add $t1, $t1, $t2
+		addiu $t0, $t0, 1
+		slti $t3, $t0, 50
+		bne $t3, $zero, loop
+		out $t1
+		halt
+	`
+	prog, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]uint32, 50)
+	for i := range input {
+		input[i] = uint32(i * 7)
+	}
+	t1, err := Trace(prog, SliceInput(input), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Trace(prog, SliceInput(input), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Len() != t2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", t1.Len(), t2.Len())
+	}
+	for i := range t1.Events {
+		if t1.Events[i] != t2.Events[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, &t1.Events[i], &t2.Events[i])
+		}
+	}
+}
+
+func TestEventReuseRequiresCopy(t *testing.T) {
+	prog, _ := asm.Assemble("t", "main: li $t0, 1\nli $t1, 2\nhalt")
+	m := New(prog)
+	var ptrs []*trace.Event
+	err := m.Run(0, func(e *trace.Event) { ptrs = append(ptrs, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The emit callback receives the same Event pointer every time; this is
+	// documented behaviour that callers must copy.
+	if ptrs[0] != ptrs[1] {
+		t.Error("expected the emitter to reuse one Event buffer")
+	}
+}

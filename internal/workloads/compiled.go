@@ -1,0 +1,71 @@
+package workloads
+
+import "repro/internal/cc"
+
+// hstSrc is a workload authored in mini-C and compiled at init — the same
+// path the paper's benchmarks took (C source through an optimising
+// compiler). It is registered as "hst" and usable with every tool, but is
+// not part of the paper's 12-benchmark figure sets.
+const hstSrc = `
+arr hist[64];
+arr data[512];
+
+var seed = 2463534242;
+func next() {
+	seed = seed ^ (seed << 13);
+	seed = seed ^ (seed >> 17);
+	seed = seed ^ (seed << 5);
+	return seed;
+}
+
+func classify(v) {
+	if (v < 16) { return 0; }
+	else if (v < 32) { return 1; }
+	else if (v < 48) { return 2; }
+	else { return 3; }
+}
+
+func main() {
+	var rounds = in();
+	var r = 0;
+	var checksum = 0;
+	while (r < rounds) {
+		var i = 0;
+		while (i < 512) {
+			data[i] = next() & 63;
+			i = i + 1;
+		}
+		i = 0;
+		while (i < 64) { hist[i] = 0; i = i + 1; }
+		i = 0;
+		while (i < 512) {
+			var v = data[i];
+			hist[v] = hist[v] + 1;
+			if (classify(v) == 3) { checksum = checksum + 1; }
+			i = i + 1;
+		}
+		i = 1;
+		while (i < 64) {
+			hist[i] = hist[i] + hist[i - 1];
+			i = i + 1;
+		}
+		checksum = checksum + hist[63];
+		r = r + 1;
+	}
+	out(checksum);
+}
+`
+
+func init() {
+	text, err := cc.CompileToAsm(hstSrc)
+	if err != nil {
+		panic("workloads: compiling hst: " + err.Error())
+	}
+	register(&Workload{
+		Name:     "hst",
+		FullName: "compiled histogram kernel (mini-C through internal/cc)",
+		Rounds:   4,
+		Source:   text,
+		Input:    roundsInput,
+	})
+}

@@ -1,0 +1,375 @@
+package workloads
+
+// Floating-point workloads (float32 bit patterns in the integer register
+// file). Same register conventions as the integer set.
+
+func init() {
+	register(&Workload{
+		Name:     "app",
+		FullName: "110.applu-like",
+		Float:    true,
+		Rounds:   70,
+		Source:   appSrc,
+		Input:    roundsInput,
+	})
+
+	register(&Workload{
+		Name:     "fpp",
+		FullName: "145.fpppp-like",
+		Float:    true,
+		Rounds:   4500,
+		Source:   fppSrc,
+		Input: func(rounds int, seed uint64) []uint32 {
+			r := newRNG(seed)
+			data := make([]uint32, 2*rounds)
+			for i := range data {
+				data[i] = r.next()
+			}
+			return prefixInput(rounds, data)
+		},
+	})
+
+	register(&Workload{
+		Name:     "mgr",
+		FullName: "107.mgrid-like",
+		Float:    true,
+		Rounds:   45,
+		Source:   mgrSrc,
+		Input: func(rounds int, seed uint64) []uint32 {
+			r := newRNG(seed)
+			data := make([]uint32, 256)
+			for i := range data {
+				data[i] = r.next()
+			}
+			return prefixInput(rounds, data)
+		},
+	})
+
+	register(&Workload{
+		Name:     "swm",
+		FullName: "102.swim-like",
+		Float:    true,
+		Rounds:   65,
+		Source:   swmSrc,
+		Input: func(rounds int, seed uint64) []uint32 {
+			r := newRNG(seed)
+			data := make([]uint32, 144)
+			for i := range data {
+				data[i] = r.next()
+			}
+			return prefixInput(rounds, data)
+		},
+	})
+}
+
+// appSrc: Jacobi sweeps over a diagonally dominant 16x16 system — the dense
+// multiply-subtract-divide inner loops of applu. The right-hand side is
+// perturbed every round so the iteration never reaches a fixed point.
+const appSrc = `
+	.data
+amat:	.space 1024		# 16x16 floats
+bvec:	.space 64
+xvec:	.space 64
+	.text
+main:	in $s7
+	li $s6, 0
+	la $s0, amat
+	la $s1, bvec
+	la $s2, xvec
+	# a[k] = float(k%7 + 1)
+	li $t0, 0
+ainit:	li $t1, 7
+	remu $t2, $t0, $t1
+	addiu $t2, $t2, 1
+	cvtsw $t3, $t2
+	sll $t4, $t0, 2
+	addu $t4, $t4, $s0
+	sw $t3, 0($t4)
+	addiu $t0, $t0, 1
+	slti $t5, $t0, 256
+	bne $t5, $zero, ainit
+	# a[i][i] += 16;  b[i] = float(i+1);  x[i] = 1.0
+	li $t0, 0
+dinit:	sll $t1, $t0, 4
+	add $t1, $t1, $t0	# 17*i
+	sll $t1, $t1, 2
+	addu $t1, $t1, $s0
+	lw $t2, 0($t1)
+	li $t3, 16
+	cvtsw $t3, $t3
+	addf $t2, $t2, $t3
+	sw $t2, 0($t1)
+	addiu $t4, $t0, 1
+	cvtsw $t4, $t4
+	sll $t5, $t0, 2
+	addu $t6, $t5, $s1
+	sw $t4, 0($t6)
+	li $t7, 1
+	cvtsw $t7, $t7
+	addu $t6, $t5, $s2
+	sw $t7, 0($t6)
+	addiu $t0, $t0, 1
+	slti $t8, $t0, 16
+	bne $t8, $zero, dinit
+round:	li $t0, 0		# i
+iloop:	sll $t1, $t0, 2
+	addu $t2, $t1, $s1
+	lw $v0, 0($t2)		# s = b[i]
+	sll $t3, $t0, 6
+	addu $t3, $t3, $s0	# row base (i*16 words)
+	li $t4, 0		# j
+jloop:	beq $t4, $t0, jskip
+	sll $t5, $t4, 2
+	addu $t6, $t5, $t3
+	lw $t7, 0($t6)		# a[i][j]
+	addu $t8, $t5, $s2
+	lw $v1, 0($t8)		# x[j]
+	mulf $a0, $t7, $v1
+	subf $v0, $v0, $a0
+jskip:	addiu $t4, $t4, 1
+	slti $t5, $t4, 16
+	bne $t5, $zero, jloop
+	sll $t5, $t0, 4
+	add $t5, $t5, $t0
+	sll $t5, $t5, 2
+	addu $t5, $t5, $s0
+	lw $t6, 0($t5)		# a[i][i]
+	divf $v0, $v0, $t6
+	sll $t7, $t0, 2
+	addu $t7, $t7, $s2
+	sw $v0, 0($t7)		# x[i]
+	addiu $t0, $t0, 1
+	slti $t8, $t0, 16
+	bne $t8, $zero, iloop
+	# perturb b[round%16] += 1.0
+	andi $t0, $s6, 15
+	sll $t0, $t0, 2
+	addu $t0, $t0, $s1
+	lw $t1, 0($t0)
+	li $t2, 1
+	cvtsw $t2, $t2
+	addf $t1, $t1, $t2
+	sw $t1, 0($t0)
+	addiu $s6, $s6, 1
+	slt $t0, $s6, $s7
+	bne $t0, $zero, round
+	lw $t0, 0($s2)
+	out $t0
+	halt
+`
+
+// fppSrc: long straight-line float basic blocks (polynomial products over
+// two fresh inputs per round), the large-basic-block signature of fpppp.
+const fppSrc = `
+	.data
+coef:	.word 0x3F800000, 0x3F000000, 0x3E800000, 0x40000000, 0x3FC00000
+	.text
+main:	in $s7
+	li $s6, 0
+	la $t0, coef
+	lw $s0, 0($t0)		# 1.0
+	lw $s1, 4($t0)		# 0.5
+	lw $s2, 8($t0)		# 0.25
+	lw $s3, 12($t0)		# 2.0
+	lw $s4, 16($t0)		# 1.5
+	li $t1, 0
+	cvtsw $a3, $t1		# acc = 0.0
+round:	in $t1
+	andi $t1, $t1, 63
+	cvtsw $t2, $t1		# x
+	in $t3
+	andi $t3, $t3, 63
+	cvtsw $t4, $t3		# y
+	mulf $t5, $t2, $s0	# p(x), Horner
+	addf $t5, $t5, $s1
+	mulf $t5, $t5, $t2
+	addf $t5, $t5, $s2
+	mulf $t5, $t5, $t2
+	addf $t5, $t5, $s3
+	mulf $t6, $t4, $s0	# p(y)
+	addf $t6, $t6, $s1
+	mulf $t6, $t6, $t4
+	addf $t6, $t6, $s2
+	mulf $t6, $t6, $t4
+	addf $t6, $t6, $s3
+	mulf $t7, $t5, $t6
+	addf $t8, $t5, $t6
+	subf $v0, $t5, $t6
+	mulf $v0, $v0, $v0
+	addf $t7, $t7, $v0
+	mulf $t8, $t8, $s4
+	addf $t7, $t7, $t8
+	mulf $a0, $t2, $t4
+	addf $a0, $a0, $s2
+	mulf $a1, $a0, $a0
+	addf $a1, $a1, $t7
+	mulf $a2, $a1, $s1
+	addf $a2, $a2, $s0
+	divf $a2, $a2, $s3
+	mulf $v1, $a2, $s2
+	addf $v1, $v1, $a0
+	subf $v1, $v1, $t5
+	mulf $v1, $v1, $s1
+	addf $a3, $a3, $v1	# acc +=
+	addiu $s6, $s6, 1
+	slt $t1, $s6, $s7
+	bne $t1, $zero, round
+	cvtws $t0, $a3
+	out $t0
+	halt
+`
+
+// mgrSrc: red-black-free 5-point smoothing over a 16x16 grid with an
+// IMMEDIATE-FREE inner loop: all strides, constants and loop bounds live in
+// registers loaded during setup, and every load uses offset-0 register
+// addressing. This reproduces the paper's observation that mgrid has almost
+// no node generation because very few instructions have immediate inputs.
+// Register $fp holds integer zero so register moves avoid reading $0 (which
+// the model counts as an immediate).
+const mgrSrc = `
+	.data
+gridA:	.space 1024		# 16x16 floats
+gridB:	.space 1024
+	.text
+main:	in $s7
+	li $s6, 0
+	la $s0, gridA
+	la $s1, gridB
+	li $s2, 4		# word stride
+	li $s3, 64		# row stride (bytes)
+	li $s4, 1		# integer one
+	li $s5, 14		# interior extent
+	li $fp, 0		# integer zero (avoids $0 reads in the loop)
+	li $a2, 0x3E800000	# 0.25f
+	li $a3, 0x3F000000	# 0.5f
+	# fill gridA from input
+	li $t0, 0
+fill:	in $t1
+	andi $t1, $t1, 127
+	cvtsw $t2, $t1
+	sll $t3, $t0, 2
+	addu $t3, $t3, $s0
+	sw $t2, 0($t3)
+	addiu $t0, $t0, 1
+	slti $t4, $t0, 256
+	bne $t4, $zero, fill
+	# copy A to B so borders are defined in both buffers
+	li $t0, 0
+copy:	sll $t1, $t0, 2
+	addu $t2, $t1, $s0
+	lw $t3, 0($t2)
+	addu $t4, $t1, $s1
+	sw $t3, 0($t4)
+	addiu $t0, $t0, 1
+	slti $t5, $t0, 256
+	bne $t5, $zero, copy
+round:	# p/q = first interior cell of src/dst (base + row + word)
+	add $t8, $s0, $s3
+	add $t8, $t8, $s2
+	add $t9, $s1, $s3
+	add $t9, $t9, $s2
+	add $t0, $s5, $fp	# y countdown = 14
+yloop:	add $t2, $s5, $fp	# x countdown = 14
+xloop:	sub $t4, $t8, $s3
+	lw $t5, 0($t4)		# up
+	add $t4, $t8, $s3
+	lw $t6, 0($t4)		# down
+	sub $t4, $t8, $s2
+	lw $t7, 0($t4)		# left
+	add $t4, $t8, $s2
+	lw $v0, 0($t4)		# right
+	addf $t5, $t5, $t6
+	addf $t5, $t5, $t7
+	addf $t5, $t5, $v0
+	mulf $t5, $t5, $a2	# neighbour average
+	lw $v1, 0($t8)		# centre
+	subf $t5, $t5, $v1
+	mulf $t5, $t5, $a3	# blend halfway
+	addf $t5, $t5, $v1
+	sw $t5, 0($t9)
+	add $t8, $t8, $s2
+	add $t9, $t9, $s2
+	sub $t2, $t2, $s4
+	bne $t2, $fp, xloop
+	add $t8, $t8, $s2	# skip border pair
+	add $t8, $t8, $s2
+	add $t9, $t9, $s2
+	add $t9, $t9, $s2
+	sub $t0, $t0, $s4
+	bne $t0, $fp, yloop
+	# swap src/dst without immediates
+	add $v0, $s0, $s1
+	sub $s0, $v0, $s0
+	sub $s1, $v0, $s1
+	addiu $s6, $s6, 1
+	slt $t0, $s6, $s7
+	bne $t0, $zero, round
+	lw $t0, 0($s0)
+	out $t0
+	halt
+`
+
+// swmSrc: 1D-flattened shallow-water update — two coupled stencil sweeps
+// per timestep, the regular dual-array pattern of swim.
+const swmSrc = `
+	.data
+hgrid:	.space 576		# 144 floats
+ugrid:	.space 576
+	.text
+main:	in $s7
+	li $s6, 0
+	la $s0, hgrid
+	la $s1, ugrid
+	li $a2, 0x3F666666	# 0.9f
+	li $a3, 0x3D4CCCCD	# 0.05f
+	li $v1, 0x3DCCCCCD	# 0.1f
+	li $t0, 0
+fill:	in $t1
+	andi $t1, $t1, 63
+	cvtsw $t2, $t1
+	sll $t3, $t0, 2
+	addu $t4, $t3, $s0
+	sw $t2, 0($t4)
+	li $t5, 0
+	cvtsw $t5, $t5
+	addu $t6, $t3, $s1
+	sw $t5, 0($t6)
+	addiu $t0, $t0, 1
+	slti $t7, $t0, 144
+	bne $t7, $zero, fill
+round:	li $t0, 1		# velocity sweep
+uloop:	sll $t1, $t0, 2
+	addu $t2, $t1, $s1
+	lw $t3, 0($t2)		# u[i]
+	addu $t4, $t1, $s0
+	lw $t5, 4($t4)		# h[i+1]
+	lw $t6, -4($t4)		# h[i-1]
+	subf $t7, $t5, $t6
+	mulf $t7, $t7, $a3
+	mulf $t3, $t3, $a2
+	addf $t3, $t3, $t7
+	sw $t3, 0($t2)
+	addiu $t0, $t0, 1
+	slti $t8, $t0, 143
+	bne $t8, $zero, uloop
+	li $t0, 1		# height sweep
+hloop:	sll $t1, $t0, 2
+	addu $t2, $t1, $s0
+	lw $t3, 0($t2)		# h[i]
+	addu $t4, $t1, $s1
+	lw $t5, 4($t4)		# u[i+1]
+	lw $t6, -4($t4)		# u[i-1]
+	subf $t7, $t5, $t6
+	mulf $t7, $t7, $v1
+	subf $t3, $t3, $t7
+	sw $t3, 0($t2)
+	addiu $t0, $t0, 1
+	slti $t8, $t0, 143
+	bne $t8, $zero, hloop
+	addiu $s6, $s6, 1
+	slt $t0, $s6, $s7
+	bne $t0, $zero, round
+	lw $t0, 4($s0)
+	out $t0
+	halt
+`

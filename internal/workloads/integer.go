@@ -1,0 +1,691 @@
+package workloads
+
+// Integer workloads, modeled after the SPEC95 integer programs the paper
+// evaluates. Shared register conventions: $s7 = rounds parameter (first
+// input word), $s6 = round counter, $s5 = checksum (written with `out` at
+// the end so the computation is observable and cannot be dead).
+
+func init() {
+	register(&Workload{
+		Name:     "com",
+		FullName: "129.compress-like",
+		Rounds:   4200,
+		Source:   comSrc,
+		Input: func(rounds int, seed uint64) []uint32 {
+			// Compressible stream: runs of repeated byte values (like the
+			// redundant text compress consumes), packed four bytes per
+			// input word so input operations are rare relative to
+			// computation. Simple, loop-dominated control (the paper calls
+			// compress out as the simple-control case in Fig. 11).
+			r := newRNG(seed)
+			bytes := make([]uint32, 0, 4*rounds)
+			for len(bytes) < 4*rounds {
+				b := r.intn(64)
+				runLen := int(1 + r.intn(8))
+				for i := 0; i < runLen && len(bytes) < 4*rounds; i++ {
+					bytes = append(bytes, b)
+				}
+			}
+			words := make([]uint32, rounds)
+			for i := range words {
+				words[i] = bytes[4*i] | bytes[4*i+1]<<8 | bytes[4*i+2]<<16 | bytes[4*i+3]<<24
+			}
+			return prefixInput(rounds, words)
+		},
+	})
+
+	register(&Workload{
+		Name:     "gcc",
+		FullName: "126.gcc-like",
+		Rounds:   220,
+		Source:   gccSrc,
+		Input:    roundsInput,
+	})
+
+	register(&Workload{
+		Name:     "go",
+		FullName: "099.go-like",
+		Rounds:   30,
+		Source:   goSrc,
+		Input: func(rounds int, seed uint64) []uint32 {
+			// A 20x20 board of {0,1,2} cells (empty/black/white).
+			r := newRNG(seed)
+			board := make([]uint32, 400)
+			for i := range board {
+				board[i] = r.intn(3)
+			}
+			return prefixInput(rounds, board)
+		},
+	})
+
+	register(&Workload{
+		Name:     "ijp",
+		FullName: "132.ijpeg-like",
+		Rounds:   130,
+		Source:   ijpSrc,
+		Input: func(rounds int, seed uint64) []uint32 {
+			// 8x8 pixel blocks with spatial correlation (smooth gradients
+			// plus noise), so the transform output has the small-value
+			// skew real DCT coefficients have. Pixels are packed four per
+			// input word (16 words per block).
+			r := newRNG(seed)
+			data := make([]uint32, 0, rounds*16)
+			for b := 0; b < rounds; b++ {
+				base := r.intn(128)
+				var pix [64]uint32
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						pix[8*y+x] = (base + uint32(2*y+x) + r.intn(8)) & 255
+					}
+				}
+				for i := 0; i < 64; i += 4 {
+					data = append(data, pix[i]|pix[i+1]<<8|pix[i+2]<<16|pix[i+3]<<24)
+				}
+			}
+			return prefixInput(rounds, data)
+		},
+	})
+
+	register(&Workload{
+		Name:     "per",
+		FullName: "134.perl-like",
+		Rounds:   7000,
+		Source:   perSrc,
+		Input: func(rounds int, seed uint64) []uint32 {
+			// Skewed key stream: mostly a small hot set (hash hits), with
+			// a long tail forcing inserts and chain walks.
+			r := newRNG(seed)
+			keys := make([]uint32, rounds)
+			for i := range keys {
+				if r.intn(4) != 0 {
+					keys[i] = 1 + r.intn(40)
+				} else {
+					keys[i] = 1 + r.intn(1500)
+				}
+			}
+			return prefixInput(rounds, keys)
+		},
+	})
+
+	register(&Workload{
+		Name:     "m88",
+		FullName: "124.m88ksim-like",
+		Rounds:   60,
+		Source:   m88Src,
+		Input:    roundsInput,
+	})
+
+	register(&Workload{
+		Name:     "vor",
+		FullName: "147.vortex-like",
+		Rounds:   5000,
+		Source:   vorSrc,
+		Input: func(rounds int, seed uint64) []uint32 {
+			// Transaction stream: (key, opcode) pairs; keys skewed so
+			// lookups dominate inserts after warm-up.
+			r := newRNG(seed)
+			data := make([]uint32, 0, 2*rounds)
+			for i := 0; i < rounds; i++ {
+				data = append(data, 1+r.intn(220), r.intn(3)%2)
+			}
+			return prefixInput(rounds, data)
+		},
+	})
+
+	register(&Workload{
+		Name:     "xli",
+		FullName: "130.li-like",
+		Rounds:   800,
+		Source:   xliSrc,
+		Input:    roundsInput,
+	})
+
+	register(&Workload{
+		Name:     "fig1",
+		FullName: "paper Fig. 1 kernel (126.gcc invalidate_for_call)",
+		Rounds:   100,
+		Source:   fig1Src,
+		Input:    roundsInput,
+	})
+}
+
+// comSrc: an adaptive byte compressor — hash-table recency model emitting
+// run counts on hits and literals on misses.
+const comSrc = `
+	.data
+htab:	.space 1024		# 256-entry recency table
+	.text
+main:	in $s7			# input word count
+	li $s0, 0		# position
+	li $s5, 0		# output checksum
+	la $s1, htab
+loop:	in $t0			# next input word (4 packed bytes)
+	li $t7, 0
+bloop:	andi $t1, $t0, 255	# low byte
+	srl $t0, $t0, 8
+	sll $t2, $t1, 2
+	addu $t2, $t2, $s1
+	lw $t3, 0($t2)		# recency entry
+	beq $t3, $t1, hit
+	sw $t1, 0($t2)		# miss: remember, emit literal
+	addu $s5, $s5, $t1
+	j bnext
+hit:	addiu $s5, $s5, 1	# hit: extend run
+bnext:	addiu $t7, $t7, 1
+	slti $t8, $t7, 4
+	bne $t8, $zero, bloop
+	addiu $s0, $s0, 1
+	slt $t4, $s0, $s7
+	bne $t4, $zero, loop
+	out $s5
+	halt
+`
+
+// gccSrc: the paper's invalidate_for_call mask scan (Fig. 1, verbatim
+// structure) plus an instruction-scan pass with multiway dispatch — the
+// register-allocation and insn-walking flavour of gcc.
+const gccSrc = `
+	.data
+regmask:	.word 0x8000bfff, 0xfffffff0
+optab:	.word 1, 2, 3, 1, 2, 1, 4, 3, 2, 1, 1, 2, 3, 4, 1, 2
+	.text
+main:	in $s7
+	li $s6, 0
+	li $s5, 0
+round:	jal invalidate
+	jal scan
+	addiu $s6, $s6, 1
+	slt $t0, $s6, $s7
+	bne $t0, $zero, round
+	out $s5
+	halt
+
+# The paper's Fig. 1: test each of 64 register bits in a two-word mask.
+invalidate:
+	add $6, $0, $0
+	la $19, regmask
+LL1:	srl $2, $6, 5
+	sll $2, $2, 2
+	addu $2, $2, $19
+	lw $4, 0($2)
+	andi $3, $6, 31
+	srlv $2, $4, $3
+	andi $2, $2, 1
+	beq $2, $0, LL2
+	addiu $s5, $s5, 1
+LL2:	addiu $6, $6, 1
+	slti $2, $6, 64
+	bne $2, $0, LL1
+	jr $ra
+
+# Walk a static opcode table with a multiway branch per entry.
+scan:	li $t0, 0
+	la $t1, optab
+sloop:	sll $t2, $t0, 2
+	addu $t3, $t1, $t2
+	lw $t4, 0($t3)
+	li $t5, 1
+	beq $t4, $t5, op1
+	li $t5, 2
+	beq $t4, $t5, op2
+	li $t5, 3
+	beq $t4, $t5, op3
+	addiu $s5, $s5, 4
+	j snext
+op1:	addiu $s5, $s5, 1
+	j snext
+op2:	sll $s5, $s5, 1
+	j snext
+op3:	xori $s5, $s5, 0x55
+snext:	addiu $t0, $t0, 1
+	slti $t6, $t0, 16
+	bne $t6, $zero, sloop
+	jr $ra
+`
+
+// goSrc: board evaluation over a 20x20 grid with data-dependent neighbour
+// tests — the irregular, branchy control the paper attributes to go.
+const goSrc = `
+	.data
+board:	.space 1600		# 20x20 words
+	.text
+main:	in $s7
+	li $s6, 0
+	li $s5, 0
+	la $s2, board
+	li $t9, 20
+	# fill board from input
+	li $t0, 0
+fill:	in $t1
+	sll $t3, $t0, 2
+	addu $t4, $t3, $s2
+	sw $t1, 0($t4)
+	addiu $t0, $t0, 1
+	slti $t5, $t0, 400
+	bne $t5, $zero, fill
+round:	li $s0, 1		# y in 1..18
+	li $s4, 0		# round score
+yloop:	li $s1, 1		# x in 1..18
+xloop:	mul $t0, $s0, $t9
+	addu $t0, $t0, $s1
+	sll $t0, $t0, 2
+	addu $t0, $t0, $s2
+	lw $t2, 0($t0)		# cell
+	beq $t2, $zero, cnext
+	lw $t3, -4($t0)		# left
+	lw $t4, 4($t0)		# right
+	lw $t5, -80($t0)	# up
+	lw $t6, 80($t0)		# down
+	li $t7, 0		# same-colour neighbours
+	bne $t3, $t2, g1
+	addiu $t7, $t7, 1
+g1:	bne $t4, $t2, g2
+	addiu $t7, $t7, 1
+g2:	bne $t5, $t2, g3
+	addiu $t7, $t7, 1
+g3:	bne $t6, $t2, g4
+	addiu $t7, $t7, 1
+g4:	slti $t8, $t7, 3
+	bne $t8, $zero, weak
+	addu $s4, $s4, $t2	# strong group bonus
+	j cnext
+weak:	addu $s4, $s4, $t7
+cnext:	addiu $s1, $s1, 1
+	slti $t8, $s1, 19
+	bne $t8, $zero, xloop
+	addiu $s0, $s0, 1
+	slti $t8, $s0, 19
+	bne $t8, $zero, yloop
+	add $s5, $s5, $s4
+	# perturb one cell so rounds differ
+	li $t0, 29
+	mul $t0, $s6, $t0
+	addiu $t0, $t0, 7
+	li $t1, 400
+	remu $t0, $t0, $t1
+	sll $t0, $t0, 2
+	addu $t0, $t0, $s2
+	lw $t1, 0($t0)
+	addiu $t1, $t1, 1
+	li $t2, 3
+	remu $t1, $t1, $t2
+	sw $t1, 0($t0)
+	addiu $s6, $s6, 1
+	slt $t0, $s6, $s7
+	bne $t0, $zero, round
+	out $s5
+	halt
+`
+
+// ijpSrc: 8x8 block transform — read a block, butterfly each row, then
+// quantise through a static table (repeated-input use).
+const ijpSrc = `
+	.data
+qtab:	.word 16, 11, 10, 16, 24, 40, 51, 61
+buf:	.space 256
+	.text
+main:	in $s7			# block count
+	li $s6, 0
+	li $s5, 0
+	la $s2, buf
+	la $s3, qtab
+block:	li $t0, 0		# word index; 4 pixels per input word
+rd:	in $t1
+	sll $t2, $t0, 4
+	addu $t2, $t2, $s2
+	andi $t3, $t1, 255
+	sw $t3, 0($t2)
+	srl $t1, $t1, 8
+	andi $t3, $t1, 255
+	sw $t3, 4($t2)
+	srl $t1, $t1, 8
+	andi $t3, $t1, 255
+	sw $t3, 8($t2)
+	srl $t1, $t1, 8
+	andi $t3, $t1, 255
+	sw $t3, 12($t2)
+	addiu $t0, $t0, 1
+	slti $t3, $t0, 16
+	bne $t3, $zero, rd
+	li $t0, 0		# row butterfly
+row:	sll $t1, $t0, 5
+	addu $t1, $t1, $s2
+	lw $t2, 0($t1)
+	lw $t3, 28($t1)
+	add $t4, $t2, $t3
+	sub $t5, $t2, $t3
+	lw $t2, 4($t1)
+	lw $t3, 24($t1)
+	add $t6, $t2, $t3
+	sub $t7, $t2, $t3
+	lw $t2, 8($t1)
+	lw $t3, 20($t1)
+	add $t8, $t2, $t3
+	sub $v0, $t2, $t3
+	lw $t2, 12($t1)
+	lw $t3, 16($t1)
+	add $v1, $t2, $t3
+	sub $a3, $t2, $t3
+	add $t2, $t4, $v1
+	add $t3, $t6, $t8
+	add $t2, $t2, $t3
+	sra $t2, $t2, 3
+	sw $t2, 0($t1)
+	sub $t3, $t4, $v1
+	sw $t3, 4($t1)
+	add $t3, $t5, $t7
+	sw $t3, 8($t1)
+	add $t3, $v0, $a3
+	sw $t3, 12($t1)
+	sub $t3, $t5, $t7
+	sw $t3, 16($t1)
+	sub $t3, $v0, $a3
+	sw $t3, 20($t1)
+	sub $t3, $t6, $t8
+	sw $t3, 24($t1)
+	add $t3, $t4, $t6
+	sw $t3, 28($t1)
+	addiu $t0, $t0, 1
+	slti $t3, $t0, 8
+	bne $t3, $zero, row
+	li $t0, 0		# quantise
+q:	sll $t1, $t0, 2
+	addu $t2, $t1, $s2
+	lw $t3, 0($t2)
+	andi $t4, $t0, 7
+	sll $t4, $t4, 2
+	addu $t4, $t4, $s3
+	lw $t5, 0($t4)		# static quant step
+	div $t6, $t3, $t5
+	sw $t6, 0($t2)
+	add $s5, $s5, $t6
+	addiu $t0, $t0, 1
+	slti $t3, $t0, 64
+	bne $t3, $zero, q
+	addiu $s6, $s6, 1
+	slt $t0, $s6, $s7
+	bne $t0, $zero, block
+	out $s5
+	halt
+`
+
+// perSrc: chained hash-table workload — hash a key, walk the bucket chain,
+// bump the value on hit, insert on miss.
+const perSrc = `
+	.data
+heads:	.space 1024		# 256 bucket heads (handle+1; 0 = empty)
+keys:	.space 8192		# pool: up to 2048 entries
+vals:	.space 8192
+nexts:	.space 8192
+	.text
+main:	in $s7
+	li $s6, 0
+	li $s4, 1		# next free handle (1-based)
+	li $s5, 0
+	la $s0, heads
+	la $s1, keys
+	la $s2, vals
+	la $s3, nexts
+oploop:	in $t0			# key
+	li $t1, 0x9E3779B9
+	mul $t2, $t0, $t1
+	srl $t2, $t2, 24	# bucket 0..255
+	sll $t2, $t2, 2
+	addu $t2, $t2, $s0	# &heads[b]
+	lw $t3, 0($t2)		# chain head
+walk:	beq $t3, $zero, insert
+	addiu $t4, $t3, -1
+	sll $t4, $t4, 2
+	addu $t5, $t4, $s1
+	lw $t6, 0($t5)		# entry key
+	beq $t6, $t0, found
+	addu $t5, $t4, $s3
+	lw $t3, 0($t5)		# next handle
+	j walk
+found:	addu $t5, $t4, $s2
+	lw $t7, 0($t5)
+	addiu $t7, $t7, 1
+	sw $t7, 0($t5)
+	addiu $s5, $s5, 1
+	j opnext
+insert:	slti $t4, $s4, 2048
+	beq $t4, $zero, opnext	# pool exhausted: drop
+	addiu $t4, $s4, -1
+	sll $t4, $t4, 2
+	addu $t5, $t4, $s1
+	sw $t0, 0($t5)
+	addu $t5, $t4, $s2
+	sw $zero, 0($t5)
+	lw $t6, 0($t2)
+	addu $t5, $t4, $s3
+	sw $t6, 0($t5)		# next = old head
+	sw $s4, 0($t2)		# head = this handle
+	addiu $s4, $s4, 1
+opnext:	addiu $s6, $s6, 1
+	slt $t4, $s6, $s7
+	bne $t4, $zero, oploop
+	out $s5
+	halt
+`
+
+// m88Src: an instruction-set simulator simulating a tiny 16-register
+// machine whose program lives in a static table — every fetched word is a
+// repeated read of static data, giving the large repeated-input-use
+// fraction the paper reports for m88ksim.
+const m88Src = `
+	.data
+# Guest program: op(15..12) a(11..8) b(7..4) c(3..0).
+# ops: 0 add, 1 addi, 2 beq->c, 3 sub, else xor.
+simprog:
+	.word 0x1111		# addi r1,r1,1
+	.word 0x0221		# add  r2,r2,r1
+	.word 0x4321		# xor  r3,r2,r1
+	.word 0x2145		# beq  r1,r4 -> 5
+	.word 0x3223		# sub  r2,r2,r3
+	.word 0x1552		# addi r5,r5,2
+	.word 0x2000		# beq  r0,r0 -> 0
+	.word 0x1663		# addi r6,r6,3 (rare)
+regfile:
+	.space 64		# 16 guest registers
+	.text
+main:	in $s7
+	li $s6, 0
+	li $s5, 0
+	la $s1, simprog
+	la $s2, regfile
+	li $s0, 0		# guest pc
+round:	li $s3, 0		# guest step counter
+step:	sll $t0, $s0, 2
+	addu $t0, $t0, $s1
+	lw $t1, 0($t0)		# fetch (static program word)
+	srl $t2, $t1, 12
+	andi $t2, $t2, 15	# op
+	srl $t3, $t1, 8
+	andi $t3, $t3, 15	# a
+	srl $t4, $t1, 4
+	andi $t4, $t4, 15	# b
+	andi $t5, $t1, 15	# c
+	sll $t6, $t3, 2
+	addu $t6, $t6, $s2	# &r[a]
+	sll $t7, $t4, 2
+	addu $t7, $t7, $s2	# &r[b]
+	sll $t8, $t5, 2
+	addu $t8, $t8, $s2	# &r[c]
+	addiu $s0, $s0, 1	# guest pc++
+	li $v0, 0
+	beq $t2, $v0, doadd
+	li $v0, 1
+	beq $t2, $v0, doaddi
+	li $v0, 2
+	beq $t2, $v0, dobeq
+	li $v0, 3
+	beq $t2, $v0, dosub
+	lw $v1, 0($t7)		# default: xor
+	lw $a0, 0($t8)
+	xor $v1, $v1, $a0
+	sw $v1, 0($t6)
+	j snext
+doadd:	lw $v1, 0($t7)
+	lw $a0, 0($t8)
+	add $v1, $v1, $a0
+	sw $v1, 0($t6)
+	j snext
+doaddi:	lw $v1, 0($t7)
+	add $v1, $v1, $t5
+	sw $v1, 0($t6)
+	j snext
+dobeq:	lw $v1, 0($t6)
+	lw $a0, 0($t7)
+	bne $v1, $a0, snext
+	move $s0, $t5
+	j snext
+dosub:	lw $v1, 0($t7)
+	lw $a0, 0($t8)
+	sub $v1, $v1, $a0
+	sw $v1, 0($t6)
+snext:	slti $v1, $s0, 8	# wrap guest pc
+	bne $v1, $zero, cont
+	li $s0, 0
+cont:	addiu $s3, $s3, 1
+	slti $v1, $s3, 128
+	bne $v1, $zero, step
+	lw $t0, regfile+8($zero)	# guest r2
+	add $s5, $s5, $t0
+	addiu $s6, $s6, 1
+	slt $t0, $s6, $s7
+	bne $t0, $zero, round
+	out $s5
+	halt
+`
+
+// vorSrc: an in-memory record store — hash index, fixed-size records,
+// lookup/update transactions.
+const vorSrc = `
+	.data
+index:	.space 1024		# 256 index slots (handle+1)
+recs:	.space 16384		# 1024 records x 16 bytes: id, a, b, pad
+	.text
+main:	in $s7
+	li $s6, 0
+	li $s4, 0		# record count
+	li $s5, 0
+	la $s0, index
+	la $s1, recs
+op:	in $t0			# key
+	in $t1			# opcode: 0 update, 1 query
+	li $t2, 40503
+	mul $t2, $t0, $t2
+	srl $t2, $t2, 24
+	sll $t2, $t2, 2
+	addu $t2, $t2, $s0	# &index[h]
+	lw $t3, 0($t2)
+	bne $t3, $zero, have
+	slti $t4, $s4, 1024
+	beq $t4, $zero, next	# store full: drop
+	sll $t5, $s4, 4
+	addu $t5, $t5, $s1
+	sw $t0, 0($t5)		# id
+	sw $zero, 4($t5)
+	sw $zero, 8($t5)
+	addiu $s4, $s4, 1
+	sw $s4, 0($t2)		# handle+1
+	j next
+have:	addiu $t4, $t3, -1
+	sll $t4, $t4, 4
+	addu $t4, $t4, $s1	# record
+	beq $t1, $zero, upd
+	lw $t5, 4($t4)		# query: sum fields
+	lw $t6, 8($t4)
+	add $t5, $t5, $t6
+	add $s5, $s5, $t5
+	j next
+upd:	lw $t5, 4($t4)
+	addu $t5, $t5, $t0
+	sw $t5, 4($t4)
+	lw $t6, 8($t4)
+	addiu $t6, $t6, 1
+	sw $t6, 8($t4)
+next:	addiu $s6, $s6, 1
+	slt $t4, $s6, $s7
+	bne $t4, $zero, op
+	out $s5
+	halt
+`
+
+// xliSrc: cons-cell list building and traversal with real call/return —
+// the allocation/recursion flavour of xlisp.
+const xliSrc = `
+	.data
+arena:	.space 65536		# 8192 cons cells (car, cdr)
+	.text
+main:	in $s7
+	li $s6, 0
+	li $s5, 0
+	la $s3, arena
+round:	li $s4, 0		# reset allocator
+	li $s0, 0		# list = nil
+	andi $s1, $s6, 15
+	addiu $s1, $s1, 8	# list length 8..23
+	li $s2, 0
+build:	add $a0, $s2, $s6	# car value
+	move $a1, $s0		# cdr = list
+	jal cons
+	move $s0, $v0
+	addiu $s2, $s2, 1
+	slt $t1, $s2, $s1
+	bne $t1, $zero, build
+	move $a0, $s0
+	jal sum
+	add $s5, $s5, $v0
+	addiu $s6, $s6, 1
+	slt $t1, $s6, $s7
+	bne $t1, $zero, round
+	out $s5
+	halt
+
+# cons(car=$a0, cdr=$a1) -> cell address in $v0
+cons:	sll $t0, $s4, 3
+	addu $v0, $t0, $s3
+	sw $a0, 0($v0)
+	sw $a1, 4($v0)
+	addiu $s4, $s4, 1
+	jr $ra
+
+# sum(list=$a0) -> sum of cars in $v0
+sum:	li $v0, 0
+sloop:	beq $a0, $zero, sdone
+	lw $t0, 0($a0)
+	add $v0, $v0, $t0
+	lw $a0, 4($a0)
+	j sloop
+sdone:	jr $ra
+`
+
+// fig1Src: the paper's running example, standalone.
+const fig1Src = `
+	.data
+regs_ever_live:	.word 0x8000bfff, 0xfffffff0
+	.text
+main:	in $s7
+	li $s6, 0
+	li $s5, 0
+round:	add $6, $0, $0
+	la $19, regs_ever_live
+LL1:	srl $2, $6, 5
+	sll $2, $2, 2
+	addu $2, $2, $19
+	lw $4, 0($2)
+	andi $3, $6, 31
+	srlv $2, $4, $3
+	andi $2, $2, 1
+	beq $2, $0, LL2
+	addiu $s5, $s5, 1
+LL2:	addiu $6, $6, 1
+	slti $2, $6, 64
+	bne $2, $0, LL1
+	addiu $s6, $s6, 1
+	slt $t0, $s6, $s7
+	bne $t0, $zero, round
+	out $s5
+	halt
+`

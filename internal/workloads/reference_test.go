@@ -1,0 +1,186 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// runChecksum executes a workload and returns its `out` values.
+func runChecksum(t *testing.T, name string, rounds int, seed uint64) []uint32 {
+	t.Helper()
+	w, ok := ByName(name)
+	if !ok {
+		t.Fatalf("no workload %s", name)
+	}
+	prog, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(prog)
+	m.SetInput(vm.SliceInput(w.Input(rounds, seed)))
+	var out []uint32
+	m.SetOutput(func(v uint32) { out = append(out, v) })
+	if err := m.Run(MaxTraceLen, nil); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestM88ReferenceSimulation re-implements the m88 guest machine in Go and
+// checks the checksum the assembly host simulator emits — an end-to-end
+// cross-validation of assembler, VM and workload.
+func TestM88ReferenceSimulation(t *testing.T) {
+	guestProg := []uint32{0x1111, 0x0221, 0x4321, 0x2145, 0x3223, 0x1552, 0x2000, 0x1663}
+	const rounds = 5
+
+	var r [16]uint32
+	pc := 0
+	var checksum uint32
+	for round := 0; round < rounds; round++ {
+		for step := 0; step < 128; step++ {
+			w := guestProg[pc]
+			op := (w >> 12) & 15
+			a := (w >> 8) & 15
+			b := (w >> 4) & 15
+			c := w & 15
+			pc++
+			switch op {
+			case 0:
+				r[a] = r[b] + r[c]
+			case 1:
+				r[a] = r[b] + c
+			case 2:
+				if r[a] == r[b] {
+					pc = int(c)
+				}
+			case 3:
+				r[a] = r[b] - r[c]
+			default:
+				r[a] = r[b] ^ r[c]
+			}
+			if pc >= 8 {
+				pc = 0
+			}
+		}
+		checksum += r[2]
+	}
+
+	out := runChecksum(t, "m88", rounds, 1)
+	if len(out) != 1 || out[0] != checksum {
+		t.Errorf("m88 checksum = %v, reference = %d", out, checksum)
+	}
+}
+
+// TestPerReferenceSimulation re-implements the hash-table workload: the
+// checksum counts lookup hits.
+func TestPerReferenceSimulation(t *testing.T) {
+	const rounds = 2000
+	w, _ := ByName("per")
+	input := w.Input(rounds, 5)
+
+	type entry struct{ key, val uint32 }
+	buckets := make(map[uint32][]int) // bucket -> pool handles (most recent first)
+	var pool []entry
+	var hits uint32
+	for _, key := range input[1:] {
+		b := (key * 0x9E3779B9) >> 24
+		found := false
+		for _, h := range buckets[b] {
+			if pool[h].key == key {
+				pool[h].val++
+				hits++
+				found = true
+				break
+			}
+		}
+		if !found && len(pool) < 2047 { // handles 1..2047 fit the pool guard
+			pool = append(pool, entry{key: key})
+			// Insert at chain head, like the assembly.
+			buckets[b] = append([]int{len(pool) - 1}, buckets[b]...)
+		}
+	}
+
+	out := runChecksum(t, "per", rounds, 5)
+	if len(out) != 1 || out[0] != hits {
+		t.Errorf("per checksum = %v, reference = %d", out, hits)
+	}
+}
+
+// TestVorReferenceSimulation re-implements the record-store workload.
+func TestVorReferenceSimulation(t *testing.T) {
+	const rounds = 2000
+	w, _ := ByName("vor")
+	input := w.Input(rounds, 9)
+
+	var index [256]int // handle+1
+	type rec struct{ id, a, b uint32 }
+	var recs []rec
+	var checksum uint32
+	data := input[1:]
+	for i := 0; i+1 < len(data); i += 2 {
+		key, opcode := data[i], data[i+1]
+		h := (key * 40503) >> 24
+		if index[h] == 0 {
+			if len(recs) < 1024 {
+				recs = append(recs, rec{id: key})
+				index[h] = len(recs)
+			}
+			continue
+		}
+		r := &recs[index[h]-1]
+		if opcode == 0 {
+			r.a += key
+			r.b++
+		} else {
+			checksum += r.a + r.b
+		}
+	}
+
+	out := runChecksum(t, "vor", rounds, 9)
+	if len(out) != 1 || out[0] != checksum {
+		t.Errorf("vor checksum = %v, reference = %d", out, checksum)
+	}
+}
+
+// TestGoBoardReference re-implements one scan of the go board evaluator.
+func TestGoBoardReference(t *testing.T) {
+	const rounds = 3
+	w, _ := ByName("go")
+	input := w.Input(rounds, 11)
+
+	board := make([]uint32, 400)
+	copy(board, input[1:401])
+	var checksum uint32
+	for round := 0; round < rounds; round++ {
+		var score uint32
+		for y := 1; y < 19; y++ {
+			for x := 1; x < 19; x++ {
+				idx := y*20 + x
+				cell := board[idx]
+				if cell == 0 {
+					continue
+				}
+				same := uint32(0)
+				for _, n := range []uint32{board[idx-1], board[idx+1], board[idx-20], board[idx+20]} {
+					if n == cell {
+						same++
+					}
+				}
+				if same >= 3 {
+					score += cell
+				} else {
+					score += same
+				}
+			}
+		}
+		checksum += score
+		p := (round*29 + 7) % 400
+		board[p] = (board[p] + 1) % 3
+	}
+
+	out := runChecksum(t, "go", rounds, 11)
+	if len(out) != 1 || out[0] != checksum {
+		t.Errorf("go checksum = %v, reference = %d", out, checksum)
+	}
+}

@@ -1,0 +1,174 @@
+// Package workloads provides the benchmark programs the reproduction runs
+// in place of SPEC95. Each workload is written in the repository's assembly
+// and modeled after the SPEC95 program the paper reports on, carrying the
+// program constructs the paper attributes predictability behaviour to:
+// loop-carried strides, write-once globals, repeated scans of static tables
+// (m88ksim), filtering branches (gcc/go), immediate-free inner loops
+// (mgrid), and long float basic blocks (fpppp).
+//
+// Workload names follow the paper's figure labels: com gcc go ijp per m88
+// vor xli (integer) and app fpp mgr swm (floating point), plus "fig1", the
+// paper's running example from 126.gcc.
+package workloads
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Workload is one benchmark program plus its input generator.
+type Workload struct {
+	// Name is the short label used in the paper's figures (e.g. "com").
+	Name string
+	// FullName names the SPEC95 program the workload is modeled after.
+	FullName string
+	// Float marks the floating-point set (app/fpp/mgr/swm).
+	Float bool
+	// Rounds is the default outer-iteration parameter, tuned to give
+	// traces of roughly 100–300k dynamic instructions.
+	Rounds int
+	// Source is the assembly text.
+	Source string
+	// Input generates the program input stream for a given rounds
+	// parameter and seed. The first word is always the rounds count.
+	Input func(rounds int, seed uint64) []uint32
+
+	once sync.Once
+	prog *asm.Program
+	err  error
+}
+
+// MaxTraceLen bounds any single workload trace as a safety net against
+// runaway loops; it is far above every default configuration.
+const MaxTraceLen = 50_000_000
+
+// Program assembles the workload (cached).
+func (w *Workload) Program() (*asm.Program, error) {
+	w.once.Do(func() {
+		w.prog, w.err = asm.Assemble(w.Name, w.Source)
+	})
+	return w.prog, w.err
+}
+
+// Trace executes the workload with its default rounds and seed 1.
+func (w *Workload) Trace() (*trace.Trace, error) {
+	return w.TraceRounds(w.Rounds, 1)
+}
+
+// TraceRounds executes the workload with an explicit rounds parameter and
+// input seed, returning the dynamic instruction trace.
+func (w *Workload) TraceRounds(rounds int, seed uint64) (*trace.Trace, error) {
+	prog, err := w.Program()
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", w.Name, err)
+	}
+	input := w.Input(rounds, seed)
+	if len(input) == 0 || input[0] != uint32(rounds) {
+		return nil, fmt.Errorf("workloads: %s: input generator must lead with the rounds count", w.Name)
+	}
+	t, err := vm.Trace(prog, vm.SliceInput(input), MaxTraceLen)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", w.Name, err)
+	}
+	return t, nil
+}
+
+// rng is a xorshift32 generator for deterministic input streams.
+type rng uint32
+
+func newRNG(seed uint64) *rng {
+	s := rng(seed*2654435761 + 1)
+	if s == 0 {
+		s = 1
+	}
+	return &s
+}
+
+func (r *rng) next() uint32 {
+	x := uint32(*r)
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	*r = rng(x)
+	return x
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n uint32) uint32 { return r.next() % n }
+
+// All returns every workload: the paper's integer and floating-point
+// sets, the Fig. 1 kernel, and the compiled (mini-C) extra.
+func All() []*Workload {
+	out := make([]*Workload, 0, len(registry))
+	out = append(out, Integer()...)
+	out = append(out, Float()...)
+	out = append(out, mustGet("fig1"), mustGet("hst"))
+	return out
+}
+
+// Integer returns the paper's integer set in figure order.
+func Integer() []*Workload {
+	return gets("com", "gcc", "go", "ijp", "per", "m88", "vor", "xli")
+}
+
+// Float returns the paper's floating-point set in figure order.
+func Float() []*Workload {
+	return gets("app", "fpp", "mgr", "swm")
+}
+
+// ByName looks up a workload by its short name.
+func ByName(name string) (*Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}
+
+// Names returns the short names of every workload.
+func Names() []string {
+	names := make([]string, 0, len(All()))
+	for _, w := range All() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+var registry = map[string]*Workload{}
+
+func register(w *Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic("workloads: duplicate name " + w.Name)
+	}
+	registry[w.Name] = w
+}
+
+func mustGet(name string) *Workload {
+	w, ok := registry[name]
+	if !ok {
+		panic("workloads: missing " + name)
+	}
+	return w
+}
+
+func gets(names ...string) []*Workload {
+	out := make([]*Workload, len(names))
+	for i, n := range names {
+		out[i] = mustGet(n)
+	}
+	return out
+}
+
+// roundsInput is the trivial generator for workloads whose only input is
+// the rounds parameter.
+func roundsInput(rounds int, _ uint64) []uint32 {
+	return []uint32{uint32(rounds)}
+}
+
+// prefixInput builds [rounds, extra...].
+func prefixInput(rounds int, extra []uint32) []uint32 {
+	out := make([]uint32, 0, 1+len(extra))
+	out = append(out, uint32(rounds))
+	return append(out, extra...)
+}

@@ -1,0 +1,308 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+func TestRegistryShape(t *testing.T) {
+	if len(Integer()) != 8 {
+		t.Errorf("integer set has %d workloads, want 8", len(Integer()))
+	}
+	if len(Float()) != 4 {
+		t.Errorf("float set has %d workloads, want 4", len(Float()))
+	}
+	if len(All()) != 14 {
+		t.Errorf("All() has %d workloads, want 14", len(All()))
+	}
+	wantInt := []string{"com", "gcc", "go", "ijp", "per", "m88", "vor", "xli"}
+	for i, w := range Integer() {
+		if w.Name != wantInt[i] {
+			t.Errorf("integer[%d] = %s, want %s", i, w.Name, wantInt[i])
+		}
+		if w.Float {
+			t.Errorf("%s marked float", w.Name)
+		}
+	}
+	for _, w := range Float() {
+		if !w.Float {
+			t.Errorf("%s not marked float", w.Name)
+		}
+	}
+	if _, ok := ByName("gcc"); !ok {
+		t.Error("ByName(gcc) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) succeeded")
+	}
+	if len(Names()) != 14 {
+		t.Error("Names() wrong length")
+	}
+}
+
+func TestAllWorkloadsAssemble(t *testing.T) {
+	for _, w := range All() {
+		if _, err := w.Program(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestAllWorkloadsRunToCompletion(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			// Run a reduced size to keep the suite fast; the program must
+			// halt (not hit the step limit) and the trace must validate.
+			rounds := w.Rounds / 10
+			if rounds < 2 {
+				rounds = 2
+			}
+			tr, err := w.TraceRounds(rounds, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Len() == 0 {
+				t.Fatal("empty trace")
+			}
+			last := tr.Events[tr.Len()-1]
+			if last.Op != isa.OpHalt {
+				t.Errorf("trace does not end in halt (ends %s) — step limit hit?", last.Op)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			// The checksum must actually be emitted.
+			found := false
+			for i := range tr.Events {
+				if tr.Events[i].Op == isa.OpOut {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Error("no `out` in trace; checksum dead?")
+			}
+		})
+	}
+}
+
+func TestDefaultTraceLengths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size traces in -short mode")
+	}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			tr, err := w.Trace()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Default sizes target roughly 100-300k dynamic instructions
+			// (fig1 is smaller by design).
+			lo, hi := 60_000, 600_000
+			if w.Name == "fig1" {
+				lo = 30_000
+			}
+			if w.Name == "hst" {
+				lo = 100_000
+			}
+			if tr.Len() < lo || tr.Len() > hi {
+				t.Errorf("%s default trace length %d outside [%d, %d]", w.Name, tr.Len(), lo, hi)
+			}
+		})
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	w, _ := ByName("per")
+	t1, err := w.TraceRounds(300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := w.TraceRounds(300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Len() != t2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", t1.Len(), t2.Len())
+	}
+	for i := range t1.Events {
+		if t1.Events[i] != t2.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	// Different seed changes the input-dependent path.
+	t3, err := w.TraceRounds(300, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3.Len() == t1.Len() {
+		same := true
+		for i := range t1.Events {
+			if t1.Events[i] != t3.Events[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestSeedChangesInputs(t *testing.T) {
+	for _, w := range All() {
+		in1 := w.Input(10, 1)
+		in2 := w.Input(10, 2)
+		if in1[0] != 10 || in2[0] != 10 {
+			t.Errorf("%s: rounds word wrong", w.Name)
+		}
+		if len(in1) > 1 {
+			same := len(in1) == len(in2)
+			if same {
+				for i := range in1 {
+					if in1[i] != in2[i] {
+						same = false
+						break
+					}
+				}
+			}
+			if same {
+				t.Errorf("%s: seeds do not change input", w.Name)
+			}
+		}
+	}
+}
+
+func TestMgridInnerLoopHasNoImmediates(t *testing.T) {
+	// The defining property of the mgrid workload (paper §4.2: mgrid has
+	// almost no immediate inputs): the steady-state instruction mix is
+	// dominated by immediate-free instructions.
+	w, _ := ByName("mgr")
+	tr, err := w.TraceRounds(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imm, total := 0, 0
+	// Skip the setup/fill prefix: count only the second half.
+	for i := tr.Len() / 2; i < tr.Len(); i++ {
+		e := &tr.Events[i]
+		total++
+		if e.HasImm {
+			imm++
+		}
+		for s := uint8(0); s < e.NSrc; s++ {
+			if e.SrcReg[s] == 0 {
+				imm++
+				break
+			}
+		}
+	}
+	if frac := float64(imm) / float64(total); frac > 0.05 {
+		t.Errorf("mgr steady state: %.1f%% instructions with immediates, want < 5%%", 100*frac)
+	}
+}
+
+func TestM88FetchesFromStaticProgram(t *testing.T) {
+	// m88ksim's defining property: a large fraction of loads read the
+	// static guest program (D data reused every fetch).
+	w, _ := ByName("m88")
+	prog, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, ok := prog.Symbol("simprog")
+	if !ok {
+		t.Fatal("no simprog symbol")
+	}
+	tr, err := w.TraceRounds(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetches := 0
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if isa.IsLoad(e.Op) && e.Addr >= base && e.Addr < base+32 {
+			fetches++
+		}
+	}
+	// 3 rounds x 128 guest steps = 384 fetches.
+	if fetches != 384 {
+		t.Errorf("guest fetches = %d, want 384", fetches)
+	}
+}
+
+func TestFloatWorkloadsUseFloatOps(t *testing.T) {
+	for _, w := range Float() {
+		tr, err := w.TraceRounds(3, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		fp := 0
+		for i := range tr.Events {
+			switch tr.Events[i].Op {
+			case isa.OpAddf, isa.OpSubf, isa.OpMulf, isa.OpDivf:
+				fp++
+			}
+		}
+		if fp == 0 {
+			t.Errorf("%s: no float arithmetic executed", w.Name)
+		}
+	}
+}
+
+func TestComChecksumMatchesReference(t *testing.T) {
+	// Cross-check the compress workload against a Go reimplementation of
+	// its algorithm — guards against assembler/VM miscompiles.
+	w, _ := ByName("com")
+	const rounds = 500
+	input := w.Input(rounds, 3)
+
+	// The recency table starts zeroed, exactly like the VM's fresh memory
+	// (so byte 0 "hits" even on its first appearance). Each input word
+	// carries four bytes, LSB first.
+	var table [256]uint32
+	var want uint32
+	for _, v := range input[1:] {
+		for k := 0; k < 4; k++ {
+			b := (v >> (8 * k)) & 255
+			if table[b] == b {
+				want++
+			} else {
+				table[b] = b
+				want += b
+			}
+		}
+	}
+
+	prog, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(prog)
+	m.SetInput(vm.SliceInput(input))
+	var got []uint32
+	m.SetOutput(func(v uint32) { got = append(got, v) })
+	if err := m.Run(MaxTraceLen, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != want {
+		t.Errorf("checksum = %v, want [%d]", got, want)
+	}
+}
+
+func TestTraceRoundsRejectsBadGenerator(t *testing.T) {
+	w := &Workload{
+		Name:   "bad",
+		Source: "main: halt",
+		Input:  func(rounds int, _ uint64) []uint32 { return []uint32{99} },
+	}
+	if _, err := w.TraceRounds(5, 1); err == nil {
+		t.Error("generator not leading with rounds accepted")
+	}
+}
