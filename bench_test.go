@@ -78,6 +78,16 @@ func benchTrace(b *testing.B) *trace.Trace {
 	return tr
 }
 
+// benchRunWith runs the model, failing the benchmark on error.
+func benchRunWith(b *testing.B, tr *trace.Trace, cfg dpg.Config) *dpg.Result {
+	b.Helper()
+	res, err := dpg.RunWith(tr, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
 // BenchmarkVMExecute measures raw interpreter throughput
 // (instructions/op = trace length).
 func BenchmarkVMExecute(b *testing.B) {
@@ -106,7 +116,9 @@ func BenchmarkModel(b *testing.B) {
 		b.Run(kind.String(), func(b *testing.B) {
 			b.SetBytes(int64(tr.Len()))
 			for i := 0; i < b.N; i++ {
-				dpg.Run(tr, kind)
+				if _, err := dpg.Run(tr, kind); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -117,7 +129,7 @@ func BenchmarkModelNoPaths(b *testing.B) {
 	tr := benchTrace(b)
 	b.SetBytes(int64(tr.Len()))
 	for i := 0; i < b.N; i++ {
-		dpg.RunWith(tr, dpg.Config{
+		benchRunWith(b, tr, dpg.Config{
 			Predictor:     predictor.KindContext.Factory(),
 			PredictorName: "context",
 			DisablePaths:  true,
@@ -166,7 +178,7 @@ func BenchmarkAblationSharedIO(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var res *dpg.Result
 			for i := 0; i < b.N; i++ {
-				res = dpg.RunWith(tr, dpg.Config{
+				res = benchRunWith(b, tr, dpg.Config{
 					Predictor:         predictor.KindLast.Factory(),
 					PredictorName:     name,
 					SharedInputOutput: shared,
@@ -186,7 +198,7 @@ func BenchmarkAblationTableSize(b *testing.B) {
 		b.Run(fmt.Sprintf("2^%d", bits), func(b *testing.B) {
 			var res *dpg.Result
 			for i := 0; i < b.N; i++ {
-				res = dpg.RunWith(tr, dpg.Config{
+				res = benchRunWith(b, tr, dpg.Config{
 					Predictor:     func() predictor.Predictor { return predictor.NewStride(bits) },
 					PredictorName: "stride",
 				})
@@ -205,7 +217,7 @@ func BenchmarkAblationContextOrder(b *testing.B) {
 		b.Run(fmt.Sprintf("order%d", order), func(b *testing.B) {
 			var res *dpg.Result
 			for i := 0; i < b.N; i++ {
-				res = dpg.RunWith(tr, dpg.Config{
+				res = benchRunWith(b, tr, dpg.Config{
 					Predictor: func() predictor.Predictor {
 						return predictor.NewContext(predictor.DefaultTableBits, predictor.DefaultL2Bits, order)
 					},
@@ -225,7 +237,7 @@ func BenchmarkAblationGShareSize(b *testing.B) {
 		b.Run(fmt.Sprintf("2^%d", bits), func(b *testing.B) {
 			var res *dpg.Result
 			for i := 0; i < b.N; i++ {
-				res = dpg.RunWith(tr, dpg.Config{
+				res = benchRunWith(b, tr, dpg.Config{
 					Predictor:     predictor.KindLast.Factory(),
 					PredictorName: "last-value",
 					GShareBits:    bits,
@@ -248,7 +260,7 @@ func BenchmarkAblationDelayedUpdate(b *testing.B) {
 		b.Run(fmt.Sprintf("delay%d", delay), func(b *testing.B) {
 			var res *dpg.Result
 			for i := 0; i < b.N; i++ {
-				res = dpg.RunWith(tr, dpg.Config{
+				res = benchRunWith(b, tr, dpg.Config{
 					Predictor: func() predictor.Predictor {
 						return predictor.NewDelayed(predictor.NewStride(predictor.DefaultTableBits), delay)
 					},

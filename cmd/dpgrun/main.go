@@ -7,6 +7,12 @@
 //	dpgrun -trace gcc.dpg -predictor context
 //	dpgrun -workload m88 -predictor stride
 //	dpgrun -workload gcc -all          # all three predictors
+//	dpgrun -trace damaged.dpg -strict=false   # resync past corrupt blocks
+//
+// By default a corrupt or truncated trace file is rejected with a typed
+// error and a non-zero exit. With -strict=false the reader resynchronises
+// past damaged blocks, analyses the surviving events, and prints a
+// corruption summary (blocks skipped, bytes lost, truncation) to stderr.
 package main
 
 import (
@@ -29,6 +35,7 @@ func main() {
 	pred := flag.String("predictor", "context", "last-value | stride | context")
 	all := flag.Bool("all", false, "run all three predictors")
 	graph := flag.Int("graph", 0, "print the labeled DPG fragment for the first N instructions (paper Fig. 3)")
+	strict := flag.Bool("strict", true, "reject corrupt traces; -strict=false resyncs past damage and summarises it")
 	flag.Parse()
 
 	var t *trace.Trace
@@ -37,9 +44,18 @@ func main() {
 		fail("use either -trace or -workload, not both")
 	case *tracePath != "":
 		var err error
-		t, err = trace.ReadFile(*tracePath)
-		if err != nil {
-			fail(err.Error())
+		if *strict {
+			t, err = trace.ReadFile(*tracePath)
+			if err != nil {
+				fail(err.Error())
+			}
+		} else {
+			var stats trace.Stats
+			t, stats, err = trace.ReadFileLenient(*tracePath)
+			if err != nil {
+				fail(err.Error())
+			}
+			printCorruption(stats)
 		}
 	case *workload != "":
 		w, ok := workloads.ByName(*workload)
@@ -70,11 +86,14 @@ func main() {
 
 	fmt.Printf("trace %s: %d dynamic instructions, %d static\n\n", t.Name, t.Len(), t.NumStatic)
 	for _, k := range kinds {
-		r := dpg.RunWith(t, dpg.Config{
+		r, err := dpg.RunWith(t, dpg.Config{
 			Predictor:     k.Factory(),
 			PredictorName: k.String(),
 			GraphLimit:    *graph,
 		})
+		if err != nil {
+			fail(err.Error())
+		}
 		printResult(r)
 		if *graph > 0 {
 			var disasm func(pc uint32) string
@@ -111,6 +130,28 @@ func printResult(r *dpg.Result) {
 	report.WritePropagation(os.Stdout, []analysis.PropRow{analysis.Propagation(r)})
 	report.WriteTermination(os.Stdout, []analysis.TermRow{analysis.Termination(r)})
 	report.WriteBranches(os.Stdout, []analysis.BranchRow{analysis.BranchClasses(r)})
+}
+
+// printCorruption summarises what the lenient reader recovered (and lost).
+func printCorruption(st trace.Stats) {
+	if st.BlocksSkipped == 0 && !st.Truncated && !st.FooterLost {
+		fmt.Fprintf(os.Stderr, "dpgrun: trace intact (v%d, %d blocks, %d events)\n",
+			st.Version, st.Blocks, st.Events)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dpgrun: corruption summary (v%d): recovered %d events from %d blocks; skipped %d damaged region(s), %d bytes",
+		st.Version, st.Events, st.Blocks, st.BlocksSkipped, st.BytesSkipped)
+	if st.Truncated {
+		fmt.Fprint(os.Stderr, "; stream truncated")
+	}
+	if st.FooterLost {
+		fmt.Fprint(os.Stderr, "; footer lost (static counts rebuilt from surviving events)")
+	}
+	if st.EventsDeclared > 0 && st.EventsDeclared != st.Events {
+		fmt.Fprintf(os.Stderr, "; footer declared %d events (%d lost)",
+			st.EventsDeclared, st.EventsDeclared-st.Events)
+	}
+	fmt.Fprintln(os.Stderr)
 }
 
 func fail(msg string) {

@@ -72,7 +72,12 @@ func main() {
 		}
 		t, err = vm.Trace(prog, input, *limit)
 		if err != nil {
-			fail(err.Error())
+			if _, isLimit := err.(vm.ErrLimit); !isLimit {
+				fail(err.Error())
+			}
+			// The limit cut the run short; the partial trace is still
+			// well-formed, so write it and say so.
+			fmt.Fprintf(os.Stderr, "tracegen: warning: %v; writing the partial trace\n", err)
 		}
 	default:
 		fail("missing -workload or -asm")

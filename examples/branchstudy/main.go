@@ -26,7 +26,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := core.Analyze(tr, core.WithKind(predictor.KindContext))
+		res, err := core.RunTrace(tr, core.WithKind(predictor.KindContext))
+		if err != nil {
+			log.Fatal(err)
+		}
 		rows = append(rows, analysis.BranchClasses(res))
 		frac := analysis.MispredictedWithPredictableInputs(res)
 		fracs = append(fracs, frac)

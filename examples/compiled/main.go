@@ -92,7 +92,10 @@ func main() {
 
 	fmt.Printf("%-12s %8s %8s %8s %10s\n", "predictor", "gen%", "prop%", "term%", "branch-acc")
 	for _, kind := range predictor.Kinds {
-		res := core.Analyze(tr, core.WithKind(kind))
+		res, err := core.RunTrace(tr, core.WithKind(kind))
+		if err != nil {
+			log.Fatal(err)
+		}
 		acc := 0.0
 		if res.Branch.Branches > 0 {
 			acc = 100 * float64(res.Branch.Correct) / float64(res.Branch.Branches)

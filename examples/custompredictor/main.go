@@ -105,9 +105,17 @@ func main() {
 			res.Pct(res.NodeTerm()+res.ArcTotal(dpg.ArcPN)))
 	}
 	for _, kind := range predictor.Kinds {
-		show(core.Analyze(tr, core.WithKind(kind)))
+		res, err := core.RunTrace(tr, core.WithKind(kind))
+		if err != nil {
+			log.Fatal(err)
+		}
+		show(res)
 	}
 	// The custom predictor drops in through the same factory interface the
 	// built-ins use; the model builds separate input/output instances.
-	show(core.Analyze(tr, core.WithPredictor("hybrid(stride,context)", newHybrid)))
+	res, err := core.RunTrace(tr, core.WithPredictor("hybrid(stride,context)", newHybrid))
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(res)
 }

@@ -65,7 +65,10 @@ func main() {
 
 	// 3. Run the model with each of the paper's predictors.
 	for _, kind := range predictor.Kinds {
-		res := core.Analyze(tr, core.WithKind(kind))
+		res, err := core.RunTrace(tr, core.WithKind(kind))
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("--- %s ---\n", kind)
 		fmt.Printf("  generation:  %5.1f%% of nodes+arcs (nodes %.1f%%, arcs %.1f%%)\n",
 			res.Pct(res.NodeGen()+res.ArcTotal(dpg.ArcNP)),
@@ -78,7 +81,10 @@ func main() {
 	fmt.Println()
 
 	// 4. Full classification tables for the context-based predictor.
-	res := core.Analyze(tr, core.WithKind(predictor.KindContext))
+	res, err := core.RunTrace(tr, core.WithKind(predictor.KindContext))
+	if err != nil {
+		log.Fatal(err)
+	}
 	report.WriteOverall(os.Stdout, []analysis.OverallRow{analysis.Overall(res)})
 	report.WriteGeneration(os.Stdout, []analysis.GenRow{analysis.Generation(res)})
 }

@@ -79,10 +79,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	b := dpg.NewBuilder(r.Name(), counts, dpg.Config{
+	b, err := dpg.NewBuilder(r.Name(), counts, dpg.Config{
 		Predictor:     predictor.KindContext.Factory(),
 		PredictorName: predictor.KindContext.String(),
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	var e trace.Event
 	for {
 		err := r.Next(&e)
@@ -92,9 +95,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		b.Observe(&e)
+		if err := b.Observe(&e); err != nil {
+			log.Fatal(err)
+		}
 	}
-	res := b.Finish()
+	res, err := b.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("consumer: %d nodes, %d arcs — propagation %.1f%%, generation %.1f%%, termination %.1f%%\n",
 		res.Nodes, res.Arcs,
 		res.Pct(res.NodeProp()+res.ArcTotal(dpg.ArcPP)),
@@ -106,7 +114,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res2 := core.Analyze(full, core.WithKind(predictor.KindContext))
+	res2, err := core.RunTrace(full, core.WithKind(predictor.KindContext))
+	if err != nil {
+		log.Fatal(err)
+	}
 	if res2.NodeCount != res.NodeCount || res2.ArcCount != res.ArcCount {
 		log.Fatal("streaming and in-memory classification disagree")
 	}

@@ -26,7 +26,10 @@ func resultFor(t *testing.T, name string, kind predictor.Kind) *dpg.Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := dpg.Run(tr, kind)
+	r, err := dpg.Run(tr, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
 	testResults[key] = r
 	return r
 }

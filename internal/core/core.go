@@ -7,7 +7,8 @@
 //
 //	w, _ := workloads.ByName("gcc")
 //	tr, _ := w.Trace()
-//	res := core.Analyze(tr, core.WithKind(predictor.KindContext))
+//	res, err := core.RunTrace(tr, core.WithKind(predictor.KindContext))
+//	if err != nil { ... }
 //	fmt.Println(res.Pct(res.NodeProp()))
 //
 // or, for the paper's full evaluation, build a Suite and run experiments:
@@ -30,7 +31,7 @@ import (
 	"repro/internal/workloads"
 )
 
-// Option configures Analyze.
+// Option configures RunTrace.
 type Option func(*dpg.Config)
 
 // WithKind selects one of the paper's predictors (default: context-based).
@@ -62,15 +63,37 @@ func WithSharedInputOutput() Option {
 	return func(c *dpg.Config) { c.SharedInputOutput = true }
 }
 
-// Analyze runs the predictability model over a trace.
-func Analyze(t *trace.Trace, opts ...Option) *dpg.Result {
-	cfg := dpg.Config{}
+// buildConfig folds the options over the default (context) configuration.
+// Option closures that panic — e.g. a Kind out of range — are converted
+// into ErrConfig at this boundary.
+func buildConfig(opts []Option) (cfg dpg.Config, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrConfig, r)
+		}
+	}()
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if cfg.Predictor == nil {
 		cfg.Predictor = predictor.KindContext.Factory()
 		cfg.PredictorName = predictor.KindContext.String()
+	}
+	return cfg, nil
+}
+
+// RunTrace runs the predictability model over a trace. It is the panic-free
+// public entry point: a nil trace, invalid predictor configuration, or
+// out-of-range event fields produce an error matching ErrConfig /
+// ErrMalformedEvent instead of crashing, so externally produced traces can
+// be fed without trust.
+func RunTrace(t *trace.Trace, opts ...Option) (*dpg.Result, error) {
+	if t == nil {
+		return nil, fmt.Errorf("%w: nil trace", ErrConfig)
+	}
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
 	}
 	return dpg.RunWith(t, cfg)
 }
@@ -167,7 +190,7 @@ func (s *Suite) Result(name string, kind predictor.Kind) (*dpg.Result, error) {
 		if s.cfg.Progress != nil {
 			fmt.Fprintf(s.cfg.Progress, "running %-5s with %-10s (%d events)\n", name, kind, t.Len())
 		}
-		re.res = dpg.Run(t, kind)
+		re.res, re.err = dpg.Run(t, kind)
 		s.mu.Lock()
 		s.done[name]++
 		if s.done[name] >= len(predictor.Kinds) {
@@ -322,8 +345,16 @@ func ExperimentIDs() []string {
 	return ids
 }
 
-// Run executes one experiment by id and renders it to w.
-func (s *Suite) Run(id string, w io.Writer) error {
+// Run executes one experiment by id and renders it to w. Panics below the
+// experiment code (a bug, not a caller mistake) are converted into errors
+// so a long figure-set run reports the failing experiment instead of
+// crashing the process.
+func (s *Suite) Run(id string, w io.Writer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: experiment %s: internal panic: %v", ErrConfig, id, r)
+		}
+	}()
 	switch id {
 	case "table1":
 		return s.table1(w)
@@ -632,11 +663,14 @@ func (s *Suite) correlation(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		corr := dpg.RunWith(t, dpg.Config{
+		corr, err := dpg.RunWith(t, dpg.Config{
 			Predictor:        predictor.KindContext.Factory(),
 			PredictorName:    "context+corr",
 			CorrelateOutputs: true,
 		})
+		if err != nil {
+			return err
+		}
 		prop := func(r *dpg.Result) float64 { return r.Pct(r.NodeProp() + r.ArcTotal(dpg.ArcPP)) }
 		term := func(r *dpg.Result) float64 {
 			return r.Pct(r.NodeCount[dpg.NodeTermPP] + r.NodeCount[dpg.NodeTermPI])

@@ -2,11 +2,14 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
 
+	"repro/internal/dpg"
 	"repro/internal/predictor"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -14,13 +17,23 @@ func smallSuite() *Suite {
 	return NewSuite(SuiteConfig{Scale: 0.05})
 }
 
-func TestAnalyzeDefaults(t *testing.T) {
+// mustRunTrace runs RunTrace and fails the test on error.
+func mustRunTrace(t *testing.T, tr *trace.Trace, opts ...Option) *dpg.Result {
+	t.Helper()
+	res, err := RunTrace(tr, opts...)
+	if err != nil {
+		t.Fatalf("RunTrace: %v", err)
+	}
+	return res
+}
+
+func TestRunTraceDefaults(t *testing.T) {
 	w, _ := workloads.ByName("fig1")
 	tr, err := w.TraceRounds(10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Analyze(tr)
+	res := mustRunTrace(t, tr)
 	if res.Predictor != "context" {
 		t.Errorf("default predictor = %q, want context", res.Predictor)
 	}
@@ -29,27 +42,52 @@ func TestAnalyzeDefaults(t *testing.T) {
 	}
 }
 
-func TestAnalyzeOptions(t *testing.T) {
+func TestRunTraceOptions(t *testing.T) {
 	w, _ := workloads.ByName("fig1")
 	tr, err := w.TraceRounds(10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Analyze(tr, WithKind(predictor.KindStride))
+	res := mustRunTrace(t, tr, WithKind(predictor.KindStride))
 	if res.Predictor != "stride" {
 		t.Errorf("WithKind predictor = %q", res.Predictor)
 	}
-	res = Analyze(tr, WithPredictor("mine", predictor.KindLast.Factory()))
+	res = mustRunTrace(t, tr, WithPredictor("mine", predictor.KindLast.Factory()))
 	if res.Predictor != "mine" {
 		t.Errorf("WithPredictor name = %q", res.Predictor)
 	}
-	res = Analyze(tr, WithKind(predictor.KindLast), WithoutPaths())
+	res = mustRunTrace(t, tr, WithKind(predictor.KindLast), WithoutPaths())
 	if res.Path.Elems != 0 {
 		t.Error("WithoutPaths left path stats")
 	}
-	res = Analyze(tr, WithKind(predictor.KindLast), WithSharedInputOutput())
+	res = mustRunTrace(t, tr, WithKind(predictor.KindLast), WithSharedInputOutput())
 	if res.Nodes == 0 {
 		t.Error("shared-IO run produced nothing")
+	}
+}
+
+func TestRunTraceRejectsBadInput(t *testing.T) {
+	if _, err := RunTrace(nil); !errors.Is(err, ErrConfig) {
+		t.Errorf("nil trace: err = %v, want ErrConfig", err)
+	}
+	w, _ := workloads.ByName("fig1")
+	tr, err := w.TraceRounds(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An option whose factory-backed constructor panics becomes ErrConfig.
+	if _, err := RunTrace(tr, WithPredictor("bad", func() predictor.Predictor {
+		panic("constructor rejects parameters")
+	})); !errors.Is(err, ErrConfig) {
+		t.Errorf("panicking factory: err = %v, want ErrConfig", err)
+	}
+	// A hostile event is ErrMalformedEvent, not a panic.
+	bad := *tr
+	bad.Events = append([]trace.Event(nil), tr.Events...)
+	bad.Events[1].SrcReg[0] = 200
+	bad.Events[1].NSrc = 1
+	if _, err := RunTrace(&bad); !errors.Is(err, ErrMalformedEvent) {
+		t.Errorf("hostile event: err = %v, want ErrMalformedEvent", err)
 	}
 }
 

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dpg"
+	"repro/internal/trace"
+)
+
+// The package's error taxonomy. Every failure out of the public API wraps
+// exactly one of these sentinels, so callers can branch on kind with
+// errors.Is instead of parsing messages:
+//
+//   - ErrConfig: the caller's configuration is invalid — nil trace, bad
+//     predictor parameters, unknown workload or experiment id. Includes
+//     predictor/analysis constructor panics, which are converted to
+//     errors at this boundary.
+//   - ErrMalformedEvent: a trace event carries out-of-range fields.
+//   - ErrTruncated: a trace stream ended before its footer.
+//   - ErrChecksum: a CRC-protected trace region failed verification.
+var (
+	// ErrConfig reports invalid configuration or API misuse.
+	ErrConfig = dpg.ErrConfig
+	// ErrMalformedEvent reports structurally invalid trace events.
+	ErrMalformedEvent = dpg.ErrMalformedEvent
+	// ErrTruncated reports a trace stream that ended early.
+	ErrTruncated = trace.ErrTruncated
+	// ErrChecksum reports trace data failing its checksum.
+	ErrChecksum = trace.ErrChecksum
+)
+
+// wrapTraceErr folds trace-level decode failures into the core taxonomy:
+// structural corruption becomes ErrMalformedEvent (truncation and checksum
+// kinds already are the shared sentinels and pass through unchanged).
+func wrapTraceErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, trace.ErrMalformed) && !errors.Is(err, ErrMalformedEvent) {
+		return fmt.Errorf("%w: %w", ErrMalformedEvent, err)
+	}
+	return err
+}

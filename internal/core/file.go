@@ -16,13 +16,9 @@ import (
 // execution counts the model needs up front (write-once classification);
 // the second streams events through the builder.
 func AnalyzeFile(path string, opts ...Option) (*dpg.Result, error) {
-	cfg := dpg.Config{}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	if cfg.Predictor == nil {
-		cfg.Predictor = predictor.KindContext.Factory()
-		cfg.PredictorName = predictor.KindContext.String()
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
 	}
 
 	// Pass 1: static counts from the footer.
@@ -39,9 +35,12 @@ func AnalyzeFile(path string, opts ...Option) (*dpg.Result, error) {
 	defer f.Close()
 	r, err := trace.NewReader(f)
 	if err != nil {
+		return nil, wrapTraceErr(err)
+	}
+	b, err := dpg.NewBuilder(name, counts, cfg)
+	if err != nil {
 		return nil, err
 	}
-	b := dpg.NewBuilder(name, counts, cfg)
 	var e trace.Event
 	for {
 		err := r.Next(&e)
@@ -49,11 +48,13 @@ func AnalyzeFile(path string, opts ...Option) (*dpg.Result, error) {
 			break
 		}
 		if err != nil {
+			return nil, fmt.Errorf("core: streaming %s: %w", path, wrapTraceErr(err))
+		}
+		if err := b.Observe(&e); err != nil {
 			return nil, fmt.Errorf("core: streaming %s: %w", path, err)
 		}
-		b.Observe(&e)
 	}
-	return b.Finish(), nil
+	return b.Finish()
 }
 
 // fileStaticCounts drains a trace file for its footer.
@@ -65,7 +66,7 @@ func fileStaticCounts(path string) ([]uint64, string, error) {
 	defer f.Close()
 	r, err := trace.NewReader(f)
 	if err != nil {
-		return nil, "", err
+		return nil, "", wrapTraceErr(err)
 	}
 	var e trace.Event
 	for {
@@ -74,7 +75,7 @@ func fileStaticCounts(path string) ([]uint64, string, error) {
 			break
 		}
 		if err != nil {
-			return nil, "", fmt.Errorf("core: scanning %s: %w", path, err)
+			return nil, "", fmt.Errorf("core: scanning %s: %w", path, wrapTraceErr(err))
 		}
 	}
 	return r.StaticCounts(), r.Name(), nil

@@ -3,10 +3,13 @@ package core
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/faultinject"
 	"repro/internal/predictor"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -26,7 +29,10 @@ func TestAnalyzeFileMatchesInMemory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inMem := Analyze(tr, WithKind(predictor.KindStride))
+	inMem, err := RunTrace(tr, WithKind(predictor.KindStride))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if fromFile.NodeCount != inMem.NodeCount ||
 		fromFile.ArcCount != inMem.ArcCount ||
 		fromFile.Path != inMem.Path ||
@@ -74,8 +80,43 @@ func TestAnalyzeFileErrors(t *testing.T) {
 	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := AnalyzeFile(path); err == nil {
-		t.Error("truncated file accepted")
+	if _, err := AnalyzeFile(path); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated file: err = %v, want ErrTruncated", err)
+	}
+}
+
+// TestAnalyzeFileCorruptionTaxonomy feeds AnalyzeFile damaged trace files
+// through the fault-injection harness and asserts every failure carries
+// the core error taxonomy — never a panic, never an untyped error.
+func TestAnalyzeFileCorruptionTaxonomy(t *testing.T) {
+	w, _ := workloads.ByName("fig1")
+	tr, _ := w.TraceRounds(3, 1)
+	good := filepath.Join(t.TempDir(), "good.dpg")
+	if err := trace.WriteFile(good, tr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typed := func(err error) bool {
+		return errors.Is(err, ErrMalformedEvent) || errors.Is(err, ErrTruncated) ||
+			errors.Is(err, ErrChecksum) || errors.Is(err, trace.ErrMalformed)
+	}
+	// Flip a spread of byte offsets covering header, blocks, and footer.
+	for off := 0; off < len(data); off += len(data)/16 + 1 {
+		bad, err := io.ReadAll(faultinject.NewReader(bytes.NewReader(data),
+			faultinject.Flip{Offset: int64(off), XOR: 0xFF}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "flip.dpg")
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := AnalyzeFile(path); !typed(err) {
+			t.Errorf("flip at %d: err = %v, want typed taxonomy error", off, err)
+		}
 	}
 }
 

@@ -1,6 +1,8 @@
 package dpg
 
 import (
+	"fmt"
+
 	"repro/internal/isa"
 	"repro/internal/predictor"
 	"repro/internal/trace"
@@ -119,14 +121,25 @@ type Builder struct {
 // give per-PC execution counts for the whole trace (trace.Trace carries
 // them; a streaming producer must supply them from a first pass) — the
 // model needs them up front to recognise write-once producers.
-func NewBuilder(name string, staticCount []uint64, cfg Config) *Builder {
+//
+// Configuration problems — a nil predictor factory, or predictor/branch-
+// predictor construction rejecting its parameters — return an error
+// matching ErrConfig; constructor panics are converted, never propagated.
+func NewBuilder(name string, staticCount []uint64, cfg Config) (b *Builder, err error) {
 	if cfg.Predictor == nil {
-		panic("dpg: Config.Predictor is required")
+		return nil, fmt.Errorf("%w: Config.Predictor is required", ErrConfig)
 	}
 	if cfg.GShareBits == 0 {
 		cfg.GShareBits = predictor.DefaultGShareBits
 	}
-	b := &Builder{
+	// Predictor constructors validate their parameters by panicking;
+	// convert that into the error taxonomy at this boundary.
+	defer func() {
+		if r := recover(); r != nil {
+			b, err = nil, fmt.Errorf("%w: %v", ErrConfig, r)
+		}
+	}()
+	b = &Builder{
 		cfg:         cfg,
 		inPred:      cfg.Predictor(),
 		branch:      predictor.NewGShare(cfg.GShareBits),
@@ -149,7 +162,7 @@ func NewBuilder(name string, staticCount []uint64, cfg Config) *Builder {
 	if cfg.GraphLimit > 0 {
 		b.res.Graph = &Fragment{}
 	}
-	return b
+	return b, nil
 }
 
 // newDValue creates a fresh D node's value record.
@@ -293,10 +306,16 @@ func (b *Builder) predictInput(pc uint32, slot int, actual uint32) bool {
 	return ok && pv == actual
 }
 
-// Observe feeds one dynamic instruction to the model.
-func (b *Builder) Observe(e *trace.Event) {
+// Observe feeds one dynamic instruction to the model. Events with
+// out-of-range fields — which would otherwise index past the register
+// file or the static-count table — are rejected with an error matching
+// ErrMalformedEvent and leave the model state untouched.
+func (b *Builder) Observe(e *trace.Event) error {
 	if b.finished {
-		panic("dpg: Observe after Finish")
+		return fmt.Errorf("%w: Observe after Finish", ErrConfig)
+	}
+	if err := b.checkEvent(e); err != nil {
+		return err
 	}
 	res := b.res
 	b.nodeIdx = res.Nodes
@@ -469,6 +488,30 @@ func (b *Builder) Observe(e *trace.Event) {
 	}
 
 	b.scratch = contribs[:0] // recycle the backing array for the next event
+	return nil
+}
+
+// checkEvent validates the event fields the model indexes by, keeping
+// every downstream array access in bounds.
+func (b *Builder) checkEvent(e *trace.Event) error {
+	if !isa.Valid(e.Op) {
+		return fmt.Errorf("%w: invalid opcode %d", ErrMalformedEvent, e.Op)
+	}
+	if e.NSrc > 2 {
+		return fmt.Errorf("%w: %d source operands", ErrMalformedEvent, e.NSrc)
+	}
+	for i := uint8(0); i < e.NSrc; i++ {
+		if e.SrcReg[i] >= isa.NumRegs {
+			return fmt.Errorf("%w: source register %d out of range", ErrMalformedEvent, e.SrcReg[i])
+		}
+	}
+	if e.DstReg != isa.NoReg && e.DstReg >= isa.NumRegs {
+		return fmt.Errorf("%w: destination register %d out of range", ErrMalformedEvent, e.DstReg)
+	}
+	if b.staticCount != nil && int(e.PC) >= len(b.staticCount) {
+		return fmt.Errorf("%w: pc %d out of range (%d static)", ErrMalformedEvent, e.PC, len(b.staticCount))
+	}
+	return nil
 }
 
 // endRun closes the current predictable sequence, if any.
@@ -493,9 +536,9 @@ func min64(a, b uint64) uint64 {
 
 // Finish closes the run and folds the generator table into TreeStats. The
 // Builder must not be used afterwards.
-func (b *Builder) Finish() *Result {
+func (b *Builder) Finish() (*Result, error) {
 	if b.finished {
-		panic("dpg: Finish called twice")
+		return nil, fmt.Errorf("%w: Finish called twice", ErrConfig)
 	}
 	b.finished = true
 	b.endRun()
@@ -522,21 +565,30 @@ func (b *Builder) Finish() *Result {
 			gp.TreeSize += size
 		}
 	}
-	return b.res
+	return b.res, nil
 }
 
 // Run executes the model over an in-memory trace with one of the paper's
 // standard predictors.
-func Run(t *trace.Trace, kind predictor.Kind) *Result {
+func Run(t *trace.Trace, kind predictor.Kind) (*Result, error) {
 	return RunWith(t, Config{Predictor: kind.Factory(), PredictorName: kind.String()})
 }
 
 // RunWith executes the model over an in-memory trace with a custom
-// configuration.
-func RunWith(t *trace.Trace, cfg Config) *Result {
-	b := NewBuilder(t.Name, t.StaticCount, cfg)
+// configuration. Errors match ErrConfig (bad configuration) or
+// ErrMalformedEvent (out-of-range event fields) and never panic.
+func RunWith(t *trace.Trace, cfg Config) (*Result, error) {
+	if t == nil {
+		return nil, fmt.Errorf("%w: nil trace", ErrConfig)
+	}
+	b, err := NewBuilder(t.Name, t.StaticCount, cfg)
+	if err != nil {
+		return nil, err
+	}
 	for i := range t.Events {
-		b.Observe(&t.Events[i])
+		if err := b.Observe(&t.Events[i]); err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
 	}
 	return b.Finish()
 }

@@ -1,10 +1,13 @@
 package dpg
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 
 	"repro/internal/asm"
+	"repro/internal/faultinject"
 	"repro/internal/isa"
 	"repro/internal/predictor"
 	"repro/internal/trace"
@@ -27,6 +30,25 @@ func traceOf(t *testing.T, src string, input []uint32, limit uint64) *trace.Trac
 		t.Fatalf("trace: %v", err)
 	}
 	return tr
+}
+
+// mustRun / mustRunWith run the model, failing the test on error.
+func mustRun(t *testing.T, tr *trace.Trace, k predictor.Kind) *Result {
+	t.Helper()
+	r, err := Run(tr, k)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return r
+}
+
+func mustRunWith(t *testing.T, tr *trace.Trace, cfg Config) *Result {
+	t.Helper()
+	r, err := RunWith(tr, cfg)
+	if err != nil {
+		t.Fatalf("RunWith: %v", err)
+	}
+	return r
 }
 
 // checkInvariants asserts the structural conservation laws every Result
@@ -151,7 +173,7 @@ func TestStraightLineExact(t *testing.T) {
 		addi $t1, $t0, 1
 		halt
 	`, nil, 0)
-	r := Run(tr, predictor.KindLast)
+	r := mustRun(t, tr, predictor.KindLast)
 	checkInvariants(t, r)
 
 	if r.Nodes != 3 {
@@ -195,7 +217,7 @@ func TestLoopGeneratesAtCompare(t *testing.T) {
 		bne $t1, $zero, loop
 		halt
 	`, n), nil, 0)
-	r := Run(tr, predictor.KindLast)
+	r := mustRun(t, tr, predictor.KindLast)
 	checkInvariants(t, r)
 
 	if r.Nodes != 2+3*n {
@@ -238,8 +260,8 @@ func TestStridePredictsLoopCounter(t *testing.T) {
 		bne $t1, $zero, loop
 		halt
 	`, n), nil, 0)
-	last := Run(tr, predictor.KindLast)
-	stride := Run(tr, predictor.KindStride)
+	last := mustRun(t, tr, predictor.KindLast)
+	stride := mustRun(t, tr, predictor.KindStride)
 	checkInvariants(t, stride)
 
 	// The stride predictor captures the counter: the addi node becomes a
@@ -274,7 +296,7 @@ func TestWriteOnceRepeatedUse(t *testing.T) {
 		bne $t2, $zero, loop
 		halt
 	`, n), []uint32{12345}, 0)
-	r := Run(tr, predictor.KindLast)
+	r := mustRun(t, tr, predictor.KindLast)
 	checkInvariants(t, r)
 
 	wl := r.ArcCount[UseWriteOnce][ArcNP]
@@ -316,7 +338,7 @@ func TestRepeatedInputUse(t *testing.T) {
 		bne $t2, $zero, loop
 		halt
 	`, n), nil, 0)
-	r := Run(tr, predictor.KindLast)
+	r := mustRun(t, tr, predictor.KindLast)
 	checkInvariants(t, r)
 
 	if r.DNodes != 1 {
@@ -362,7 +384,7 @@ func TestPassThroughLoadTerminatesOnUnpredictableData(t *testing.T) {
 		bne $t3, $zero, loop
 		halt
 	`, input, 0)
-	r := Run(tr, predictor.KindLast)
+	r := mustRun(t, tr, predictor.KindLast)
 	checkInvariants(t, r)
 
 	if r.NodeCount[NodeTermPN] == 0 {
@@ -388,7 +410,7 @@ func TestImmediateGeneration(t *testing.T) {
 		bne $t2, $zero, loop
 		halt
 	`, n), nil, 0)
-	r := Run(tr, predictor.KindLast)
+	r := mustRun(t, tr, predictor.KindLast)
 	checkInvariants(t, r)
 
 	if got := r.NodeCount[NodeGenII]; got != n-1 {
@@ -420,7 +442,7 @@ func TestPropagationChainDepth(t *testing.T) {
 		bne $t6, $zero, loop
 		halt
 	`, []uint32{555}, 0)
-	r := Run(tr, predictor.KindLast)
+	r := mustRun(t, tr, predictor.KindLast)
 	checkInvariants(t, r)
 
 	// Chain: wl gen arc -> addi node -> arc -> addi ... 5 nodes + 4 arcs
@@ -457,7 +479,7 @@ func TestBranchStats(t *testing.T) {
 		bne $t1, $zero, loop
 		halt
 	`, n), nil, 0)
-	r := Run(tr, predictor.KindStride)
+	r := mustRun(t, tr, predictor.KindStride)
 	checkInvariants(t, r)
 
 	if r.Branch.Branches != n {
@@ -488,7 +510,7 @@ func TestSequencesInPredictableLoop(t *testing.T) {
 		bne $t3, $zero, loop
 		halt
 	`, nil, 0)
-	r := Run(tr, predictor.KindStride)
+	r := mustRun(t, tr, predictor.KindStride)
 	checkInvariants(t, r)
 
 	if r.Seq.PredictableInstrs < r.Nodes/2 {
@@ -528,7 +550,7 @@ func TestFig1Kernel(t *testing.T) {
 		halt
 	`
 	tr := traceOf(t, src, nil, 0)
-	r := Run(tr, predictor.KindStride)
+	r := mustRun(t, tr, predictor.KindStride)
 	checkInvariants(t, r)
 
 	// §1.1: the counter increment (instruction 9) generates stride
@@ -576,7 +598,7 @@ func TestRetroactiveReclassificationConserves(t *testing.T) {
 		halt
 	`, []uint32{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}, 0)
 	for _, k := range predictor.Kinds {
-		r := Run(tr, k)
+		r := mustRun(t, tr, k)
 		checkInvariants(t, r)
 	}
 }
@@ -593,7 +615,7 @@ func TestZeroRegisterIsImmediate(t *testing.T) {
 		bne $t8, $zero, loop
 		halt
 	`, n), nil, 0)
-	r := Run(tr, predictor.KindLast)
+	r := mustRun(t, tr, predictor.KindLast)
 	checkInvariants(t, r)
 
 	// add $6,$0,$0 yields 0 every time: predicted from exec 2 -> i,i->p.
@@ -620,8 +642,8 @@ func TestSharedInputOutputShortCircuit(t *testing.T) {
 		bne $t1, $zero, loop
 		halt
 	`, nil, 0)
-	split := RunWith(tr, Config{Predictor: predictor.KindLast.Factory(), PredictorName: "split"})
-	shared := RunWith(tr, Config{Predictor: predictor.KindLast.Factory(), PredictorName: "shared", SharedInputOutput: true})
+	split := mustRunWith(t, tr, Config{Predictor: predictor.KindLast.Factory(), PredictorName: "split"})
+	shared := mustRunWith(t, tr, Config{Predictor: predictor.KindLast.Factory(), PredictorName: "shared", SharedInputOutput: true})
 	checkInvariants(t, split)
 	checkInvariants(t, shared)
 	if shared.Predictor != "shared" || split.Predictor != "split" {
@@ -637,8 +659,8 @@ func TestDisablePaths(t *testing.T) {
 		bne $t1, $zero, loop
 		halt
 	`, nil, 0)
-	full := RunWith(tr, Config{Predictor: predictor.KindStride.Factory()})
-	fast := RunWith(tr, Config{Predictor: predictor.KindStride.Factory(), DisablePaths: true})
+	full := mustRunWith(t, tr, Config{Predictor: predictor.KindStride.Factory()})
+	fast := mustRunWith(t, tr, Config{Predictor: predictor.KindStride.Factory(), DisablePaths: true})
 	// Classification identical.
 	if full.NodeCount != fast.NodeCount {
 		t.Error("node classification differs with paths disabled")
@@ -655,23 +677,113 @@ func TestDisablePaths(t *testing.T) {
 }
 
 func TestBuilderMisuse(t *testing.T) {
-	mustPanic := func(name string, f func()) {
-		t.Helper()
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s: expected panic", name)
-			}
-		}()
-		f()
+	// API misuse surfaces as ErrConfig, never a panic.
+	if _, err := NewBuilder("x", nil, Config{}); !errors.Is(err, ErrConfig) {
+		t.Errorf("nil predictor: err = %v, want ErrConfig", err)
 	}
-	mustPanic("nil predictor", func() { NewBuilder("x", nil, Config{}) })
+	// A predictor factory whose constructor panics is converted too.
+	_, err := NewBuilder("x", nil, Config{Predictor: func() predictor.Predictor {
+		panic("bad parameters")
+	}})
+	if !errors.Is(err, ErrConfig) {
+		t.Errorf("panicking factory: err = %v, want ErrConfig", err)
+	}
 
-	b := NewBuilder("x", nil, Config{Predictor: predictor.KindLast.Factory()})
-	b.Finish()
-	mustPanic("double finish", func() { b.Finish() })
-	mustPanic("observe after finish", func() {
-		b.Observe(&trace.Event{Op: isa.OpNop, DstReg: isa.NoReg})
-	})
+	b, err := NewBuilder("x", nil, Config{Predictor: predictor.KindLast.Factory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Finish(); err != nil {
+		t.Fatalf("first finish: %v", err)
+	}
+	if _, err := b.Finish(); !errors.Is(err, ErrConfig) {
+		t.Errorf("double finish: err = %v, want ErrConfig", err)
+	}
+	if err := b.Observe(&trace.Event{Op: isa.OpNop, DstReg: isa.NoReg}); !errors.Is(err, ErrConfig) {
+		t.Errorf("observe after finish: err = %v, want ErrConfig", err)
+	}
+}
+
+func TestBuilderRejectsHostileEvents(t *testing.T) {
+	newB := func() *Builder {
+		t.Helper()
+		b, err := NewBuilder("x", []uint64{2, 2}, Config{Predictor: predictor.KindLast.Factory()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := []struct {
+		name string
+		e    trace.Event
+	}{
+		{"invalid opcode", trace.Event{Op: 0xFF, DstReg: isa.NoReg}},
+		{"too many sources", trace.Event{Op: isa.OpAdd, NSrc: 3, DstReg: isa.NoReg}},
+		{"source register out of range", trace.Event{Op: isa.OpAdd, NSrc: 1,
+			SrcReg: [2]uint8{isa.NumRegs, 0}, DstReg: isa.NoReg}},
+		{"dest register out of range", trace.Event{Op: isa.OpAdd, DstReg: isa.NumRegs}},
+		{"pc past static program", trace.Event{Op: isa.OpNop, PC: 2, DstReg: isa.NoReg}},
+	}
+	for _, tc := range cases {
+		b := newB()
+		if err := b.Observe(&tc.e); !errors.Is(err, ErrMalformedEvent) {
+			t.Errorf("%s: err = %v, want ErrMalformedEvent", tc.name, err)
+		}
+	}
+	// RunWith reports the offending event index.
+	tr := &trace.Trace{Name: "x", NumStatic: 1, StaticCount: []uint64{1},
+		Events: []trace.Event{{Op: 0xFF, DstReg: isa.NoReg}}}
+	if _, err := RunWith(tr, Config{Predictor: predictor.KindLast.Factory()}); !errors.Is(err, ErrMalformedEvent) {
+		t.Errorf("RunWith on hostile trace: err = %v, want ErrMalformedEvent", err)
+	}
+	if _, err := RunWith(nil, Config{Predictor: predictor.KindLast.Factory()}); !errors.Is(err, ErrConfig) {
+		t.Errorf("RunWith(nil): err = %v, want ErrConfig", err)
+	}
+}
+
+// TestModelRunsOnRecoveredTrace pushes a corrupted encoded stream through
+// lenient recovery and the model end to end: whatever the reader salvages
+// must run without panic or error.
+func TestModelRunsOnRecoveredTrace(t *testing.T) {
+	tr := traceOf(t, `
+	main:	li $t0, 0
+	loop:	addi $t0, $t0, 1
+		slti $t1, $t0, 200
+		bne $t1, $zero, loop
+		halt
+	`, nil, 0)
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, tr.Name, tr.NumStatic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetBlockSize(64)
+	for i := range tr.Events {
+		if err := w.Write(&tr.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.Bytes()
+	for seed := uint64(1); seed <= 10; seed++ {
+		rec, stats, err := trace.ReadAllLenient(faultinject.Scatter(bytes.NewReader(stream), seed, 128))
+		if err != nil {
+			continue // header damage: nothing recoverable
+		}
+		if len(rec.Events) == 0 {
+			continue
+		}
+		res, err := RunWith(rec, Config{Predictor: predictor.KindLast.Factory(), PredictorName: "last"})
+		if err != nil {
+			t.Fatalf("seed %d: model rejected recovered trace (skipped %d blocks): %v",
+				seed, stats.BlocksSkipped, err)
+		}
+		if res.Nodes != uint64(len(rec.Events)) {
+			t.Fatalf("seed %d: node count %d != recovered events %d", seed, res.Nodes, len(rec.Events))
+		}
+	}
 }
 
 func TestDeterminism(t *testing.T) {
@@ -686,8 +798,8 @@ func TestDeterminism(t *testing.T) {
 		bne $t4, $zero, loop
 		halt
 	`, []uint32{3, 1, 4, 1, 5, 9, 2, 6}, 0)
-	a := Run(tr, predictor.KindContext)
-	b := Run(tr, predictor.KindContext)
+	a := mustRun(t, tr, predictor.KindContext)
+	b := mustRun(t, tr, predictor.KindContext)
 	if a.NodeCount != b.NodeCount || a.ArcCount != b.ArcCount ||
 		a.Path != b.Path || a.Trees != b.Trees || a.Seq != b.Seq {
 		t.Error("model runs are not deterministic")
@@ -701,7 +813,7 @@ func TestInInstructionIsDNode(t *testing.T) {
 		add $t2, $t0, $t1
 		halt
 	`, []uint32{1, 2}, 0)
-	r := Run(tr, predictor.KindLast)
+	r := mustRun(t, tr, predictor.KindLast)
 	checkInvariants(t, r)
 	if r.DNodes != 2 {
 		t.Errorf("D nodes = %d, want 2", r.DNodes)
@@ -727,7 +839,7 @@ func TestConstantInputStreamGeneratesDClass(t *testing.T) {
 		bne $t2, $zero, loop
 		halt
 	`, input, 0)
-	r := Run(tr, predictor.KindLast)
+	r := mustRun(t, tr, predictor.KindLast)
 	checkInvariants(t, r)
 	if r.Trees.ClassGens[GenD] == 0 {
 		t.Error("expected D-class generators from the constant input stream")

@@ -16,7 +16,7 @@ func TestFragmentRecording(t *testing.T) {
 		addi $t2, $t1, 2
 		halt
 	`, nil, 0)
-	r := RunWith(tr, Config{
+	r := mustRunWith(t, tr, Config{
 		Predictor:  predictor.KindLast.Factory(),
 		GraphLimit: 3,
 	})
@@ -55,7 +55,7 @@ func TestFragmentRecordsDNodes(t *testing.T) {
 	main:	lw $t0, v($zero)
 		halt
 	`, nil, 0)
-	r := RunWith(tr, Config{
+	r := mustRunWith(t, tr, Config{
 		Predictor:  predictor.KindLast.Factory(),
 		GraphLimit: 2,
 	})
@@ -70,7 +70,7 @@ func TestFragmentRecordsDNodes(t *testing.T) {
 
 func TestFragmentDisabledByDefault(t *testing.T) {
 	tr := traceOf(t, "main: halt", nil, 0)
-	r := Run(tr, predictor.KindLast)
+	r := mustRun(t, tr, predictor.KindLast)
 	if r.Graph != nil {
 		t.Error("fragment recorded without GraphLimit")
 	}
@@ -84,7 +84,7 @@ func TestFragmentWindowRespectsLimit(t *testing.T) {
 		bne $t1, $zero, loop
 		halt
 	`, nil, 0)
-	r := RunWith(tr, Config{
+	r := mustRunWith(t, tr, Config{
 		Predictor:  predictor.KindStride.Factory(),
 		GraphLimit: 10,
 	})
@@ -130,8 +130,8 @@ func TestCorrelateOutputsRuns(t *testing.T) {
 		bne $t3, $zero, loop
 		halt
 	`, input, 0)
-	base := RunWith(tr, Config{Predictor: predictor.KindLast.Factory(), PredictorName: "pc"})
-	corr := RunWith(tr, Config{Predictor: predictor.KindLast.Factory(), PredictorName: "corr", CorrelateOutputs: true})
+	base := mustRunWith(t, tr, Config{Predictor: predictor.KindLast.Factory(), PredictorName: "pc"})
+	corr := mustRunWith(t, tr, Config{Predictor: predictor.KindLast.Factory(), PredictorName: "corr", CorrelateOutputs: true})
 	checkInvariants(t, base)
 	checkInvariants(t, corr)
 	if base.Arcs != corr.Arcs || base.Nodes != corr.Nodes {
@@ -188,7 +188,7 @@ func TestInvariantsOnRandomTraces(t *testing.T) {
 			tr.Append(e)
 		}
 		for _, k := range predictor.Kinds {
-			r := Run(tr, k)
+			r := mustRun(t, tr, k)
 			checkInvariants(t, r)
 			if r.Nodes != uint64(tr.Len()) {
 				t.Fatalf("node count %d != trace length %d", r.Nodes, tr.Len())

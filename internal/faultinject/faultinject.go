@@ -1,0 +1,229 @@
+// Package faultinject provides deterministic fault-injecting io.Reader and
+// io.Writer wrappers for exercising error and corruption paths: bit flips
+// at chosen offsets, truncation after N bytes, injected I/O errors, short
+// reads, and seedable scattered corruption. Every wrapper is purely
+// deterministic — the same source bytes and parameters always produce the
+// same faulty stream — so corruption-matrix tests and fuzz targets built
+// on them are reproducible.
+package faultinject
+
+import (
+	"io"
+)
+
+// Flip describes one byte-level corruption: the byte at Offset is XORed
+// with XOR as it passes through. XOR with a single set bit is a bit flip;
+// 0xFF inverts the byte. A zero XOR is a no-op.
+type Flip struct {
+	Offset int64
+	XOR    byte
+}
+
+// flipReader applies Flips to the pass-through stream.
+type flipReader struct {
+	src   io.Reader
+	flips []Flip
+	off   int64
+}
+
+// NewReader wraps src, applying each flip at its byte offset. Offsets past
+// the end of the stream are silently ignored.
+func NewReader(src io.Reader, flips ...Flip) io.Reader {
+	fs := make([]Flip, len(flips))
+	copy(fs, flips)
+	return &flipReader{src: src, flips: fs}
+}
+
+func (r *flipReader) Read(p []byte) (int, error) {
+	n, err := r.src.Read(p)
+	for _, f := range r.flips {
+		if f.Offset >= r.off && f.Offset < r.off+int64(n) {
+			p[f.Offset-r.off] ^= f.XOR
+		}
+	}
+	r.off += int64(n)
+	return n, err
+}
+
+// truncReader delivers at most n bytes, then a clean EOF.
+type truncReader struct {
+	src io.Reader
+	n   int64
+}
+
+// Truncate wraps src so the stream ends cleanly after n bytes — the shape
+// of a torn download or a partially written file.
+func Truncate(src io.Reader, n int64) io.Reader {
+	return &truncReader{src: src, n: n}
+}
+
+func (r *truncReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > r.n {
+		p = p[:r.n]
+	}
+	n, err := r.src.Read(p)
+	r.n -= int64(n)
+	return n, err
+}
+
+// errReader delivers n bytes then the injected error.
+type errReader struct {
+	src io.Reader
+	n   int64
+	err error
+}
+
+// ErrAfter wraps src so reads fail with err once n bytes have been
+// delivered — an I/O fault mid-stream, as opposed to clean truncation.
+func ErrAfter(src io.Reader, n int64, err error) io.Reader {
+	return &errReader{src: src, n: n, err: err}
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, r.err
+	}
+	if int64(len(p)) > r.n {
+		p = p[:r.n]
+	}
+	n, rerr := r.src.Read(p)
+	r.n -= int64(n)
+	if rerr == nil && r.n <= 0 {
+		// Deliver the final bytes; the next call fails.
+		return n, nil
+	}
+	return n, rerr
+}
+
+// shortReader delivers at most max bytes per Read call.
+type shortReader struct {
+	src io.Reader
+	max int
+}
+
+// ShortReads wraps src so every Read returns at most max bytes, exercising
+// refill and resume paths in buffered consumers.
+func ShortReads(src io.Reader, max int) io.Reader {
+	if max < 1 {
+		max = 1
+	}
+	return &shortReader{src: src, max: max}
+}
+
+func (r *shortReader) Read(p []byte) (int, error) {
+	if len(p) > r.max {
+		p = p[:r.max]
+	}
+	return r.src.Read(p)
+}
+
+// xorshift64 is the deterministic generator behind Scatter.
+type xorshift64 uint64
+
+func (s *xorshift64) next() uint64 {
+	x := uint64(*s)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = xorshift64(x)
+	return x
+}
+
+// scatterReader corrupts roughly one byte in rate, chosen by a seeded RNG.
+type scatterReader struct {
+	src  io.Reader
+	rng  xorshift64
+	rate uint64
+}
+
+// Scatter wraps src, XOR-corrupting on average one byte in rate with a
+// pseudo-random non-zero mask drawn from the seed. The same seed and rate
+// always damage the same byte positions the same way.
+func Scatter(src io.Reader, seed uint64, rate uint64) io.Reader {
+	if rate < 1 {
+		rate = 1
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return &scatterReader{src: src, rng: xorshift64(seed), rate: rate}
+}
+
+func (r *scatterReader) Read(p []byte) (int, error) {
+	n, err := r.src.Read(p)
+	for i := 0; i < n; i++ {
+		v := r.rng.next()
+		if v%r.rate == 0 {
+			mask := byte(v >> 32)
+			if mask == 0 {
+				mask = 0x80
+			}
+			p[i] ^= mask
+		}
+	}
+	return n, err
+}
+
+// truncWriter silently discards everything past n bytes while reporting
+// full writes — the shape of a crash after a partial flush.
+type truncWriter struct {
+	dst io.Writer
+	n   int64
+}
+
+// TruncateWriter wraps dst so only the first n bytes reach it; later
+// writes report success but vanish.
+func TruncateWriter(dst io.Writer, n int64) io.Writer {
+	return &truncWriter{dst: dst, n: n}
+}
+
+func (w *truncWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return len(p), nil
+	}
+	keep := p
+	if int64(len(keep)) > w.n {
+		keep = keep[:w.n]
+	}
+	n, err := w.dst.Write(keep)
+	w.n -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	return len(p), nil
+}
+
+// errWriter accepts n bytes then fails with the injected error.
+type errWriter struct {
+	dst io.Writer
+	n   int64
+	err error
+}
+
+// ErrAfterWriter wraps dst so writes fail with err once n bytes have been
+// accepted — a disk-full or connection-reset mid-stream.
+func ErrAfterWriter(dst io.Writer, n int64, err error) io.Writer {
+	return &errWriter{dst: dst, n: n, err: err}
+}
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	keep := p
+	if int64(len(keep)) > w.n {
+		keep = keep[:w.n]
+	}
+	n, err := w.dst.Write(keep)
+	w.n -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	if n < len(p) {
+		return n, w.err
+	}
+	return n, nil
+}

@@ -1,0 +1,162 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func payload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func TestFlipReader(t *testing.T) {
+	src := payload(64)
+	r := NewReader(bytes.NewReader(src), Flip{Offset: 3, XOR: 0xFF}, Flip{Offset: 40, XOR: 0x01})
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(src) {
+		t.Fatalf("length %d, want %d", len(got), len(src))
+	}
+	for i := range src {
+		want := src[i]
+		switch i {
+		case 3:
+			want ^= 0xFF
+		case 40:
+			want ^= 0x01
+		}
+		if got[i] != want {
+			t.Errorf("byte %d: got %#x want %#x", i, got[i], want)
+		}
+	}
+}
+
+func TestFlipReaderAcrossReadBoundaries(t *testing.T) {
+	src := payload(64)
+	r := NewReader(ShortReads(bytes.NewReader(src), 5), Flip{Offset: 17, XOR: 0x80})
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[17] != src[17]^0x80 {
+		t.Error("flip not applied across short-read boundary")
+	}
+	if got[16] != src[16] || got[18] != src[18] {
+		t.Error("neighbouring bytes damaged")
+	}
+}
+
+func TestFlipPastEndIgnored(t *testing.T) {
+	src := payload(8)
+	got, err := io.ReadAll(NewReader(bytes.NewReader(src), Flip{Offset: 100, XOR: 0xFF}))
+	if err != nil || !bytes.Equal(got, src) {
+		t.Errorf("out-of-range flip altered stream: %v %v", got, err)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	got, err := io.ReadAll(Truncate(bytes.NewReader(payload(64)), 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Errorf("got %d bytes, want 10", len(got))
+	}
+}
+
+func TestErrAfter(t *testing.T) {
+	boom := errors.New("boom")
+	r := ErrAfter(bytes.NewReader(payload(64)), 10, boom)
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	if len(got) != 10 {
+		t.Errorf("got %d bytes before error, want 10", len(got))
+	}
+}
+
+func TestShortReads(t *testing.T) {
+	r := ShortReads(bytes.NewReader(payload(64)), 7)
+	buf := make([]byte, 64)
+	n, err := r.Read(buf)
+	if err != nil || n != 7 {
+		t.Errorf("first read n=%d err=%v, want 7", n, err)
+	}
+}
+
+func TestScatterDeterministic(t *testing.T) {
+	src := payload(4096)
+	read := func() []byte {
+		got, err := io.ReadAll(Scatter(bytes.NewReader(src), 42, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := read(), read()
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different corruption")
+	}
+	diffs := 0
+	for i := range src {
+		if a[i] != src[i] {
+			diffs++
+		}
+	}
+	if diffs == 0 {
+		t.Error("scatter at rate 16 corrupted nothing in 4096 bytes")
+	}
+	// A different seed must corrupt differently.
+	c, err := io.ReadAll(Scatter(bytes.NewReader(src), 43, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical corruption")
+	}
+}
+
+func TestTruncateWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := TruncateWriter(&buf, 5)
+	n, err := w.Write(payload(10))
+	if err != nil || n != 10 {
+		t.Errorf("write n=%d err=%v, want full accept", n, err)
+	}
+	if buf.Len() != 5 {
+		t.Errorf("sink received %d bytes, want 5", buf.Len())
+	}
+	if _, err := w.Write(payload(3)); err != nil {
+		t.Errorf("post-truncation write errored: %v", err)
+	}
+	if buf.Len() != 5 {
+		t.Error("bytes leaked past truncation point")
+	}
+}
+
+func TestErrAfterWriter(t *testing.T) {
+	boom := errors.New("disk full")
+	var buf bytes.Buffer
+	w := ErrAfterWriter(&buf, 5, boom)
+	if n, err := w.Write(payload(5)); err != nil || n != 5 {
+		t.Errorf("within budget: n=%d err=%v", n, err)
+	}
+	if n, err := w.Write(payload(3)); !errors.Is(err, boom) || n != 0 {
+		t.Errorf("over budget: n=%d err=%v, want boom", n, err)
+	}
+	// Partial acceptance on the boundary write.
+	var buf2 bytes.Buffer
+	w2 := ErrAfterWriter(&buf2, 5, boom)
+	if n, err := w2.Write(payload(8)); !errors.Is(err, boom) || n != 5 {
+		t.Errorf("boundary: n=%d err=%v, want 5+boom", n, err)
+	}
+}

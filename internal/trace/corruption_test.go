@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/isa"
+)
+
+// smallV2Stream encodes a deterministic multi-block trace, returning the
+// stream bytes and the original trace.
+func smallV2Stream(t testing.TB, blockSize int) ([]byte, *Trace) {
+	t.Helper()
+	tr := New("m", 4)
+	for i := 0; i < 40; i++ {
+		tr.Append(Event{
+			PC: uint32(i % 4), Op: isa.OpAddi, NSrc: 1,
+			SrcReg: [2]uint8{8}, SrcVal: [2]uint32{uint32(i)},
+			DstReg: 8, DstVal: uint32(i + 1), HasImm: true,
+		})
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, tr.Name, tr.NumStatic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetBlockSize(blockSize)
+	for i := range tr.Events {
+		if err := w.Write(&tr.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), tr
+}
+
+// typedErr reports whether err wraps one of the decoder's taxonomy
+// sentinels (the contract for every decode failure).
+func typedErr(err error) bool {
+	return errors.Is(err, ErrMalformed) || errors.Is(err, ErrTruncated) || errors.Is(err, ErrChecksum)
+}
+
+// isSubsequence reports whether every event in got appears in want, in
+// order — the guarantee lenient recovery makes about surviving events.
+func isSubsequence(got, want []Event) bool {
+	j := 0
+	for i := range got {
+		for j < len(want) && want[j] != got[i] {
+			j++
+		}
+		if j == len(want) {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// headerEnd returns the byte offset where the v2 header ends (the first
+// block marker). Damage before this point is unrecoverable by design.
+func headerEnd(t *testing.T, stream []byte) int {
+	t.Helper()
+	i := bytes.Index(stream, []byte(blockMarker))
+	if i < 0 {
+		t.Fatal("stream has no block marker")
+	}
+	return i
+}
+
+// TestCorruptionMatrixStrict flips every byte of a valid multi-block v2
+// stream and asserts the strict reader always fails with a typed error —
+// no flip may pass unnoticed, and none may panic.
+func TestCorruptionMatrixStrict(t *testing.T) {
+	stream, _ := smallV2Stream(t, 64)
+	for off := range stream {
+		r := faultinject.NewReader(bytes.NewReader(stream), faultinject.Flip{Offset: int64(off), XOR: 0xFF})
+		_, err := ReadAll(r)
+		if err == nil {
+			t.Fatalf("offset %d: flip went undetected", off)
+		}
+		if !typedErr(err) {
+			t.Fatalf("offset %d: untyped error %v", off, err)
+		}
+	}
+}
+
+// TestCorruptionMatrixLenient flips every byte and asserts the lenient
+// reader recovers: no panic, any error confined to header damage, and
+// every recovered event a clean subsequence of the original stream.
+func TestCorruptionMatrixLenient(t *testing.T) {
+	stream, orig := smallV2Stream(t, 64)
+	hdr := headerEnd(t, stream)
+	recoveredAny := false
+	for off := range stream {
+		r := faultinject.NewReader(bytes.NewReader(stream), faultinject.Flip{Offset: int64(off), XOR: 0xFF})
+		got, stats, err := ReadAllLenient(r)
+		if err != nil {
+			if off >= hdr {
+				t.Fatalf("offset %d: lenient read failed outside the header: %v", off, err)
+			}
+			if !typedErr(err) {
+				t.Fatalf("offset %d: untyped header error %v", off, err)
+			}
+			continue
+		}
+		if !isSubsequence(got.Events, orig.Events) {
+			t.Fatalf("offset %d: recovered events are not a subsequence of the original", off)
+		}
+		if stats.BlocksSkipped == 0 && !stats.Truncated && uint64(len(got.Events)) != uint64(len(orig.Events)) {
+			t.Fatalf("offset %d: events lost (%d of %d) but no damage recorded",
+				off, len(got.Events), len(orig.Events))
+		}
+		if len(got.Events) > 0 {
+			recoveredAny = true
+		}
+	}
+	if !recoveredAny {
+		t.Fatal("lenient mode never recovered any events across the whole matrix")
+	}
+}
+
+// TestCorruptionSingleBlockRecovery damages exactly one interior block and
+// checks the lenient reader loses only that block.
+func TestCorruptionSingleBlockRecovery(t *testing.T) {
+	stream, orig := smallV2Stream(t, 64)
+	// Find the second block and flip a byte safely inside its payload.
+	first := bytes.Index(stream, []byte(blockMarker))
+	second := bytes.Index(stream[first+4:], []byte(blockMarker))
+	if second < 0 {
+		t.Fatal("stream has fewer than two blocks; lower the block size")
+	}
+	off := int64(first+4+second) + 12 // past marker, lengths, and CRC
+	got, stats, err := ReadAllLenient(faultinject.NewReader(bytes.NewReader(stream), faultinject.Flip{Offset: off, XOR: 0x55}))
+	if err != nil {
+		t.Fatalf("lenient read: %v", err)
+	}
+	if stats.BlocksSkipped == 0 {
+		t.Error("damaged block not recorded as skipped")
+	}
+	if len(got.Events) == 0 || len(got.Events) >= len(orig.Events) {
+		t.Errorf("recovered %d of %d events; want a proper non-empty subset",
+			len(got.Events), len(orig.Events))
+	}
+	if !isSubsequence(got.Events, orig.Events) {
+		t.Error("recovered events are not a subsequence of the original")
+	}
+	// The footer survived, so declared counts and true static counts remain.
+	if stats.FooterLost {
+		t.Error("footer reported lost though only a block was damaged")
+	}
+	if stats.EventsDeclared != uint64(len(orig.Events)) {
+		t.Errorf("EventsDeclared = %d, want %d", stats.EventsDeclared, len(orig.Events))
+	}
+}
+
+// TestTruncationMatrix cuts the stream at every possible length. Strict
+// reads must fail typed; lenient reads must recover a clean prefix (or
+// fail typed within the header).
+func TestTruncationMatrix(t *testing.T) {
+	stream, orig := smallV2Stream(t, 64)
+	hdr := headerEnd(t, stream)
+	for n := 0; n < len(stream); n++ {
+		got, err := ReadAll(faultinject.Truncate(bytes.NewReader(stream), int64(n)))
+		if err == nil {
+			t.Fatalf("length %d: truncation went undetected", n)
+		}
+		if !typedErr(err) {
+			t.Fatalf("length %d: untyped error %v", n, err)
+		}
+		if errors.Is(err, ErrTruncated) && got != nil {
+			if !isSubsequence(got.Events, orig.Events) {
+				t.Fatalf("length %d: partial trace is not a prefix subsequence", n)
+			}
+		}
+
+		lt, stats, lerr := ReadAllLenient(faultinject.Truncate(bytes.NewReader(stream), int64(n)))
+		if lerr != nil {
+			if n >= hdr {
+				t.Fatalf("length %d: lenient truncation failed outside the header: %v", n, lerr)
+			}
+			continue
+		}
+		if !stats.Truncated {
+			t.Fatalf("length %d: truncation not recorded in stats", n)
+		}
+		if !isSubsequence(lt.Events, orig.Events) {
+			t.Fatalf("length %d: lenient partial trace is not a subsequence", n)
+		}
+	}
+}
+
+// TestInjectedIOErrorsSurface asserts non-format I/O failures are passed
+// through (not converted to format errors) in both modes.
+func TestInjectedIOErrorsSurface(t *testing.T) {
+	stream, _ := smallV2Stream(t, 64)
+	boom := errors.New("io boom")
+	for _, lenient := range []bool{false, true} {
+		var err error
+		if lenient {
+			_, _, err = ReadAllLenient(faultinject.ErrAfter(bytes.NewReader(stream), int64(len(stream)/2), boom))
+		} else {
+			_, err = ReadAll(faultinject.ErrAfter(bytes.NewReader(stream), int64(len(stream)/2), boom))
+		}
+		if !errors.Is(err, boom) {
+			t.Errorf("lenient=%v: injected I/O error lost: %v", lenient, err)
+		}
+	}
+}
+
+// TestShortReadsHarmless asserts framing survives arbitrary read
+// fragmentation.
+func TestShortReadsHarmless(t *testing.T) {
+	stream, orig := smallV2Stream(t, 64)
+	got, err := ReadAll(faultinject.ShortReads(bytes.NewReader(stream), 3))
+	if err != nil {
+		t.Fatalf("short reads broke decoding: %v", err)
+	}
+	if len(got.Events) != len(orig.Events) {
+		t.Errorf("decoded %d events, want %d", len(got.Events), len(orig.Events))
+	}
+}
+
+// TestScatterNeverPanics runs heavy random corruption at several seeds
+// through the lenient reader; whatever happens must be a typed error or a
+// recovered subsequence, never a panic.
+func TestScatterNeverPanics(t *testing.T) {
+	stream, orig := smallV2Stream(t, 64)
+	for seed := uint64(1); seed <= 50; seed++ {
+		got, _, err := ReadAllLenient(faultinject.Scatter(bytes.NewReader(stream), seed, 32))
+		if err != nil {
+			if !typedErr(err) {
+				t.Fatalf("seed %d: untyped error %v", seed, err)
+			}
+			continue
+		}
+		if !isSubsequence(got.Events, orig.Events) {
+			t.Fatalf("seed %d: recovered events are not a subsequence", seed)
+		}
+	}
+}

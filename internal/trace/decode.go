@@ -1,0 +1,789 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/isa"
+)
+
+// Stats summarises what a Reader saw, including the damage a lenient
+// reader recovered from. BlocksSkipped counts damage regions, which can
+// differ from the number of producer blocks lost when corruption
+// misaligns the frame stream.
+type Stats struct {
+	// Version is the negotiated format version (1 or 2).
+	Version int
+	// Blocks counts v2 event blocks decoded successfully.
+	Blocks uint64
+	// BlocksSkipped counts corrupt regions skipped in lenient mode.
+	BlocksSkipped uint64
+	// BytesSkipped counts bytes discarded while resynchronising.
+	BytesSkipped int64
+	// Events counts events delivered to the caller.
+	Events uint64
+	// EventsDeclared is the total event count from the footer (0 if the
+	// footer was lost).
+	EventsDeclared uint64
+	// Truncated reports that the stream ended before its trailer.
+	Truncated bool
+	// FooterLost reports that the static-count footer was unreadable; the
+	// per-PC counts were reconstructed from the recovered events.
+	FooterLost bool
+}
+
+// ReaderOption configures a Reader.
+type ReaderOption func(*Reader)
+
+// Lenient switches the Reader into recovery mode: instead of failing on
+// the first corrupt v2 block it resynchronises at the next frame marker,
+// and a truncated stream ends with a clean io.EOF plus Stats describing
+// the damage. Header corruption is never recoverable. For v1 streams,
+// recovery is limited to keeping the prefix that decoded cleanly.
+func Lenient() ReaderOption {
+	return func(tr *Reader) { tr.lenient = true }
+}
+
+// countingReader tracks the byte offset of everything consumed, so decode
+// errors can report where in the stream they happened.
+type countingReader struct {
+	br *bufio.Reader
+	n  int64
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Reader decodes a trace stream of either format version. Events stream
+// via Next; the static-count footer becomes available after Next returns
+// io.EOF.
+type Reader struct {
+	cr        *countingReader
+	version   int
+	name      string
+	numStatic int
+	counts    []uint64
+	lenient   bool
+	stats     Stats
+	done      bool
+	sticky    error
+
+	// v2 block cursor.
+	block     []byte
+	blockOff  int
+	blockLeft uint64
+}
+
+// NewReader parses the stream header and negotiates the format version.
+func NewReader(r io.Reader, opts ...ReaderOption) (*Reader, error) {
+	tr := &Reader{cr: &countingReader{br: bufio.NewReaderSize(r, 1<<16)}}
+	for _, o := range opts {
+		o(tr)
+	}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(tr.cr, magic); err != nil {
+		return nil, ioErr(tr.cr.n, err, "reading magic")
+	}
+	if string(magic) != headerMagic {
+		return nil, formatErr(0, ErrMalformed, "bad magic %q", magic)
+	}
+	ver, err := tr.cr.ReadByte()
+	if err != nil {
+		return nil, ioErr(tr.cr.n, err, "reading version")
+	}
+	tr.version = int(ver)
+	tr.stats.Version = tr.version
+	switch tr.version {
+	case Version1:
+		err = tr.readHeaderV1()
+	case Version2:
+		err = tr.readHeaderV2()
+	default:
+		return nil, formatErr(4, ErrMalformed, "unsupported version %d", ver)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// readUvarint reads a varint, labelling failures with what is being read.
+func (tr *Reader) readUvarint(what string) (uint64, error) {
+	off := tr.cr.n
+	v, err := binary.ReadUvarint(tr.cr)
+	if err != nil {
+		return 0, ioErr(off, err, "reading %s", what)
+	}
+	return v, nil
+}
+
+func (tr *Reader) readHeaderV1() error {
+	nameLen, err := tr.readUvarint("name length")
+	if err != nil {
+		return err
+	}
+	if nameLen > maxNameLen {
+		return formatErr(tr.cr.n, ErrMalformed, "unreasonable name length %d", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(tr.cr, nameBuf); err != nil {
+		return ioErr(tr.cr.n, err, "reading name")
+	}
+	numStatic, err := tr.readUvarint("program length")
+	if err != nil {
+		return err
+	}
+	if numStatic > maxNumStatic {
+		return formatErr(tr.cr.n, ErrMalformed, "unreasonable program length %d", numStatic)
+	}
+	tr.name = string(nameBuf)
+	tr.numStatic = int(numStatic)
+	return nil
+}
+
+func (tr *Reader) readHeaderV2() error {
+	hdrOff := tr.cr.n
+	hdrLen, err := tr.readUvarint("header length")
+	if err != nil {
+		return err
+	}
+	if hdrLen > maxNameLen+2*binary.MaxVarintLen64 {
+		return formatErr(tr.cr.n, ErrMalformed, "unreasonable header length %d", hdrLen)
+	}
+	want, err := tr.readCRC("header")
+	if err != nil {
+		return err
+	}
+	payload, err := tr.readPayload(int(hdrLen), "header")
+	if err != nil {
+		return err
+	}
+	if crc32.Checksum(payload, castagnoli) != want {
+		return formatErr(hdrOff, ErrChecksum, "header checksum")
+	}
+	off := 0
+	nameLen, err := bufUvarint(payload, &off)
+	if err != nil || nameLen > uint64(len(payload)-off) {
+		return formatErr(hdrOff, ErrMalformed, "bad name length in header")
+	}
+	name := string(payload[off : off+int(nameLen)])
+	off += int(nameLen)
+	numStatic, err := bufUvarint(payload, &off)
+	if err != nil || numStatic > maxNumStatic {
+		return formatErr(hdrOff, ErrMalformed, "bad program length in header")
+	}
+	if off != len(payload) {
+		return formatErr(hdrOff, ErrMalformed, "%d trailing header bytes", len(payload)-off)
+	}
+	tr.name = name
+	tr.numStatic = int(numStatic)
+	return nil
+}
+
+// readCRC reads a little-endian CRC32C field.
+func (tr *Reader) readCRC(what string) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(tr.cr, buf[:]); err != nil {
+		return 0, ioErr(tr.cr.n, err, "reading %s checksum", what)
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+// readPayload reads n declared bytes in bounded chunks, so a hostile
+// length field costs at most the bytes actually present in the stream.
+func (tr *Reader) readPayload(n int, what string) ([]byte, error) {
+	const chunk = 1 << 16
+	buf := make([]byte, 0, minInt(n, chunk))
+	for len(buf) < n {
+		step := minInt(n-len(buf), chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(tr.cr, buf[start:]); err != nil {
+			return nil, ioErr(tr.cr.n, err, "reading %s payload", what)
+		}
+	}
+	return buf, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// bufUvarint decodes a varint from buf at *off, advancing it.
+func bufUvarint(buf []byte, off *int) (uint64, error) {
+	v, n := binary.Uvarint(buf[*off:])
+	if n <= 0 {
+		return 0, errors.New("bad uvarint")
+	}
+	*off += n
+	return v, nil
+}
+
+// Name returns the workload name from the header.
+func (tr *Reader) Name() string { return tr.name }
+
+// NumStatic returns the static program length from the header.
+func (tr *Reader) NumStatic() int { return tr.numStatic }
+
+// Version returns the negotiated format version.
+func (tr *Reader) Version() int { return tr.version }
+
+// Stats returns a snapshot of the reader's progress and damage summary.
+func (tr *Reader) Stats() Stats { return tr.stats }
+
+// StaticCounts returns the per-PC execution counts; valid only after Next
+// has returned io.EOF, and nil if the footer was lost in lenient mode.
+func (tr *Reader) StaticCounts() []uint64 { return tr.counts }
+
+// fail records a terminal error; every subsequent Next repeats it.
+func (tr *Reader) fail(err error) error {
+	tr.sticky = err
+	return err
+}
+
+// recoverableKind reports whether err is format-level damage a lenient
+// reader may skip past, as opposed to an I/O failure that must surface.
+func recoverableKind(err error) bool {
+	return errors.Is(err, ErrMalformed) || errors.Is(err, ErrTruncated) || errors.Is(err, ErrChecksum)
+}
+
+// endOfStream handles running out of bytes where more were required.
+func (tr *Reader) endOfStream(err error, what string) error {
+	if tr.lenient && (err == io.EOF || err == io.ErrUnexpectedEOF) {
+		tr.stats.Truncated = true
+		if tr.counts == nil {
+			tr.stats.FooterLost = true
+		}
+		tr.done = true
+		return io.EOF
+	}
+	return tr.fail(ioErr(tr.cr.n, err, "%s", what))
+}
+
+// Next decodes the next event into e. It returns io.EOF at the end of the
+// event stream, after which StaticCounts is available. In strict mode
+// (the default) the first structural problem is a terminal typed error;
+// in lenient mode the reader skips damaged regions and truncation ends
+// the stream cleanly with the damage recorded in Stats.
+func (tr *Reader) Next(e *Event) error {
+	if tr.sticky != nil {
+		return tr.sticky
+	}
+	if tr.done {
+		return io.EOF
+	}
+	var err error
+	if tr.version == Version1 {
+		err = tr.next1(e)
+	} else {
+		err = tr.next2(e)
+	}
+	if err == nil {
+		tr.stats.Events++
+	}
+	return err
+}
+
+// --- v1 decode path ------------------------------------------------------
+
+func (tr *Reader) next1(e *Event) error {
+	err := tr.decodeEventStream(e)
+	if err == nil {
+		return nil
+	}
+	if err == errEndOfEvents {
+		if ferr := tr.readFooterV1(); ferr != nil {
+			if tr.lenient && recoverableKind(ferr) {
+				tr.stats.Truncated = true
+				tr.stats.FooterLost = true
+				tr.counts = nil
+				tr.done = true
+				return io.EOF
+			}
+			return tr.fail(ferr)
+		}
+		tr.done = true
+		return io.EOF
+	}
+	if tr.lenient && recoverableKind(err) {
+		// v1 has no sync markers: recovery keeps the clean prefix.
+		tr.stats.Truncated = true
+		tr.stats.FooterLost = true
+		tr.done = true
+		return io.EOF
+	}
+	return tr.fail(err)
+}
+
+// errEndOfEvents marks the v1 in-band event terminator.
+var errEndOfEvents = errors.New("end of events")
+
+// decodeEventStream reads one v1 event record directly from the stream.
+func (tr *Reader) decodeEventStream(e *Event) error {
+	opOff := tr.cr.n
+	opByte, err := tr.cr.ReadByte()
+	if err != nil {
+		return ioErr(opOff, err, "reading opcode")
+	}
+	if opByte == 0 {
+		return errEndOfEvents
+	}
+	op := isa.Op(opByte)
+	pc, err := tr.readUvarint("pc")
+	if err != nil {
+		return err
+	}
+	flags, err := tr.cr.ReadByte()
+	if err != nil {
+		return ioErr(tr.cr.n, err, "reading flags")
+	}
+	*e = Event{PC: uint32(pc), Op: op, NSrc: flags & flagNSrcMask, DstReg: isa.NoReg,
+		Taken: flags&flagTaken != 0, HasImm: flags&flagImm != 0}
+	if e.NSrc > 2 {
+		return formatErr(opOff, ErrMalformed, "corrupt flags: %d source operands", e.NSrc)
+	}
+	for i := uint8(0); i < e.NSrc; i++ {
+		reg, err := tr.cr.ReadByte()
+		if err != nil {
+			return ioErr(tr.cr.n, err, "reading src reg")
+		}
+		val, err := tr.readUvarint("src val")
+		if err != nil {
+			return err
+		}
+		e.SrcReg[i] = reg
+		e.SrcVal[i] = uint32(val)
+	}
+	if flags&flagDst != 0 {
+		reg, err := tr.cr.ReadByte()
+		if err != nil {
+			return ioErr(tr.cr.n, err, "reading dst reg")
+		}
+		val, err := tr.readUvarint("dst val")
+		if err != nil {
+			return err
+		}
+		e.DstReg = reg
+		e.DstVal = uint32(val)
+	}
+	if flags&flagMem != 0 {
+		addr, err := tr.readUvarint("mem addr")
+		if err != nil {
+			return err
+		}
+		val, err := tr.readUvarint("mem val")
+		if err != nil {
+			return err
+		}
+		e.Addr = uint32(addr)
+		e.MemVal = uint32(val)
+	}
+	if verr := checkEvent(e, tr.numStatic); verr != nil {
+		return formatErr(opOff, ErrMalformed, "%v", verr)
+	}
+	return nil
+}
+
+// readFooterV1 parses the unframed v1 count footer. The count slice grows
+// incrementally, so a hostile header cannot force a giant allocation from
+// a short file.
+func (tr *Reader) readFooterV1() error {
+	counts := make([]uint64, 0, minInt(tr.numStatic, 4096))
+	for i := 0; i < tr.numStatic; i++ {
+		c, err := binary.ReadUvarint(tr.cr)
+		if err != nil {
+			return ioErr(tr.cr.n, err, "reading static counts")
+		}
+		counts = append(counts, c)
+	}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(tr.cr, magic); err != nil {
+		return ioErr(tr.cr.n, err, "reading trailer magic")
+	}
+	if string(magic) != footerMagic {
+		return formatErr(tr.cr.n-4, ErrMalformed, "bad trailer magic %q", magic)
+	}
+	tr.counts = counts
+	return nil
+}
+
+// --- v2 decode path ------------------------------------------------------
+
+func (tr *Reader) next2(e *Event) error {
+	for {
+		if tr.blockLeft > 0 {
+			blockBase := tr.cr.n - int64(len(tr.block))
+			err := decodeEventBuf(tr.block, &tr.blockOff, e, tr.numStatic)
+			if err == nil {
+				tr.blockLeft--
+				if tr.blockLeft == 0 && tr.blockOff != len(tr.block) {
+					// Count and payload disagree; the delivered events were
+					// CRC-clean, but the block is damaged.
+					junk := formatErr(blockBase+int64(tr.blockOff), ErrMalformed,
+						"%d trailing bytes in block", len(tr.block)-tr.blockOff)
+					if !tr.lenient {
+						return tr.fail(junk)
+					}
+					tr.skipRestOfBlock()
+				}
+				return nil
+			}
+			werr := formatErr(blockBase+int64(tr.blockOff), ErrMalformed, "%v", err)
+			if !tr.lenient {
+				return tr.fail(werr)
+			}
+			tr.skipRestOfBlock()
+			continue
+		}
+		if err := tr.readFrame(); err != nil {
+			return err
+		}
+	}
+}
+
+// skipRestOfBlock abandons the current block in lenient mode.
+func (tr *Reader) skipRestOfBlock() {
+	tr.stats.BlocksSkipped++
+	tr.stats.BytesSkipped += int64(len(tr.block) - tr.blockOff)
+	tr.block = tr.block[:0]
+	tr.blockOff = 0
+	tr.blockLeft = 0
+}
+
+// readFrame advances to the next event block (filling the block cursor)
+// or, at the footer, parses the counts and returns io.EOF with done set.
+func (tr *Reader) readFrame() error {
+	for {
+		marker, skipped, err := tr.nextMarker()
+		if err != nil {
+			return err
+		}
+		if skipped > 0 {
+			tr.stats.BlocksSkipped++
+			tr.stats.BytesSkipped += skipped
+		}
+		frameStart := tr.cr.n - 4 // marker already consumed
+		var ferr error
+		isFooter := marker == countMarker
+		if isFooter {
+			ferr = tr.readFooterV2()
+		} else {
+			ferr = tr.readBlockV2()
+		}
+		if ferr == nil {
+			if isFooter {
+				tr.done = true
+				return io.EOF
+			}
+			return nil
+		}
+		if tr.lenient && recoverableKind(ferr) {
+			tr.stats.BlocksSkipped++
+			tr.stats.BytesSkipped += tr.cr.n - frameStart
+			continue // rescan for the next marker
+		}
+		return tr.fail(ferr)
+	}
+}
+
+// nextMarker reads the next 4-byte frame marker. In strict mode anything
+// else is malformed; in lenient mode the stream is scanned byte-by-byte
+// until a marker appears, returning how many bytes were discarded.
+func (tr *Reader) nextMarker() (string, int64, error) {
+	var win [4]byte
+	off := tr.cr.n
+	if _, err := io.ReadFull(tr.cr, win[:]); err != nil {
+		return "", 0, tr.endOfStream(err, "reading frame marker")
+	}
+	skipped := int64(0)
+	for {
+		m := string(win[:])
+		if m == blockMarker || m == countMarker {
+			return m, skipped, nil
+		}
+		if !tr.lenient {
+			return "", 0, tr.fail(formatErr(off, ErrMalformed, "bad frame marker %q", win))
+		}
+		b, err := tr.cr.ReadByte()
+		if err != nil {
+			return "", 0, tr.endOfStream(err, "resynchronising")
+		}
+		copy(win[:], win[1:])
+		win[3] = b
+		skipped++
+	}
+}
+
+// readBlockV2 parses one framed event block into the block cursor.
+func (tr *Reader) readBlockV2() error {
+	frameOff := tr.cr.n - 4
+	plen, err := tr.readUvarint("block length")
+	if err != nil {
+		return err
+	}
+	if plen == 0 || plen > maxBlockLen {
+		return formatErr(frameOff, ErrMalformed, "block length %d out of range", plen)
+	}
+	count, err := tr.readUvarint("block event count")
+	if err != nil {
+		return err
+	}
+	if count == 0 || count*minEventLen > plen {
+		return formatErr(frameOff, ErrMalformed, "block event count %d impossible for %d bytes", count, plen)
+	}
+	want, err := tr.readCRC("block")
+	if err != nil {
+		return err
+	}
+	payload, err := tr.readPayload(int(plen), "block")
+	if err != nil {
+		return err
+	}
+	if crc32.Checksum(payload, castagnoli) != want {
+		return formatErr(frameOff, ErrChecksum, "block checksum")
+	}
+	tr.block = payload
+	tr.blockOff = 0
+	tr.blockLeft = count
+	tr.stats.Blocks++
+	return nil
+}
+
+// readFooterV2 parses the framed count footer and the trailing magic.
+func (tr *Reader) readFooterV2() error {
+	frameOff := tr.cr.n - 4
+	plen, err := tr.readUvarint("footer length")
+	if err != nil {
+		return err
+	}
+	// Total events varint plus one varint per static instruction.
+	maxFooter := uint64(binary.MaxVarintLen64) * uint64(tr.numStatic+1)
+	if plen > maxFooter {
+		return formatErr(frameOff, ErrMalformed, "footer length %d out of range", plen)
+	}
+	want, err := tr.readCRC("footer")
+	if err != nil {
+		return err
+	}
+	payload, err := tr.readPayload(int(plen), "footer")
+	if err != nil {
+		return err
+	}
+	if crc32.Checksum(payload, castagnoli) != want {
+		return formatErr(frameOff, ErrChecksum, "footer checksum")
+	}
+	off := 0
+	total, uerr := bufUvarint(payload, &off)
+	if uerr != nil {
+		return formatErr(frameOff, ErrMalformed, "bad footer event count")
+	}
+	counts := make([]uint64, 0, minInt(tr.numStatic, 4096))
+	for i := 0; i < tr.numStatic; i++ {
+		c, uerr := bufUvarint(payload, &off)
+		if uerr != nil {
+			return formatErr(frameOff, ErrMalformed, "bad static count %d", i)
+		}
+		counts = append(counts, c)
+	}
+	if off != len(payload) {
+		return formatErr(frameOff, ErrMalformed, "%d trailing footer bytes", len(payload)-off)
+	}
+	tr.stats.EventsDeclared = total
+	if !tr.lenient && total != tr.stats.Events {
+		return formatErr(frameOff, ErrMalformed, "footer declares %d events, stream has %d", total, tr.stats.Events)
+	}
+	magic := make([]byte, 4)
+	if _, merr := io.ReadFull(tr.cr, magic); merr != nil || string(magic) != footerMagic {
+		if tr.lenient {
+			// The counts themselves were CRC-clean; keep them but note the
+			// missing trailer.
+			tr.stats.Truncated = true
+		} else {
+			if merr != nil {
+				return ioErr(tr.cr.n, merr, "reading trailer magic")
+			}
+			return formatErr(tr.cr.n-4, ErrMalformed, "bad trailer magic %q", magic)
+		}
+	}
+	tr.counts = counts
+	return nil
+}
+
+// decodeEventBuf decodes one event record from buf at *off.
+func decodeEventBuf(buf []byte, off *int, e *Event, numStatic int) error {
+	if *off >= len(buf) {
+		return errors.New("event record past end of block")
+	}
+	op := isa.Op(buf[*off])
+	*off++
+	pc, err := bufUvarint(buf, off)
+	if err != nil {
+		return errors.New("bad pc varint")
+	}
+	if *off >= len(buf) {
+		return errors.New("flags past end of block")
+	}
+	flags := buf[*off]
+	*off++
+	*e = Event{PC: uint32(pc), Op: op, NSrc: flags & flagNSrcMask, DstReg: isa.NoReg,
+		Taken: flags&flagTaken != 0, HasImm: flags&flagImm != 0}
+	for i := uint8(0); i < e.NSrc && i < 2; i++ {
+		if *off >= len(buf) {
+			return errors.New("src reg past end of block")
+		}
+		e.SrcReg[i] = buf[*off]
+		*off++
+		val, err := bufUvarint(buf, off)
+		if err != nil {
+			return errors.New("bad src val varint")
+		}
+		e.SrcVal[i] = uint32(val)
+	}
+	if flags&flagDst != 0 {
+		if *off >= len(buf) {
+			return errors.New("dst reg past end of block")
+		}
+		e.DstReg = buf[*off]
+		*off++
+		val, err := bufUvarint(buf, off)
+		if err != nil {
+			return errors.New("bad dst val varint")
+		}
+		e.DstVal = uint32(val)
+	}
+	if flags&flagMem != 0 {
+		addr, err := bufUvarint(buf, off)
+		if err != nil {
+			return errors.New("bad mem addr varint")
+		}
+		val, err := bufUvarint(buf, off)
+		if err != nil {
+			return errors.New("bad mem val varint")
+		}
+		e.Addr = uint32(addr)
+		e.MemVal = uint32(val)
+	}
+	return checkEvent(e, numStatic)
+}
+
+// --- whole-stream helpers ------------------------------------------------
+
+// drain consumes every event from tr into a Trace (without counts).
+func drain(tr *Reader) (*Trace, error) {
+	t := &Trace{Name: tr.Name(), NumStatic: tr.NumStatic()}
+	var e Event
+	for {
+		err := tr.Next(&e)
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return t, err
+		}
+		t.Events = append(t.Events, e)
+	}
+}
+
+// rebuildCounts reconstructs per-PC execution counts from the events
+// themselves (used when the footer is missing or untrustworthy).
+func rebuildCounts(t *Trace) []uint64 {
+	counts := make([]uint64, t.NumStatic)
+	for i := range t.Events {
+		if int(t.Events[i].PC) < len(counts) {
+			counts[t.Events[i].PC]++
+		}
+	}
+	return counts
+}
+
+// ReadAll decodes an entire stream into an in-memory Trace. If the stream
+// is truncated (missing footer), the recovered prefix is returned together
+// with an error matching ErrTruncated — the prefix decoded cleanly and its
+// StaticCount is rebuilt from the recovered events.
+func ReadAll(r io.Reader) (*Trace, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	t, err := drain(tr)
+	if err != nil {
+		if errors.Is(err, ErrTruncated) {
+			t.StaticCount = rebuildCounts(t)
+			return t, err
+		}
+		return nil, err
+	}
+	t.StaticCount = tr.StaticCounts()
+	return t, nil
+}
+
+// ReadAllLenient decodes a possibly damaged stream, recovering whatever
+// events survive and summarising the damage in Stats. The error is non-nil
+// only for failures recovery cannot help with: an unreadable header or an
+// underlying I/O error. When the footer survived, StaticCount carries the
+// producer's true execution counts (which may exceed what the recovered
+// events replay); when it was lost, counts are rebuilt from the events.
+func ReadAllLenient(r io.Reader) (*Trace, Stats, error) {
+	tr, err := NewReader(r, Lenient())
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	t, err := drain(tr)
+	if counts := tr.StaticCounts(); counts != nil {
+		t.StaticCount = counts
+	} else {
+		t.StaticCount = rebuildCounts(t)
+	}
+	return t, tr.Stats(), err
+}
+
+// ReadFile loads a trace file written by WriteFile or cmd/tracegen.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAll(f)
+}
+
+// ReadFileLenient loads a possibly damaged trace file in recovery mode.
+func ReadFileLenient(path string) (*Trace, Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer f.Close()
+	return ReadAllLenient(f)
+}
+
+// WriteFile stores a trace to path in the current format version.
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteAll(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

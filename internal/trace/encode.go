@@ -5,36 +5,77 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
-	"os"
 
 	"repro/internal/isa"
 )
 
-// Binary stream layout (all multi-byte integers are unsigned varints):
+// Binary stream layout, format version 2 (all multi-byte integers are
+// unsigned varints; CRCs are CRC32C / Castagnoli, little-endian):
 //
 //	magic   "DPGT"
-//	version byte (1)
-//	name    uvarint length + bytes
-//	static  uvarint program length
-//	events  repeated event records, terminated by an opcode byte 0
-//	counts  NumStatic uvarints (per-PC execution counts)
+//	version byte (2)
+//	header  uvarint payload length + 4-byte CRC32C + payload:
+//	            name uvarint length + bytes
+//	            static uvarint program length
+//	blocks  repeated framed event blocks:
+//	            marker  "BLK2"
+//	            len     uvarint payload length (≤ 4 MiB)
+//	            count   uvarint events in block (≥ 1, ≤ len/3)
+//	            crc     4-byte CRC32C of payload
+//	            payload count × event records
+//	footer  framed static-count block:
+//	            marker  "FTR2"
+//	            len     uvarint payload length
+//	            crc     4-byte CRC32C of payload
+//	            payload total event count uvarint +
+//	                    NumStatic uvarints (per-PC execution counts)
 //	magic   "END!"
 //
-// Each event record:
+// Each event record (identical in v1 and v2):
 //
-//	op      byte (never 0; 0 terminates the stream)
+//	op      byte (v1: never 0; 0 terminates the v1 stream)
 //	pc      uvarint
 //	flags   byte: bit0..1 = NSrc, bit2 = has dst, bit3 = has mem,
 //	        bit4 = taken, bit5 = immediate operand
 //	srcs    NSrc × (reg byte + value uvarint)
 //	dst     reg byte + value uvarint                (if has dst)
 //	mem     addr uvarint + value uvarint            (if has mem)
+//
+// Format version 1 (still readable, written by NewWriterV1) has no framing
+// and no checksums: header magic/version/name/static, then event records
+// terminated by an opcode byte 0, then NumStatic count uvarints and "END!".
+//
+// The framing gives v2 three properties v1 lacks: any corruption inside a
+// block is detected by its CRC; a reader can resynchronise past a damaged
+// block by scanning for the next marker; and a truncated stream is
+// recognised exactly (frame boundaries are explicit), so the decoded
+// prefix is trustworthy.
 
 const (
 	headerMagic = "DPGT"
 	footerMagic = "END!"
-	version     = 1
+	blockMarker = "BLK2"
+	countMarker = "FTR2"
+
+	// Version1 is the legacy unframed, unchecksummed format.
+	Version1 = 1
+	// Version2 is the framed, CRC32C-checksummed format written by default.
+	Version2 = 2
+
+	// maxNameLen bounds the workload name so a hostile header cannot drive
+	// a giant allocation.
+	maxNameLen = 1 << 16
+	// maxNumStatic bounds the static program length (and with it the
+	// footer's count array) far above any real program for this ISA.
+	maxNumStatic = 1 << 26
+	// maxBlockLen bounds one framed block's payload.
+	maxBlockLen = 1 << 22
+	// minEventLen is the smallest possible event record (op, pc, flags).
+	minEventLen = 3
+	// defaultBlockLen is the writer's flush threshold.
+	defaultBlockLen = 1 << 16
 )
 
 const (
@@ -45,27 +86,150 @@ const (
 	flagImm      = 0x20
 )
 
-// Writer serialises a trace to an io.Writer in streaming fashion,
-// accumulating the per-PC static counts itself and emitting them in the
-// footer on Close.
-type Writer struct {
-	w      *bufio.Writer
-	counts []uint64
-	n      int
-	buf    [binary.MaxVarintLen64]byte
-	err    error
-	closed bool
+// castagnoli is the CRC32C table shared by writer and reader.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendUvarint appends the varint encoding of v to buf.
+func appendUvarint(buf []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(buf, tmp[:n]...)
 }
 
-// NewWriter starts a trace stream for a program of numStatic instructions.
+// appendEvent appends one encoded event record to buf. The event must
+// already be validated (checkEvent).
+func appendEvent(buf []byte, e *Event) []byte {
+	flags := e.NSrc & flagNSrcMask
+	if e.DstReg != isa.NoReg {
+		flags |= flagDst
+	}
+	hasMem := isa.MemWidth(e.Op) != 0 || e.Op == isa.OpIn
+	if hasMem {
+		flags |= flagMem
+	}
+	if e.Taken {
+		flags |= flagTaken
+	}
+	if e.HasImm {
+		flags |= flagImm
+	}
+	buf = append(buf, byte(e.Op))
+	buf = appendUvarint(buf, uint64(e.PC))
+	buf = append(buf, flags)
+	for i := uint8(0); i < e.NSrc; i++ {
+		buf = append(buf, e.SrcReg[i])
+		buf = appendUvarint(buf, uint64(e.SrcVal[i]))
+	}
+	if flags&flagDst != 0 {
+		buf = append(buf, e.DstReg)
+		buf = appendUvarint(buf, uint64(e.DstVal))
+	}
+	if hasMem {
+		buf = appendUvarint(buf, uint64(e.Addr))
+		buf = appendUvarint(buf, uint64(e.MemVal))
+	}
+	return buf
+}
+
+// checkEvent validates the fields the wire format (and the model) depend
+// on; numStatic ≤ 0 skips the PC bound.
+func checkEvent(e *Event, numStatic int) error {
+	if e.Op == isa.OpInvalid || !isa.Valid(e.Op) {
+		return fmt.Errorf("trace: invalid opcode %d", e.Op)
+	}
+	if numStatic > 0 && int(e.PC) >= numStatic {
+		return fmt.Errorf("trace: pc %d out of range (%d static)", e.PC, numStatic)
+	}
+	if e.NSrc > 2 {
+		return fmt.Errorf("trace: event has %d source operands", e.NSrc)
+	}
+	for i := uint8(0); i < e.NSrc; i++ {
+		if e.SrcReg[i] >= isa.NumRegs {
+			return fmt.Errorf("trace: source register %d out of range", e.SrcReg[i])
+		}
+	}
+	if e.DstReg != isa.NoReg && e.DstReg >= isa.NumRegs {
+		return fmt.Errorf("trace: destination register %d out of range", e.DstReg)
+	}
+	return nil
+}
+
+// Writer serialises a trace to an io.Writer in streaming fashion,
+// accumulating the per-PC static counts itself and emitting them in the
+// footer on Close. NewWriter writes format version 2; NewWriterV1 writes
+// the legacy format for consumers that have not migrated.
+type Writer struct {
+	w       *bufio.Writer
+	version int
+	counts  []uint64
+	n       uint64
+	err     error
+	closed  bool
+
+	// v2 block accumulation.
+	blockLen    int
+	block       []byte
+	blockEvents uint64
+}
+
+// NewWriter starts a version-2 trace stream for a program of numStatic
+// instructions.
 func NewWriter(w io.Writer, name string, numStatic int) (*Writer, error) {
-	tw := &Writer{w: bufio.NewWriterSize(w, 1<<16), counts: make([]uint64, numStatic)}
+	return newWriter(w, name, numStatic, Version2)
+}
+
+// NewWriterV1 starts a legacy version-1 stream (no framing, no checksums).
+// It exists for compatibility testing and for feeding consumers that only
+// understand the original format; new producers should use NewWriter.
+func NewWriterV1(w io.Writer, name string, numStatic int) (*Writer, error) {
+	return newWriter(w, name, numStatic, Version1)
+}
+
+func newWriter(w io.Writer, name string, numStatic, version int) (*Writer, error) {
+	if len(name) > maxNameLen {
+		return nil, fmt.Errorf("trace: name length %d exceeds %d", len(name), maxNameLen)
+	}
+	if numStatic < 0 || numStatic > maxNumStatic {
+		return nil, fmt.Errorf("trace: program length %d out of range [0, %d]", numStatic, maxNumStatic)
+	}
+	tw := &Writer{
+		w:        bufio.NewWriterSize(w, 1<<16),
+		version:  version,
+		counts:   make([]uint64, numStatic),
+		blockLen: defaultBlockLen,
+	}
 	tw.writeBytes([]byte(headerMagic))
-	tw.writeByte(version)
-	tw.writeUvarint(uint64(len(name)))
-	tw.writeBytes([]byte(name))
-	tw.writeUvarint(uint64(numStatic))
+	tw.writeByte(byte(version))
+	switch version {
+	case Version1:
+		tw.writeUvarint(uint64(len(name)))
+		tw.writeBytes([]byte(name))
+		tw.writeUvarint(uint64(numStatic))
+	case Version2:
+		var hdr []byte
+		hdr = appendUvarint(hdr, uint64(len(name)))
+		hdr = append(hdr, name...)
+		hdr = appendUvarint(hdr, uint64(numStatic))
+		tw.writeUvarint(uint64(len(hdr)))
+		tw.writeCRC(hdr)
+		tw.writeBytes(hdr)
+	default:
+		return nil, fmt.Errorf("trace: unsupported writer version %d", version)
+	}
 	return tw, tw.err
+}
+
+// SetBlockSize adjusts the version-2 block flush threshold (clamped to
+// [64, maxBlockLen]); useful for tests that need multi-block streams from
+// small traces. It has no effect on version-1 streams.
+func (tw *Writer) SetBlockSize(n int) {
+	if n < 64 {
+		n = 64
+	}
+	if n > maxBlockLen {
+		n = maxBlockLen
+	}
+	tw.blockLen = n
 }
 
 func (tw *Writer) writeByte(b byte) {
@@ -82,8 +246,18 @@ func (tw *Writer) writeBytes(b []byte) {
 
 func (tw *Writer) writeUvarint(v uint64) {
 	if tw.err == nil {
-		n := binary.PutUvarint(tw.buf[:], v)
-		_, tw.err = tw.w.Write(tw.buf[:n])
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], v)
+		_, tw.err = tw.w.Write(buf[:n])
+	}
+}
+
+// writeCRC writes the little-endian CRC32C of payload.
+func (tw *Writer) writeCRC(payload []byte) {
+	if tw.err == nil {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], crc32.Checksum(payload, castagnoli))
+		_, tw.err = tw.w.Write(buf[:])
 	}
 }
 
@@ -92,52 +266,42 @@ func (tw *Writer) Write(e *Event) error {
 	if tw.closed {
 		return errors.New("trace: write after Close")
 	}
-	if e.Op == isa.OpInvalid {
-		return errors.New("trace: cannot encode invalid opcode")
-	}
-	if int(e.PC) >= len(tw.counts) {
-		return fmt.Errorf("trace: pc %d out of range (%d static)", e.PC, len(tw.counts))
-	}
-	if e.NSrc > 2 {
-		return fmt.Errorf("trace: event has %d source operands", e.NSrc)
+	if err := checkEvent(e, len(tw.counts)); err != nil {
+		return err
 	}
 	tw.counts[e.PC]++
 	tw.n++
-
-	flags := e.NSrc & flagNSrcMask
-	if e.DstReg != isa.NoReg {
-		flags |= flagDst
-	}
-	hasMem := isa.MemWidth(e.Op) != 0 || e.Op == isa.OpIn
-	if hasMem {
-		flags |= flagMem
-	}
-	if e.Taken {
-		flags |= flagTaken
-	}
-	if e.HasImm {
-		flags |= flagImm
-	}
-	tw.writeByte(byte(e.Op))
-	tw.writeUvarint(uint64(e.PC))
-	tw.writeByte(flags)
-	for i := uint8(0); i < e.NSrc; i++ {
-		tw.writeByte(e.SrcReg[i])
-		tw.writeUvarint(uint64(e.SrcVal[i]))
-	}
-	if flags&flagDst != 0 {
-		tw.writeByte(e.DstReg)
-		tw.writeUvarint(uint64(e.DstVal))
-	}
-	if hasMem {
-		tw.writeUvarint(uint64(e.Addr))
-		tw.writeUvarint(uint64(e.MemVal))
+	switch tw.version {
+	case Version1:
+		// Reuse the block buffer as scratch for the event encoding.
+		tw.block = appendEvent(tw.block[:0], e)
+		tw.writeBytes(tw.block)
+	case Version2:
+		tw.block = appendEvent(tw.block, e)
+		tw.blockEvents++
+		if len(tw.block) >= tw.blockLen {
+			tw.flushBlock()
+		}
 	}
 	return tw.err
 }
 
+// flushBlock frames and emits the accumulated v2 block.
+func (tw *Writer) flushBlock() {
+	if tw.blockEvents == 0 {
+		return
+	}
+	tw.writeBytes([]byte(blockMarker))
+	tw.writeUvarint(uint64(len(tw.block)))
+	tw.writeUvarint(tw.blockEvents)
+	tw.writeCRC(tw.block)
+	tw.writeBytes(tw.block)
+	tw.block = tw.block[:0]
+	tw.blockEvents = 0
+}
+
 // Count returns the number of events written so far.
-func (tw *Writer) Count() int { return tw.n }
+func (tw *Writer) Count() int { return int(tw.n) }
 
 // Close terminates the event stream, writes the static-count footer, and
 // flushes. The Writer must not be used afterwards.
@@ -146,9 +310,23 @@ func (tw *Writer) Close() error {
 		return nil
 	}
 	tw.closed = true
-	tw.writeByte(0) // event terminator
-	for _, c := range tw.counts {
-		tw.writeUvarint(c)
+	switch tw.version {
+	case Version1:
+		tw.writeByte(0) // event terminator
+		for _, c := range tw.counts {
+			tw.writeUvarint(c)
+		}
+	case Version2:
+		tw.flushBlock()
+		var ftr []byte
+		ftr = appendUvarint(ftr, tw.n)
+		for _, c := range tw.counts {
+			ftr = appendUvarint(ftr, c)
+		}
+		tw.writeBytes([]byte(countMarker))
+		tw.writeUvarint(uint64(len(ftr)))
+		tw.writeCRC(ftr)
+		tw.writeBytes(ftr)
 	}
 	tw.writeBytes([]byte(footerMagic))
 	if tw.err == nil {
@@ -157,185 +335,18 @@ func (tw *Writer) Close() error {
 	return tw.err
 }
 
-// Reader decodes a trace stream. Events stream via Next; the static-count
-// footer becomes available after Next returns io.EOF.
-type Reader struct {
-	r         *bufio.Reader
-	name      string
-	numStatic int
-	counts    []uint64
-	done      bool
-}
-
-// NewReader parses the stream header.
-func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if string(magic) != headerMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic)
-	}
-	ver, err := br.ReadByte()
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading version: %w", err)
-	}
-	if ver != version {
-		return nil, fmt.Errorf("trace: unsupported version %d", ver)
-	}
-	nameLen, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading name length: %w", err)
-	}
-	if nameLen > 1<<16 {
-		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
-	}
-	nameBuf := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, nameBuf); err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
-	}
-	numStatic, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading program length: %w", err)
-	}
-	// Bound the static program length so a corrupt header cannot drive the
-	// footer allocation (2^26 instructions is far beyond any real program
-	// for this ISA).
-	if numStatic > 1<<26 {
-		return nil, fmt.Errorf("trace: unreasonable program length %d", numStatic)
-	}
-	return &Reader{r: br, name: string(nameBuf), numStatic: int(numStatic)}, nil
-}
-
-// Name returns the workload name from the header.
-func (tr *Reader) Name() string { return tr.name }
-
-// NumStatic returns the static program length from the header.
-func (tr *Reader) NumStatic() int { return tr.numStatic }
-
-// Next decodes the next event into e. It returns io.EOF at the end of the
-// event stream, after which StaticCounts is available.
-func (tr *Reader) Next(e *Event) error {
-	if tr.done {
-		return io.EOF
-	}
-	opByte, err := tr.r.ReadByte()
-	if err != nil {
-		return fmt.Errorf("trace: reading opcode: %w", err)
-	}
-	if opByte == 0 {
-		if err := tr.readFooter(); err != nil {
-			return err
-		}
-		tr.done = true
-		return io.EOF
-	}
-	op := isa.Op(opByte)
-	if !isa.Valid(op) {
-		return fmt.Errorf("trace: invalid opcode %d in stream", opByte)
-	}
-	pc, err := binary.ReadUvarint(tr.r)
-	if err != nil {
-		return fmt.Errorf("trace: reading pc: %w", err)
-	}
-	flags, err := tr.r.ReadByte()
-	if err != nil {
-		return fmt.Errorf("trace: reading flags: %w", err)
-	}
-	nsrc := flags & flagNSrcMask
-	if nsrc > 2 {
-		return fmt.Errorf("trace: corrupt flags: %d source operands", nsrc)
-	}
-	*e = Event{PC: uint32(pc), Op: op, NSrc: nsrc, DstReg: isa.NoReg,
-		Taken: flags&flagTaken != 0, HasImm: flags&flagImm != 0}
-	for i := uint8(0); i < e.NSrc; i++ {
-		reg, err := tr.r.ReadByte()
-		if err != nil {
-			return fmt.Errorf("trace: reading src reg: %w", err)
-		}
-		val, err := binary.ReadUvarint(tr.r)
-		if err != nil {
-			return fmt.Errorf("trace: reading src val: %w", err)
-		}
-		e.SrcReg[i] = reg
-		e.SrcVal[i] = uint32(val)
-	}
-	if flags&flagDst != 0 {
-		reg, err := tr.r.ReadByte()
-		if err != nil {
-			return fmt.Errorf("trace: reading dst reg: %w", err)
-		}
-		val, err := binary.ReadUvarint(tr.r)
-		if err != nil {
-			return fmt.Errorf("trace: reading dst val: %w", err)
-		}
-		e.DstReg = reg
-		e.DstVal = uint32(val)
-	}
-	if flags&flagMem != 0 {
-		addr, err := binary.ReadUvarint(tr.r)
-		if err != nil {
-			return fmt.Errorf("trace: reading mem addr: %w", err)
-		}
-		val, err := binary.ReadUvarint(tr.r)
-		if err != nil {
-			return fmt.Errorf("trace: reading mem val: %w", err)
-		}
-		e.Addr = uint32(addr)
-		e.MemVal = uint32(val)
-	}
-	return nil
-}
-
-func (tr *Reader) readFooter() error {
-	tr.counts = make([]uint64, tr.numStatic)
-	for i := range tr.counts {
-		c, err := binary.ReadUvarint(tr.r)
-		if err != nil {
-			return fmt.Errorf("trace: reading static counts: %w", err)
-		}
-		tr.counts[i] = c
-	}
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(tr.r, magic); err != nil {
-		return fmt.Errorf("trace: reading footer magic: %w", err)
-	}
-	if string(magic) != footerMagic {
-		return fmt.Errorf("trace: bad footer magic %q", magic)
-	}
-	return nil
-}
-
-// StaticCounts returns the per-PC execution counts; valid only after Next
-// has returned io.EOF.
-func (tr *Reader) StaticCounts() []uint64 { return tr.counts }
-
-// ReadAll decodes an entire stream into an in-memory Trace.
-func ReadAll(r io.Reader) (*Trace, error) {
-	tr, err := NewReader(r)
-	if err != nil {
-		return nil, err
-	}
-	t := &Trace{Name: tr.Name(), NumStatic: tr.NumStatic()}
-	var e Event
-	for {
-		err := tr.Next(&e)
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		t.Events = append(t.Events, e)
-	}
-	t.StaticCount = tr.StaticCounts()
-	return t, nil
-}
-
-// WriteAll serialises an in-memory trace to w.
+// WriteAll serialises an in-memory trace to w in the current format.
 func WriteAll(w io.Writer, t *Trace) error {
-	tw, err := NewWriter(w, t.Name, t.NumStatic)
+	return writeAll(w, t, Version2)
+}
+
+// WriteAllV1 serialises an in-memory trace in the legacy v1 format.
+func WriteAllV1(w io.Writer, t *Trace) error {
+	return writeAll(w, t, Version1)
+}
+
+func writeAll(w io.Writer, t *Trace, version int) error {
+	tw, err := newWriter(w, t.Name, t.NumStatic, version)
 	if err != nil {
 		return err
 	}
@@ -345,27 +356,4 @@ func WriteAll(w io.Writer, t *Trace) error {
 		}
 	}
 	return tw.Close()
-}
-
-// ReadFile loads a trace file written by WriteFile or cmd/tracegen.
-func ReadFile(path string) (*Trace, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return ReadAll(f)
-}
-
-// WriteFile stores a trace to path.
-func WriteFile(path string, t *Trace) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteAll(f, t); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 
@@ -32,30 +33,94 @@ func FuzzReader(f *testing.F) {
 	f.Add(mutated)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		r, err := NewReader(bytes.NewReader(data))
-		if err != nil {
+		drainChecked(t, data, false)
+		drainChecked(t, data, true)
+	})
+}
+
+// drainChecked decodes data to exhaustion in the given mode, asserting the
+// decoder's arbitrary-bytes guarantees: termination, no panic, and no
+// structurally invalid event ever delivered.
+func drainChecked(t *testing.T, data []byte, lenient bool) {
+	var opts []ReaderOption
+	if lenient {
+		opts = append(opts, Lenient())
+	}
+	r, err := NewReader(bytes.NewReader(data), opts...)
+	if err != nil {
+		return
+	}
+	var e Event
+	for i := 0; i < 1_000_000; i++ {
+		err := r.Next(&e)
+		if err == io.EOF {
+			// Clean EOF means the footer parsed (or, leniently, was given
+			// up on): counts must exist unless recovery reported them lost.
+			if r.StaticCounts() == nil && r.NumStatic() > 0 && !r.Stats().FooterLost {
+				t.Fatal("clean EOF without static counts")
+			}
 			return
 		}
-		var e Event
-		for i := 0; i < 1_000_000; i++ {
-			err := r.Next(&e)
-			if err == io.EOF {
-				// Clean EOF means the footer parsed: counts must exist.
-				if r.StaticCounts() == nil && r.NumStatic() > 0 {
-					t.Fatal("clean EOF without static counts")
-				}
-				return
+		if err != nil {
+			if lenient && !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrChecksum) {
+				// Lenient mode converts format damage into recovery or
+				// clean EOF; any surviving error must be typed (or an
+				// underlying I/O failure, impossible over bytes.Reader).
+				t.Fatalf("lenient reader leaked untyped error: %v", err)
 			}
-			if err != nil {
-				return
+			return
+		}
+		if !isa.Valid(e.Op) {
+			t.Fatalf("decoder produced invalid opcode %d", e.Op)
+		}
+		if e.NSrc > 2 {
+			t.Fatalf("decoder produced NSrc=%d", e.NSrc)
+		}
+	}
+	t.Fatal("decoder failed to terminate on bounded input")
+}
+
+// FuzzCorruption round-trips a known-good multi-block stream through
+// fuzzer-chosen corruption (a byte flip plus a truncation point) and
+// asserts the recover-or-typed-error contract on both reader modes.
+func FuzzCorruption(f *testing.F) {
+	stream, orig := smallV2Stream(f, 64)
+	f.Add(uint32(0), byte(0xFF), uint32(len(stream)))
+	f.Add(uint32(len(stream)/2), byte(0x01), uint32(len(stream)))
+	f.Add(uint32(len(stream)-1), byte(0x80), uint32(len(stream)/2))
+
+	f.Fuzz(func(t *testing.T, off uint32, xor byte, cut uint32) {
+		data := append([]byte(nil), stream...)
+		if int(cut) < len(data) {
+			data = data[:cut]
+		}
+		if int(off) < len(data) {
+			data[off] ^= xor
+		}
+		intact := bytes.Equal(data, stream)
+
+		got, err := ReadAll(bytes.NewReader(data))
+		if err == nil {
+			if !intact {
+				t.Fatal("strict reader accepted a corrupted stream")
 			}
-			if !isa.Valid(e.Op) {
-				t.Fatalf("decoder produced invalid opcode %d", e.Op)
-			}
-			if e.NSrc > 2 {
-				t.Fatalf("decoder produced NSrc=%d", e.NSrc)
+		} else if !typedErr(err) {
+			t.Fatalf("strict: untyped error %v", err)
+		} else if errors.Is(err, ErrTruncated) && got != nil {
+			if !isSubsequence(got.Events, orig.Events) {
+				t.Fatal("strict: partial trace is not a subsequence")
 			}
 		}
-		t.Fatal("decoder failed to terminate on bounded input")
+
+		lt, _, lerr := ReadAllLenient(bytes.NewReader(data))
+		if lerr != nil {
+			if !typedErr(lerr) {
+				t.Fatalf("lenient: untyped error %v", lerr)
+			}
+			return
+		}
+		if !isSubsequence(lt.Events, orig.Events) {
+			t.Fatal("lenient: recovered events are not a subsequence")
+		}
 	})
 }

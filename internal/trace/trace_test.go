@@ -214,11 +214,11 @@ func TestReaderRejectsTruncatedEvents(t *testing.T) {
 
 func TestReaderRejectsInvalidOpcode(t *testing.T) {
 	var buf bytes.Buffer
-	w, _ := NewWriter(&buf, "t", 1)
+	w, _ := NewWriterV1(&buf, "t", 1)
 	_ = w.Write(&Event{PC: 0, Op: isa.OpNop, DstReg: isa.NoReg})
 	_ = w.Close()
 	data := buf.Bytes()
-	// Corrupt the event opcode byte (first byte after header).
+	// Corrupt the event opcode byte (first byte after the v1 header).
 	headerLen := 4 + 1 + 1 + 1 + 1 // magic, version, name len, name, numStatic
 	data[headerLen] = 0xEE
 	r, err := NewReader(bytes.NewReader(data))
@@ -228,6 +228,9 @@ func TestReaderRejectsInvalidOpcode(t *testing.T) {
 	var e Event
 	if err := r.Next(&e); err == nil || !strings.Contains(err.Error(), "invalid opcode") {
 		t.Errorf("corrupt opcode: err = %v", err)
+	}
+	if err := r.Next(&e); err == nil || err == io.EOF {
+		t.Errorf("error should be sticky, got %v", err)
 	}
 }
 

@@ -327,6 +327,11 @@ func f2w(f float32) uint32 { return math.Float32bits(f) }
 // Trace assembles nothing new: it runs prog to completion (or limit) on a
 // fresh machine and returns the full in-memory trace. It is the convenience
 // path used by tests, examples and the figure harness.
+//
+// If the step limit is hit before halt, Trace returns the partial trace of
+// everything executed so far alongside an ErrLimit — the prefix is
+// internally consistent (it passes Validate) and usable as-is; callers that
+// consider a limit hit routine can test for ErrLimit and keep the trace.
 func Trace(prog *asm.Program, input InputSource, limit uint64) (*trace.Trace, error) {
 	m := New(prog)
 	m.SetInput(input)
@@ -336,6 +341,10 @@ func Trace(prog *asm.Program, input InputSource, limit uint64) (*trace.Trace, er
 		if _, isLimit := err.(ErrLimit); !isLimit {
 			return nil, err
 		}
+		if verr := t.Validate(); verr != nil {
+			return nil, verr
+		}
+		return t, err
 	}
 	return t, nil
 }

@@ -308,6 +308,20 @@ func TestStepLimit(t *testing.T) {
 	}
 }
 
+func TestTracePartialOnLimitValidates(t *testing.T) {
+	prog, _ := asm.Assemble("t", `
+	main:	addi $t0, $t0, 1
+		j main
+	`)
+	tr, err := Trace(prog, nil, 64)
+	if _, ok := err.(ErrLimit); !ok {
+		t.Fatalf("expected ErrLimit, got %v", err)
+	}
+	if verr := tr.Validate(); verr != nil {
+		t.Errorf("partial trace fails validation: %v", verr)
+	}
+}
+
 func TestPCOutOfRange(t *testing.T) {
 	prog, _ := asm.Assemble("t", "main: j 99")
 	m := New(prog)
@@ -384,11 +398,11 @@ func TestTraceEmission(t *testing.T) {
 func TestTraceStepLimitReturnsPartial(t *testing.T) {
 	prog, _ := asm.Assemble("t", "main: j main")
 	tr, err := Trace(prog, nil, 50)
-	if err != nil {
-		t.Fatalf("limit should not be an error from Trace: %v", err)
+	if _, ok := err.(ErrLimit); !ok {
+		t.Fatalf("expected partial trace with ErrLimit, got err=%v", err)
 	}
-	if tr.Len() != 50 {
-		t.Errorf("partial trace length = %d", tr.Len())
+	if tr == nil || tr.Len() != 50 {
+		t.Fatalf("partial trace missing or wrong length")
 	}
 }
 
