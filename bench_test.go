@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"testing"
@@ -159,6 +160,43 @@ func BenchmarkTraceEncode(b *testing.B) {
 		if err := trace.WriteAll(io.Discard, tr); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelDecode compares the sequential trace reader against the
+// concurrent block decoder at several worker counts on a multi-block
+// stream (bytes/s are events/s). The 8 KiB blocks give the pool enough
+// frames to keep every worker busy.
+func BenchmarkParallelDecode(b *testing.B) {
+	tr := benchTrace(b)
+	var buf bytes.Buffer
+	if err := trace.WriteAll(&buf, tr, trace.BlockBytes(8<<10)); err != nil {
+		b.Fatal(err)
+	}
+	stream := buf.Bytes()
+	decode := func(b *testing.B, workers int) {
+		b.Helper()
+		b.SetBytes(int64(tr.Len()))
+		for i := 0; i < b.N; i++ {
+			var got *trace.Trace
+			var err error
+			if workers == 0 {
+				got, err = trace.ReadAll(bytes.NewReader(stream))
+			} else {
+				got, _, err = trace.ParallelReadAll(bytes.NewReader(stream), trace.Workers(workers))
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got.Len() != tr.Len() {
+				b.Fatalf("decoded %d events, want %d", got.Len(), tr.Len())
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { decode(b, 0) })
+	for _, workers := range []int{2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) { decode(b, workers) })
 	}
 }
 

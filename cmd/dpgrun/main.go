@@ -8,6 +8,7 @@
 //	dpgrun -workload m88 -predictor stride
 //	dpgrun -workload gcc -all          # all three predictors
 //	dpgrun -trace damaged.dpg -strict=false   # resync past corrupt blocks
+//	dpgrun -trace gcc.dpg -workers 8          # 8 concurrent decode workers
 //
 // By default a corrupt or truncated trace file is rejected with a typed
 // error and a non-zero exit. With -strict=false the reader resynchronises
@@ -36,6 +37,7 @@ func main() {
 	all := flag.Bool("all", false, "run all three predictors")
 	graph := flag.Int("graph", 0, "print the labeled DPG fragment for the first N instructions (paper Fig. 3)")
 	strict := flag.Bool("strict", true, "reject corrupt traces; -strict=false resyncs past damage and summarises it")
+	workers := flag.Int("workers", 0, "concurrent trace-decode workers (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
 	var t *trace.Trace
@@ -43,18 +45,20 @@ func main() {
 	case *tracePath != "" && *workload != "":
 		fail("use either -trace or -workload, not both")
 	case *tracePath != "":
+		// The parallel decoder is differentially proven equivalent to the
+		// sequential reader (and falls back to it at -workers=1), so both
+		// modes route through it.
+		opts := []trace.ReaderOption{trace.Workers(*workers)}
+		if !*strict {
+			opts = append(opts, trace.Lenient())
+		}
+		var stats trace.Stats
 		var err error
-		if *strict {
-			t, err = trace.ReadFile(*tracePath)
-			if err != nil {
-				fail(err.Error())
-			}
-		} else {
-			var stats trace.Stats
-			t, stats, err = trace.ReadFileLenient(*tracePath)
-			if err != nil {
-				fail(err.Error())
-			}
+		t, stats, err = trace.ReadFileParallel(*tracePath, opts...)
+		if err != nil {
+			fail(err.Error())
+		}
+		if !*strict {
 			printCorruption(stats)
 		}
 	case *workload != "":

@@ -6,6 +6,7 @@
 //
 //	tracegen -workload gcc -o gcc.dpg
 //	tracegen -workload com -rounds 2000 -seed 7 -o com.dpg
+//	tracegen -workload gcc -blocklen 4096 -o gcc.dpg   # 4096-event blocks
 //	tracegen -asm prog.s -o prog.dpg          # inputs read as words from -in
 package main
 
@@ -28,6 +29,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "input seed for built-in workloads")
 	inPath := flag.String("in", "", "input word file for -asm (one unsigned word per line)")
 	limit := flag.Uint64("limit", workloads.MaxTraceLen, "instruction limit")
+	blocklen := flag.Int("blocklen", 0, "events per trace block (0 = default byte-size blocks)")
 	out := flag.String("o", "", "output trace path (required)")
 	flag.Parse()
 
@@ -83,7 +85,7 @@ func main() {
 		fail("missing -workload or -asm")
 	}
 
-	if err := trace.WriteFile(*out, t); err != nil {
+	if err := trace.WriteFile(*out, t, trace.BlockEvents(*blocklen)); err != nil {
 		fail(err.Error())
 	}
 	fmt.Printf("wrote %s: %d dynamic instructions, %d static\n", *out, t.Len(), t.NumStatic)

@@ -31,42 +31,93 @@ import (
 	"repro/internal/workloads"
 )
 
-// Option configures RunTrace.
-type Option func(*dpg.Config)
+// config is the resolved form of the public options: the model
+// configuration plus the trace-ingestion knobs AnalyzeFile honours
+// (reader choice, lenient decoding, stats surfacing). RunTrace operates
+// on an already-decoded trace, so it uses only the model half.
+type config struct {
+	model    dpg.Config
+	parallel bool
+	workers  int
+	lenient  bool
+	statsOut *trace.Stats
+}
+
+// Option configures RunTrace and AnalyzeFile.
+type Option func(*config)
 
 // WithKind selects one of the paper's predictors (default: context-based).
 func WithKind(k predictor.Kind) Option {
-	return func(c *dpg.Config) {
-		c.Predictor = k.Factory()
-		c.PredictorName = k.String()
+	return func(c *config) {
+		c.model.Predictor = k.Factory()
+		c.model.PredictorName = k.String()
 	}
 }
 
 // WithPredictor installs a custom value predictor through its factory. The
 // model instantiates it twice (input side and output side).
 func WithPredictor(name string, f predictor.Factory) Option {
-	return func(c *dpg.Config) {
-		c.Predictor = f
-		c.PredictorName = name
+	return func(c *config) {
+		c.model.Predictor = f
+		c.model.PredictorName = name
 	}
 }
 
 // WithoutPaths disables influence tracking for faster classification-only
 // runs.
 func WithoutPaths() Option {
-	return func(c *dpg.Config) { c.DisablePaths = true }
+	return func(c *config) { c.model.DisablePaths = true }
 }
 
 // WithSharedInputOutput switches to a single shared predictor instance for
 // inputs and outputs (the short-circuit ablation; the paper splits them).
 func WithSharedInputOutput() Option {
-	return func(c *dpg.Config) { c.SharedInputOutput = true }
+	return func(c *config) { c.model.SharedInputOutput = true }
+}
+
+// WithWorkers makes AnalyzeFile decode the trace file with the concurrent
+// block decoder using n workers (0 = all cores). Decoding is proven
+// equivalent to the sequential reader, so results are identical; only
+// ingestion throughput changes. RunTrace, which takes an already-decoded
+// trace, ignores the option.
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		c.parallel = true
+		c.workers = n
+	}
+}
+
+// WithLenientTrace makes AnalyzeFile resynchronise past corrupt or
+// truncated trace regions instead of failing, analysing the surviving
+// events (the library-side equivalent of dpgrun -strict=false). Combine
+// with WithTraceStats to observe what was skipped.
+func WithLenientTrace() Option {
+	return func(c *config) { c.lenient = true }
+}
+
+// WithTraceStats points at a location AnalyzeFile fills with the decode
+// summary — the same trace.Stats behind dpgrun's corruption report.
+func WithTraceStats(st *trace.Stats) Option {
+	return func(c *config) { c.statsOut = st }
+}
+
+// readerOpts translates the ingestion half of the config into reader
+// options.
+func (c *config) readerOpts() []trace.ReaderOption {
+	var opts []trace.ReaderOption
+	if c.lenient {
+		opts = append(opts, trace.Lenient())
+	}
+	if c.parallel {
+		opts = append(opts, trace.Workers(c.workers))
+	}
+	return opts
 }
 
 // buildConfig folds the options over the default (context) configuration.
 // Option closures that panic — e.g. a Kind out of range — are converted
 // into ErrConfig at this boundary.
-func buildConfig(opts []Option) (cfg dpg.Config, err error) {
+func buildConfig(opts []Option) (cfg config, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w: %v", ErrConfig, r)
@@ -75,9 +126,9 @@ func buildConfig(opts []Option) (cfg dpg.Config, err error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.Predictor == nil {
-		cfg.Predictor = predictor.KindContext.Factory()
-		cfg.PredictorName = predictor.KindContext.String()
+	if cfg.model.Predictor == nil {
+		cfg.model.Predictor = predictor.KindContext.Factory()
+		cfg.model.PredictorName = predictor.KindContext.String()
 	}
 	return cfg, nil
 }
@@ -95,7 +146,7 @@ func RunTrace(t *trace.Trace, opts ...Option) (*dpg.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return dpg.RunWith(t, cfg)
+	return dpg.RunWith(t, cfg.model)
 }
 
 // SuiteConfig parameterises a full evaluation run.
@@ -111,6 +162,10 @@ type SuiteConfig struct {
 	Parallel int
 	// Progress, if non-nil, receives one line per model run.
 	Progress io.Writer
+	// TraceSource, if non-nil, replaces workload trace generation: it
+	// receives the workload name, the scaled round count, and the seed.
+	// Tests use it to source traces from files or to inject faults.
+	TraceSource func(name string, rounds int, seed uint64) (*trace.Trace, error)
 }
 
 // Suite caches traces and model results across the paper's experiments so
@@ -155,6 +210,8 @@ func NewSuite(cfg SuiteConfig) *Suite {
 }
 
 // traceFor returns (and caches) the workload's trace at the suite scale.
+// A failed load is never cached: the entry is evicted so a later call
+// retries the source instead of replaying a stale error.
 func (s *Suite) traceFor(name string) (*trace.Trace, error) {
 	s.mu.Lock()
 	te := s.traces[name]
@@ -166,6 +223,13 @@ func (s *Suite) traceFor(name string) (*trace.Trace, error) {
 	te.once.Do(func() {
 		te.t, te.err = s.traceOnce(name)
 	})
+	if te.err != nil {
+		s.mu.Lock()
+		if s.traces[name] == te {
+			delete(s.traces, name)
+		}
+		s.mu.Unlock()
+	}
 	return te.t, te.err
 }
 
@@ -191,6 +255,9 @@ func (s *Suite) Result(name string, kind predictor.Kind) (*dpg.Result, error) {
 			fmt.Fprintf(s.cfg.Progress, "running %-5s with %-10s (%d events)\n", name, kind, t.Len())
 		}
 		re.res, re.err = dpg.Run(t, kind)
+		if re.err != nil {
+			return
+		}
 		s.mu.Lock()
 		s.done[name]++
 		if s.done[name] >= len(predictor.Kinds) {
@@ -202,6 +269,15 @@ func (s *Suite) Result(name string, kind predictor.Kind) (*dpg.Result, error) {
 		}
 		s.mu.Unlock()
 	})
+	if re.err != nil {
+		// Consistency over memoisation: a failed run must not poison the
+		// cache, so evict the entry and let a later call retry.
+		s.mu.Lock()
+		if s.results[key] == re {
+			delete(s.results, key)
+		}
+		s.mu.Unlock()
+	}
 	return re.res, re.err
 }
 
@@ -725,6 +801,9 @@ func (s *Suite) traceOnce(name string) (*trace.Trace, error) {
 	rounds := int(float64(w.Rounds) * s.cfg.Scale)
 	if rounds < 2 {
 		rounds = 2
+	}
+	if s.cfg.TraceSource != nil {
+		return s.cfg.TraceSource(name, rounds, s.cfg.Seed)
 	}
 	return w.TraceRounds(rounds, s.cfg.Seed)
 }

@@ -11,10 +11,47 @@ import (
 	"repro/internal/trace"
 )
 
+// traceReader is the streaming surface shared by the sequential and
+// parallel trace decoders; AnalyzeFile is agnostic to which one is
+// behind it.
+type traceReader interface {
+	Next(*trace.Event) error
+	Name() string
+	NumStatic() int
+	Stats() trace.Stats
+	StaticCounts() []uint64
+	Close() error
+}
+
+// openTraceReader opens path with the reader the config selects:
+// sequential by default, the concurrent block decoder under WithWorkers,
+// lenient under WithLenientTrace.
+func openTraceReader(path string, cfg *config) (traceReader, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var r traceReader
+	if cfg.parallel {
+		r, err = trace.NewParallelReader(f, cfg.readerOpts()...)
+	} else {
+		r, err = trace.NewReader(f, cfg.readerOpts()...)
+	}
+	if err != nil {
+		f.Close()
+		return nil, nil, wrapTraceErr(err)
+	}
+	return r, f, nil
+}
+
 // AnalyzeFile runs the model over a trace file without loading the whole
 // trace into memory. It makes two passes: the first collects the static
 // execution counts the model needs up front (write-once classification);
 // the second streams events through the builder.
+//
+// WithWorkers decodes both passes with the concurrent block decoder;
+// WithLenientTrace analyses whatever survives a damaged file instead of
+// failing; WithTraceStats surfaces the decode summary either way.
 func AnalyzeFile(path string, opts ...Option) (*dpg.Result, error) {
 	cfg, err := buildConfig(opts)
 	if err != nil {
@@ -22,22 +59,19 @@ func AnalyzeFile(path string, opts ...Option) (*dpg.Result, error) {
 	}
 
 	// Pass 1: static counts from the footer.
-	counts, name, err := fileStaticCounts(path)
+	counts, name, err := fileStaticCounts(path, &cfg)
 	if err != nil {
 		return nil, err
 	}
 
 	// Pass 2: stream events.
-	f, err := os.Open(path)
+	r, f, err := openTraceReader(path, &cfg)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	r, err := trace.NewReader(f)
-	if err != nil {
-		return nil, wrapTraceErr(err)
-	}
-	b, err := dpg.NewBuilder(name, counts, cfg)
+	defer r.Close()
+	b, err := dpg.NewBuilder(name, counts, cfg.model)
 	if err != nil {
 		return nil, err
 	}
@@ -54,20 +88,23 @@ func AnalyzeFile(path string, opts ...Option) (*dpg.Result, error) {
 			return nil, fmt.Errorf("core: streaming %s: %w", path, err)
 		}
 	}
+	if cfg.statsOut != nil {
+		*cfg.statsOut = r.Stats()
+	}
 	return b.Finish()
 }
 
-// fileStaticCounts drains a trace file for its footer.
-func fileStaticCounts(path string) ([]uint64, string, error) {
-	f, err := os.Open(path)
+// fileStaticCounts drains a trace file for its footer. In lenient mode
+// the footer can be lost to damage; the counts are then rebuilt from the
+// events that survived, mirroring trace.ReadAllLenient.
+func fileStaticCounts(path string, cfg *config) ([]uint64, string, error) {
+	r, f, err := openTraceReader(path, cfg)
 	if err != nil {
 		return nil, "", err
 	}
 	defer f.Close()
-	r, err := trace.NewReader(f)
-	if err != nil {
-		return nil, "", wrapTraceErr(err)
-	}
+	defer r.Close()
+	rebuilt := make([]uint64, r.NumStatic())
 	var e trace.Event
 	for {
 		err := r.Next(&e)
@@ -77,8 +114,15 @@ func fileStaticCounts(path string) ([]uint64, string, error) {
 		if err != nil {
 			return nil, "", fmt.Errorf("core: scanning %s: %w", path, wrapTraceErr(err))
 		}
+		if int(e.PC) < len(rebuilt) {
+			rebuilt[e.PC]++
+		}
 	}
-	return r.StaticCounts(), r.Name(), nil
+	counts := r.StaticCounts()
+	if counts == nil {
+		counts = rebuilt
+	}
+	return counts, r.Name(), nil
 }
 
 // DumpJSON precomputes every (workload, predictor) model result and writes

@@ -36,16 +36,30 @@ type Stats struct {
 	FooterLost bool
 }
 
-// ReaderOption configures a Reader.
-type ReaderOption func(*Reader)
+// readerConfig collects the knobs shared by NewReader and
+// NewParallelReader.
+type readerConfig struct {
+	lenient bool
+	workers int
+}
 
-// Lenient switches the Reader into recovery mode: instead of failing on
+// ReaderOption configures NewReader or NewParallelReader.
+type ReaderOption func(*readerConfig)
+
+// Lenient switches the reader into recovery mode: instead of failing on
 // the first corrupt v2 block it resynchronises at the next frame marker,
 // and a truncated stream ends with a clean io.EOF plus Stats describing
 // the damage. Header corruption is never recoverable. For v1 streams,
 // recovery is limited to keeping the prefix that decoded cleanly.
 func Lenient() ReaderOption {
-	return func(tr *Reader) { tr.lenient = true }
+	return func(c *readerConfig) { c.lenient = true }
+}
+
+// Workers sets the number of concurrent block decoders used by
+// NewParallelReader: 0 (the default) means runtime.GOMAXPROCS(0), and 1
+// falls back to plain sequential decoding. NewReader ignores the option.
+func Workers(n int) ReaderOption {
+	return func(c *readerConfig) { c.workers = n }
 }
 
 // countingReader tracks the byte offset of everything consumed, so decode
@@ -91,10 +105,11 @@ type Reader struct {
 
 // NewReader parses the stream header and negotiates the format version.
 func NewReader(r io.Reader, opts ...ReaderOption) (*Reader, error) {
-	tr := &Reader{cr: &countingReader{br: bufio.NewReaderSize(r, 1<<16)}}
+	var cfg readerConfig
 	for _, o := range opts {
-		o(tr)
+		o(&cfg)
 	}
+	tr := &Reader{cr: &countingReader{br: bufio.NewReaderSize(r, 1<<16)}, lenient: cfg.lenient}
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(tr.cr, magic); err != nil {
 		return nil, ioErr(tr.cr.n, err, "reading magic")
@@ -123,13 +138,18 @@ func NewReader(r io.Reader, opts ...ReaderOption) (*Reader, error) {
 }
 
 // readUvarint reads a varint, labelling failures with what is being read.
-func (tr *Reader) readUvarint(what string) (uint64, error) {
-	off := tr.cr.n
-	v, err := binary.ReadUvarint(tr.cr)
+func readUvarint(cr *countingReader, what string) (uint64, error) {
+	off := cr.n
+	v, err := binary.ReadUvarint(cr)
 	if err != nil {
 		return 0, ioErr(off, err, "reading %s", what)
 	}
 	return v, nil
+}
+
+// readUvarint is the method form of the standalone helper.
+func (tr *Reader) readUvarint(what string) (uint64, error) {
+	return readUvarint(tr.cr, what)
 }
 
 func (tr *Reader) readHeaderV1() error {
@@ -196,28 +216,38 @@ func (tr *Reader) readHeaderV2() error {
 }
 
 // readCRC reads a little-endian CRC32C field.
-func (tr *Reader) readCRC(what string) (uint32, error) {
+func readCRC(cr *countingReader, what string) (uint32, error) {
 	var buf [4]byte
-	if _, err := io.ReadFull(tr.cr, buf[:]); err != nil {
-		return 0, ioErr(tr.cr.n, err, "reading %s checksum", what)
+	if _, err := io.ReadFull(cr, buf[:]); err != nil {
+		return 0, ioErr(cr.n, err, "reading %s checksum", what)
 	}
 	return binary.LittleEndian.Uint32(buf[:]), nil
 }
 
+// readCRC is the method form of the standalone helper.
+func (tr *Reader) readCRC(what string) (uint32, error) {
+	return readCRC(tr.cr, what)
+}
+
 // readPayload reads n declared bytes in bounded chunks, so a hostile
 // length field costs at most the bytes actually present in the stream.
-func (tr *Reader) readPayload(n int, what string) ([]byte, error) {
+func readPayload(cr *countingReader, n int, what string) ([]byte, error) {
 	const chunk = 1 << 16
 	buf := make([]byte, 0, minInt(n, chunk))
 	for len(buf) < n {
 		step := minInt(n-len(buf), chunk)
 		start := len(buf)
 		buf = append(buf, make([]byte, step)...)
-		if _, err := io.ReadFull(tr.cr, buf[start:]); err != nil {
-			return nil, ioErr(tr.cr.n, err, "reading %s payload", what)
+		if _, err := io.ReadFull(cr, buf[start:]); err != nil {
+			return nil, ioErr(cr.n, err, "reading %s payload", what)
 		}
 	}
 	return buf, nil
+}
+
+// readPayload is the method form of the standalone helper.
+func (tr *Reader) readPayload(n int, what string) ([]byte, error) {
+	return readPayload(tr.cr, n, what)
 }
 
 func minInt(a, b int) int {
@@ -249,6 +279,10 @@ func (tr *Reader) Version() int { return tr.version }
 // Stats returns a snapshot of the reader's progress and damage summary.
 func (tr *Reader) Stats() Stats { return tr.stats }
 
+// Close exists for symmetry with ParallelReader, so the two readers can be
+// used interchangeably; the sequential reader holds no resources.
+func (tr *Reader) Close() error { return nil }
+
 // StaticCounts returns the per-PC execution counts; valid only after Next
 // has returned io.EOF, and nil if the footer was lost in lenient mode.
 func (tr *Reader) StaticCounts() []uint64 { return tr.counts }
@@ -265,9 +299,11 @@ func recoverableKind(err error) bool {
 	return errors.Is(err, ErrMalformed) || errors.Is(err, ErrTruncated) || errors.Is(err, ErrChecksum)
 }
 
-// endOfStream handles running out of bytes where more were required.
-func (tr *Reader) endOfStream(err error, what string) error {
-	if tr.lenient && (err == io.EOF || err == io.ErrUnexpectedEOF) {
+// frameEnd converts a frame-scan failure: in lenient mode running out of
+// bytes ends the stream cleanly (with the damage recorded in Stats); any
+// other failure is terminal.
+func (tr *Reader) frameEnd(err error) error {
+	if tr.lenient && errors.Is(err, ErrTruncated) {
 		tr.stats.Truncated = true
 		if tr.counts == nil {
 			tr.stats.FooterLost = true
@@ -275,7 +311,7 @@ func (tr *Reader) endOfStream(err error, what string) error {
 		tr.done = true
 		return io.EOF
 	}
-	return tr.fail(ioErr(tr.cr.n, err, "%s", what))
+	return tr.fail(err)
 }
 
 // Next decodes the next event into e. It returns io.EOF at the end of the
@@ -504,14 +540,15 @@ func (tr *Reader) readFrame() error {
 	}
 }
 
-// nextMarker reads the next 4-byte frame marker. In strict mode anything
+// scanMarker reads the next 4-byte frame marker. In strict mode anything
 // else is malformed; in lenient mode the stream is scanned byte-by-byte
-// until a marker appears, returning how many bytes were discarded.
-func (tr *Reader) nextMarker() (string, int64, error) {
+// until a marker appears, returning how many bytes were discarded. Read
+// failures come back classified by ioErr (end-of-stream as ErrTruncated).
+func scanMarker(cr *countingReader, lenient bool) (string, int64, error) {
 	var win [4]byte
-	off := tr.cr.n
-	if _, err := io.ReadFull(tr.cr, win[:]); err != nil {
-		return "", 0, tr.endOfStream(err, "reading frame marker")
+	off := cr.n
+	if _, err := io.ReadFull(cr, win[:]); err != nil {
+		return "", 0, ioErr(cr.n, err, "reading frame marker")
 	}
 	skipped := int64(0)
 	for {
@@ -519,12 +556,12 @@ func (tr *Reader) nextMarker() (string, int64, error) {
 		if m == blockMarker || m == countMarker {
 			return m, skipped, nil
 		}
-		if !tr.lenient {
-			return "", 0, tr.fail(formatErr(off, ErrMalformed, "bad frame marker %q", win))
+		if !lenient {
+			return "", 0, formatErr(off, ErrMalformed, "bad frame marker %q", win)
 		}
-		b, err := tr.cr.ReadByte()
+		b, err := cr.ReadByte()
 		if err != nil {
-			return "", 0, tr.endOfStream(err, "resynchronising")
+			return "", 0, ioErr(cr.n, err, "resynchronising")
 		}
 		copy(win[:], win[1:])
 		win[3] = b
@@ -532,98 +569,164 @@ func (tr *Reader) nextMarker() (string, int64, error) {
 	}
 }
 
-// readBlockV2 parses one framed event block into the block cursor.
-func (tr *Reader) readBlockV2() error {
-	frameOff := tr.cr.n - 4
-	plen, err := tr.readUvarint("block length")
+// nextMarker is scanMarker bound to the Reader's stream and failure
+// bookkeeping (sticky errors, lenient end-of-stream).
+func (tr *Reader) nextMarker() (string, int64, error) {
+	m, skipped, err := scanMarker(tr.cr, tr.lenient)
 	if err != nil {
-		return err
+		return "", 0, tr.frameEnd(err)
+	}
+	return m, skipped, nil
+}
+
+// blockFrame is one framed v2 event block as read off the stream, before
+// CRC verification or event decoding.
+type blockFrame struct {
+	frameOff   int64  // stream offset of the frame marker
+	payloadOff int64  // stream offset of the first payload byte
+	count      uint64 // declared event count
+	crc        uint32 // declared payload CRC32C
+	payload    []byte
+}
+
+// frameLen is the whole frame's size in bytes, marker through payload.
+func (bf *blockFrame) frameLen() int64 {
+	return bf.payloadOff + int64(len(bf.payload)) - bf.frameOff
+}
+
+// readBlockFrame reads a block frame's lengths, checksum field, and
+// payload; the marker is already consumed. The CRC is not verified here so
+// a parallel decoder can farm that (and event decoding) out to workers.
+func readBlockFrame(cr *countingReader) (blockFrame, error) {
+	bf := blockFrame{frameOff: cr.n - 4}
+	plen, err := readUvarint(cr, "block length")
+	if err != nil {
+		return bf, err
 	}
 	if plen == 0 || plen > maxBlockLen {
-		return formatErr(frameOff, ErrMalformed, "block length %d out of range", plen)
+		return bf, formatErr(bf.frameOff, ErrMalformed, "block length %d out of range", plen)
 	}
-	count, err := tr.readUvarint("block event count")
+	count, err := readUvarint(cr, "block event count")
 	if err != nil {
-		return err
+		return bf, err
 	}
 	if count == 0 || count*minEventLen > plen {
-		return formatErr(frameOff, ErrMalformed, "block event count %d impossible for %d bytes", count, plen)
+		return bf, formatErr(bf.frameOff, ErrMalformed, "block event count %d impossible for %d bytes", count, plen)
 	}
-	want, err := tr.readCRC("block")
+	crc, err := readCRC(cr, "block")
+	if err != nil {
+		return bf, err
+	}
+	payload, err := readPayload(cr, int(plen), "block")
+	if err != nil {
+		return bf, err
+	}
+	bf.count, bf.crc, bf.payload = count, crc, payload
+	bf.payloadOff = cr.n - int64(len(payload))
+	return bf, nil
+}
+
+// readBlockV2 parses one framed event block into the block cursor.
+func (tr *Reader) readBlockV2() error {
+	bf, err := readBlockFrame(tr.cr)
 	if err != nil {
 		return err
 	}
-	payload, err := tr.readPayload(int(plen), "block")
+	if crc32.Checksum(bf.payload, castagnoli) != bf.crc {
+		return formatErr(bf.frameOff, ErrChecksum, "block checksum")
+	}
+	tr.block = bf.payload
+	tr.blockOff = 0
+	tr.blockLeft = bf.count
+	tr.stats.Blocks++
+	return nil
+}
+
+// footerFrame is the parsed v2 static-count footer.
+type footerFrame struct {
+	frameOff int64    // stream offset of the frame marker
+	total    uint64   // declared total event count
+	counts   []uint64 // per-PC execution counts
+}
+
+// readFooterFrame reads and CRC-verifies the footer frame after its
+// marker, parsing the declared event total and static counts. The trailing
+// stream magic and the strict declared-vs-delivered check are left to the
+// caller (they depend on reader state).
+func readFooterFrame(cr *countingReader, numStatic int) (footerFrame, error) {
+	ff := footerFrame{frameOff: cr.n - 4}
+	plen, err := readUvarint(cr, "footer length")
 	if err != nil {
-		return err
+		return ff, err
+	}
+	// Total events varint plus one varint per static instruction.
+	maxFooter := uint64(binary.MaxVarintLen64) * uint64(numStatic+1)
+	if plen > maxFooter {
+		return ff, formatErr(ff.frameOff, ErrMalformed, "footer length %d out of range", plen)
+	}
+	want, err := readCRC(cr, "footer")
+	if err != nil {
+		return ff, err
+	}
+	payload, err := readPayload(cr, int(plen), "footer")
+	if err != nil {
+		return ff, err
 	}
 	if crc32.Checksum(payload, castagnoli) != want {
-		return formatErr(frameOff, ErrChecksum, "block checksum")
+		return ff, formatErr(ff.frameOff, ErrChecksum, "footer checksum")
 	}
-	tr.block = payload
-	tr.blockOff = 0
-	tr.blockLeft = count
-	tr.stats.Blocks++
+	off := 0
+	total, uerr := bufUvarint(payload, &off)
+	if uerr != nil {
+		return ff, formatErr(ff.frameOff, ErrMalformed, "bad footer event count")
+	}
+	counts := make([]uint64, 0, minInt(numStatic, 4096))
+	for i := 0; i < numStatic; i++ {
+		c, uerr := bufUvarint(payload, &off)
+		if uerr != nil {
+			return ff, formatErr(ff.frameOff, ErrMalformed, "bad static count %d", i)
+		}
+		counts = append(counts, c)
+	}
+	if off != len(payload) {
+		return ff, formatErr(ff.frameOff, ErrMalformed, "%d trailing footer bytes", len(payload)-off)
+	}
+	ff.total, ff.counts = total, counts
+	return ff, nil
+}
+
+// readTrailerMagic consumes the end-of-stream magic that follows the
+// footer frame.
+func readTrailerMagic(cr *countingReader) error {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return ioErr(cr.n, err, "reading trailer magic")
+	}
+	if string(magic) != footerMagic {
+		return formatErr(cr.n-4, ErrMalformed, "bad trailer magic %q", magic)
+	}
 	return nil
 }
 
 // readFooterV2 parses the framed count footer and the trailing magic.
 func (tr *Reader) readFooterV2() error {
-	frameOff := tr.cr.n - 4
-	plen, err := tr.readUvarint("footer length")
+	ff, err := readFooterFrame(tr.cr, tr.numStatic)
 	if err != nil {
 		return err
 	}
-	// Total events varint plus one varint per static instruction.
-	maxFooter := uint64(binary.MaxVarintLen64) * uint64(tr.numStatic+1)
-	if plen > maxFooter {
-		return formatErr(frameOff, ErrMalformed, "footer length %d out of range", plen)
+	tr.stats.EventsDeclared = ff.total
+	if !tr.lenient && ff.total != tr.stats.Events {
+		return formatErr(ff.frameOff, ErrMalformed, "footer declares %d events, stream has %d", ff.total, tr.stats.Events)
 	}
-	want, err := tr.readCRC("footer")
-	if err != nil {
-		return err
-	}
-	payload, err := tr.readPayload(int(plen), "footer")
-	if err != nil {
-		return err
-	}
-	if crc32.Checksum(payload, castagnoli) != want {
-		return formatErr(frameOff, ErrChecksum, "footer checksum")
-	}
-	off := 0
-	total, uerr := bufUvarint(payload, &off)
-	if uerr != nil {
-		return formatErr(frameOff, ErrMalformed, "bad footer event count")
-	}
-	counts := make([]uint64, 0, minInt(tr.numStatic, 4096))
-	for i := 0; i < tr.numStatic; i++ {
-		c, uerr := bufUvarint(payload, &off)
-		if uerr != nil {
-			return formatErr(frameOff, ErrMalformed, "bad static count %d", i)
+	if merr := readTrailerMagic(tr.cr); merr != nil {
+		if !tr.lenient {
+			return merr
 		}
-		counts = append(counts, c)
+		// The counts themselves were CRC-clean; keep them but note the
+		// missing trailer.
+		tr.stats.Truncated = true
 	}
-	if off != len(payload) {
-		return formatErr(frameOff, ErrMalformed, "%d trailing footer bytes", len(payload)-off)
-	}
-	tr.stats.EventsDeclared = total
-	if !tr.lenient && total != tr.stats.Events {
-		return formatErr(frameOff, ErrMalformed, "footer declares %d events, stream has %d", total, tr.stats.Events)
-	}
-	magic := make([]byte, 4)
-	if _, merr := io.ReadFull(tr.cr, magic); merr != nil || string(magic) != footerMagic {
-		if tr.lenient {
-			// The counts themselves were CRC-clean; keep them but note the
-			// missing trailer.
-			tr.stats.Truncated = true
-		} else {
-			if merr != nil {
-				return ioErr(tr.cr.n, merr, "reading trailer magic")
-			}
-			return formatErr(tr.cr.n-4, ErrMalformed, "bad trailer magic %q", magic)
-		}
-	}
-	tr.counts = counts
+	tr.counts = ff.counts
 	return nil
 }
 
@@ -776,12 +879,12 @@ func ReadFileLenient(path string) (*Trace, Stats, error) {
 }
 
 // WriteFile stores a trace to path in the current format version.
-func WriteFile(path string, t *Trace) error {
+func WriteFile(path string, t *Trace, opts ...WriteOption) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := WriteAll(f, t); err != nil {
+	if err := WriteAll(f, t, opts...); err != nil {
 		f.Close()
 		return err
 	}

@@ -167,9 +167,10 @@ type Writer struct {
 	closed  bool
 
 	// v2 block accumulation.
-	blockLen    int
-	block       []byte
-	blockEvents uint64
+	blockLen       int
+	block          []byte
+	blockEvents    uint64
+	blockMaxEvents uint64
 }
 
 // NewWriter starts a version-2 trace stream for a program of numStatic
@@ -232,6 +233,18 @@ func (tw *Writer) SetBlockSize(n int) {
 	tw.blockLen = n
 }
 
+// SetBlockEvents caps the number of events per version-2 block; 0 (the
+// default) leaves the byte-size threshold as the only flush trigger.
+// Small caps produce many tiny blocks, which exercises framing overhead
+// and gives the parallel decoder fine-grained work items. It has no
+// effect on version-1 streams.
+func (tw *Writer) SetBlockEvents(n int) {
+	if n < 0 {
+		n = 0
+	}
+	tw.blockMaxEvents = uint64(n)
+}
+
 func (tw *Writer) writeByte(b byte) {
 	if tw.err == nil {
 		tw.err = tw.w.WriteByte(b)
@@ -279,7 +292,8 @@ func (tw *Writer) Write(e *Event) error {
 	case Version2:
 		tw.block = appendEvent(tw.block, e)
 		tw.blockEvents++
-		if len(tw.block) >= tw.blockLen {
+		if len(tw.block) >= tw.blockLen ||
+			(tw.blockMaxEvents > 0 && tw.blockEvents >= tw.blockMaxEvents) {
 			tw.flushBlock()
 		}
 	}
@@ -335,20 +349,39 @@ func (tw *Writer) Close() error {
 	return tw.err
 }
 
+// WriteOption shapes a whole-trace serialisation (WriteAll/WriteFile).
+type WriteOption func(*Writer)
+
+// BlockEvents caps the number of events per version-2 block; see
+// Writer.SetBlockEvents. BlockEvents(0) is a no-op.
+func BlockEvents(n int) WriteOption {
+	return func(w *Writer) { w.SetBlockEvents(n) }
+}
+
+// BlockBytes sets the version-2 block flush threshold in bytes; see
+// Writer.SetBlockSize.
+func BlockBytes(n int) WriteOption {
+	return func(w *Writer) { w.SetBlockSize(n) }
+}
+
 // WriteAll serialises an in-memory trace to w in the current format.
-func WriteAll(w io.Writer, t *Trace) error {
-	return writeAll(w, t, Version2)
+func WriteAll(w io.Writer, t *Trace, opts ...WriteOption) error {
+	return writeAll(w, t, Version2, opts...)
 }
 
-// WriteAllV1 serialises an in-memory trace in the legacy v1 format.
-func WriteAllV1(w io.Writer, t *Trace) error {
-	return writeAll(w, t, Version1)
+// WriteAllV1 serialises an in-memory trace in the legacy v1 format (which
+// has no blocks, so block-shaping options are ignored).
+func WriteAllV1(w io.Writer, t *Trace, opts ...WriteOption) error {
+	return writeAll(w, t, Version1, opts...)
 }
 
-func writeAll(w io.Writer, t *Trace, version int) error {
+func writeAll(w io.Writer, t *Trace, version int, opts ...WriteOption) error {
 	tw, err := newWriter(w, t.Name, t.NumStatic, version)
 	if err != nil {
 		return err
+	}
+	for _, o := range opts {
+		o(tw)
 	}
 	for i := range t.Events {
 		if err := tw.Write(&t.Events[i]); err != nil {
