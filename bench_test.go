@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/analysis"
@@ -176,6 +177,7 @@ func BenchmarkParallelDecode(b *testing.B) {
 	stream := buf.Bytes()
 	decode := func(b *testing.B, workers int) {
 		b.Helper()
+		b.ReportAllocs()
 		b.SetBytes(int64(tr.Len()))
 		for i := 0; i < b.N; i++ {
 			var got *trace.Trace
@@ -197,6 +199,46 @@ func BenchmarkParallelDecode(b *testing.B) {
 	for _, workers := range []int{2, 4, 8} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) { decode(b, workers) })
+	}
+}
+
+// BenchmarkPipeline measures the streaming pass pipeline end to end: a
+// trace file on disk through the sharded pre-pass and the sequential model
+// pass (core.AnalyzeFile), against the seed path that materializes the
+// whole trace first. allocs/op is the headline: the streaming rows must
+// stay clear of the full-event-slice cost the materializing row pays.
+func BenchmarkPipeline(b *testing.B) {
+	tr := benchTrace(b)
+	path := filepath.Join(b.TempDir(), "gcc.dpg")
+	if err := trace.WriteFile(path, tr, trace.BlockBytes(64<<10)); err != nil {
+		b.Fatal(err)
+	}
+	stream := func(b *testing.B, workers int) {
+		b.Helper()
+		b.ReportAllocs()
+		b.SetBytes(int64(tr.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := core.AnalyzeFile(path, core.WithKind(predictor.KindContext), core.WithWorkers(workers)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("materialize", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(tr.Len()))
+		for i := 0; i < b.N; i++ {
+			full, _, err := trace.ReadFileParallel(path, trace.Workers(4))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.RunTrace(full, core.WithKind(predictor.KindContext)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("stream-workers%d", workers), func(b *testing.B) { stream(b, workers) })
 	}
 }
 

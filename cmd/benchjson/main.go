@@ -1,0 +1,86 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON document on stdout, so CI can record benchmark runs as machine-
+// readable artifacts (BENCH_pipeline.json).
+//
+// Usage:
+//
+//	go test -run XXX -bench BenchmarkPipeline -benchtime 5x . | benchjson
+//
+// Each benchmark line becomes one entry with the standard testing metrics
+// (ns/op, MB/s, B/op, allocs/op) plus any custom b.ReportMetric units.
+// Header lines (goos, goarch, pkg, cpu) are captured as metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type doc struct {
+	Meta    map[string]string `json:"meta"`
+	Results []result          `json:"results"`
+}
+
+func main() {
+	out := doc{Meta: map[string]string{}, Results: []result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok "):
+			continue
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line); ok {
+				out.Results = append(out.Results, r)
+			}
+		default:
+			if k, v, ok := strings.Cut(line, ": "); ok {
+				out.Meta[k] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench decodes one "BenchmarkName-8  N  value unit  value unit ..."
+// line; the trailing -8 GOMAXPROCS suffix stays part of the name, matching
+// the testing package's own convention.
+func parseBench(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

@@ -1,14 +1,24 @@
-// Command dpgrun runs the predictability model over a trace — either a
-// trace file produced by cmd/tracegen (or any external producer of the
-// format) or a built-in workload — and prints the classification summary.
+// Command dpgrun runs the predictability model over traces — a trace file
+// produced by cmd/tracegen (or any external producer of the format), a
+// whole directory or glob of trace files, or a built-in workload — and
+// prints the classification summary.
 //
 // Usage:
 //
 //	dpgrun -trace gcc.dpg -predictor context
+//	dpgrun -trace traces/            # every *.dpg in the directory
+//	dpgrun -trace 'traces/*.dpg' -all -parallel 4
 //	dpgrun -workload m88 -predictor stride
 //	dpgrun -workload gcc -all          # all three predictors
 //	dpgrun -trace damaged.dpg -strict=false   # resync past corrupt blocks
 //	dpgrun -trace gcc.dpg -workers 8          # 8 concurrent decode workers
+//
+// Trace files are streamed from disk through the pass pipeline — a sharded
+// pre-pass over decoded blocks, then the sequential model pass — so peak
+// memory stays O(block·workers) regardless of trace size. When -trace
+// names a directory or matches several files, the files fan out across a
+// bounded worker pool (-parallel) with a per-file summary line per
+// predictor; the exit status is non-zero if any file failed.
 //
 // By default a corrupt or truncated trace file is rejected with a typed
 // error and a non-zero exit. With -strict=false the reader resynchronises
@@ -20,8 +30,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
 
 	"repro/internal/analysis"
+	"repro/internal/core"
 	"repro/internal/dpg"
 	"repro/internal/predictor"
 	"repro/internal/report"
@@ -30,54 +44,16 @@ import (
 )
 
 func main() {
-	tracePath := flag.String("trace", "", "trace file to analyse")
+	tracePat := flag.String("trace", "", "trace file, directory, or glob to analyse")
 	workload := flag.String("workload", "", "built-in workload to trace and analyse")
 	rounds := flag.Int("rounds", 0, "rounds parameter for -workload (0 = default)")
 	pred := flag.String("predictor", "context", "last-value | stride | context")
 	all := flag.Bool("all", false, "run all three predictors")
 	graph := flag.Int("graph", 0, "print the labeled DPG fragment for the first N instructions (paper Fig. 3)")
 	strict := flag.Bool("strict", true, "reject corrupt traces; -strict=false resyncs past damage and summarises it")
-	workers := flag.Int("workers", 0, "concurrent trace-decode workers (0 = all cores, 1 = sequential)")
+	workers := flag.Int("workers", 0, "concurrent trace-decode workers per file (0 = all cores, 1 = sequential)")
+	parallel := flag.Int("parallel", 0, "concurrent files in directory/glob mode (0 = all cores)")
 	flag.Parse()
-
-	var t *trace.Trace
-	switch {
-	case *tracePath != "" && *workload != "":
-		fail("use either -trace or -workload, not both")
-	case *tracePath != "":
-		// The parallel decoder is differentially proven equivalent to the
-		// sequential reader (and falls back to it at -workers=1), so both
-		// modes route through it.
-		opts := []trace.ReaderOption{trace.Workers(*workers)}
-		if !*strict {
-			opts = append(opts, trace.Lenient())
-		}
-		var stats trace.Stats
-		var err error
-		t, stats, err = trace.ReadFileParallel(*tracePath, opts...)
-		if err != nil {
-			fail(err.Error())
-		}
-		if !*strict {
-			printCorruption(stats)
-		}
-	case *workload != "":
-		w, ok := workloads.ByName(*workload)
-		if !ok {
-			fail(fmt.Sprintf("unknown workload %q; known: %v", *workload, workloads.Names()))
-		}
-		r := *rounds
-		if r == 0 {
-			r = w.Rounds
-		}
-		var err error
-		t, err = w.TraceRounds(r, 1)
-		if err != nil {
-			fail(err.Error())
-		}
-	default:
-		fail("missing -trace or -workload")
-	}
 
 	kinds := predictor.Kinds
 	if !*all {
@@ -88,31 +64,157 @@ func main() {
 		kinds = []predictor.Kind{k}
 	}
 
+	switch {
+	case *tracePat != "" && *workload != "":
+		fail("use either -trace or -workload, not both")
+	case *tracePat != "":
+		paths := expandTraces(*tracePat)
+		if len(paths) == 1 {
+			runFile(paths[0], kinds, *graph, *strict, *workers)
+			return
+		}
+		runFiles(paths, kinds, *strict, *workers, *parallel)
+	case *workload != "":
+		runWorkload(*workload, *rounds, kinds, *graph)
+	default:
+		fail("missing -trace or -workload")
+	}
+}
+
+// expandTraces resolves -trace into file paths: a directory becomes every
+// *.dpg inside it, a glob pattern expands, and a plain path passes through.
+func expandTraces(pat string) []string {
+	if st, err := os.Stat(pat); err == nil && st.IsDir() {
+		pat = filepath.Join(pat, "*.dpg")
+	}
+	paths, err := filepath.Glob(pat)
+	if err != nil {
+		fail(fmt.Sprintf("bad -trace pattern %q: %v", pat, err))
+	}
+	if len(paths) == 0 {
+		fail(fmt.Sprintf("no trace files match %q", pat))
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// fileOpts assembles the streaming options shared by both file modes.
+func fileOpts(k predictor.Kind, graph int, strict bool, workers int) []core.Option {
+	opts := []core.Option{core.WithKind(k), core.WithWorkers(workers)}
+	if graph > 0 {
+		opts = append(opts, core.WithGraphLimit(graph))
+	}
+	if !strict {
+		opts = append(opts, core.WithLenientTrace())
+	}
+	return opts
+}
+
+// runFile streams one trace file through the pass pipeline, once per
+// predictor, printing the same header and per-predictor report as the
+// workload mode.
+func runFile(path string, kinds []predictor.Kind, graph int, strict bool, workers int) {
+	headerDone := false
+	for _, k := range kinds {
+		var ps dpg.PreStats
+		var st trace.Stats
+		opts := append(fileOpts(k, graph, strict, workers),
+			core.WithPreStats(&ps), core.WithTraceStats(&st))
+		r, err := core.AnalyzeFile(path, opts...)
+		if err != nil {
+			fail(err.Error())
+		}
+		if !headerDone {
+			headerDone = true
+			fmt.Printf("trace %s: %d dynamic instructions, %d static\n\n", r.Name, ps.Events, len(ps.StaticCount))
+			if !strict {
+				printCorruption(st)
+			}
+		}
+		printResult(r)
+		if graph > 0 {
+			report.WriteFragment(os.Stdout, r.Graph, nil)
+		}
+	}
+}
+
+// runFiles fans several trace files out across a worker pool, one
+// AnalyzeFiles sweep per predictor, and prints per-file summary lines in
+// file-major order. Any per-file failure turns into a non-zero exit after
+// every file has been reported.
+func runFiles(paths []string, kinds []predictor.Kind, strict bool, workers, parallel int) {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	byKind := make([][]core.FileResult, len(kinds))
+	for i, k := range kinds {
+		byKind[i] = core.AnalyzeFiles(paths, parallel, fileOpts(k, 0, strict, workers)...)
+	}
+	failed := 0
+	for fi, path := range paths {
+		fmt.Printf("== %s ==\n", path)
+		for ki, k := range kinds {
+			fr := byKind[ki][fi]
+			if fr.Err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "dpgrun: %s (%s): %v\n", path, k, fr.Err)
+				fmt.Printf("  %-10s ERROR (see stderr)\n", k)
+				continue
+			}
+			row := analysis.Overall(fr.Res)
+			fmt.Printf("  %-10s %12d events   gen %5.1f%%   prop %5.1f%%   term %5.1f%%   unpred %5.1f%%\n",
+				k, fr.Res.Nodes, row.NodeGen+row.ArcGen, row.NodeProp+row.ArcProp,
+				row.NodeTerm+row.ArcTerm, row.UnpredPct)
+			if !strict && (fr.Stats.BlocksSkipped > 0 || fr.Stats.Truncated || fr.Stats.FooterLost) {
+				fmt.Fprintf(os.Stderr, "dpgrun: %s: ", path)
+				printCorruption(fr.Stats)
+			}
+		}
+	}
+	fmt.Printf("\n%d file(s), %d predictor run(s), %d failure(s)\n", len(paths), len(paths)*len(kinds), failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runWorkload traces a built-in workload in memory and runs the model —
+// the only dpgrun mode that materializes a trace (the generator produces
+// one directly).
+func runWorkload(name string, rounds int, kinds []predictor.Kind, graph int) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		fail(fmt.Sprintf("unknown workload %q; known: %v", name, workloads.Names()))
+	}
+	r := rounds
+	if r == 0 {
+		r = w.Rounds
+	}
+	t, err := w.TraceRounds(r, 1)
+	if err != nil {
+		fail(err.Error())
+	}
 	fmt.Printf("trace %s: %d dynamic instructions, %d static\n\n", t.Name, t.Len(), t.NumStatic)
 	for _, k := range kinds {
-		r, err := dpg.RunWith(t, dpg.Config{
+		res, err := dpg.RunWith(t, dpg.Config{
 			Predictor:     k.Factory(),
 			PredictorName: k.String(),
-			GraphLimit:    *graph,
+			GraphLimit:    graph,
 		})
 		if err != nil {
 			fail(err.Error())
 		}
-		printResult(r)
-		if *graph > 0 {
+		printResult(res)
+		if graph > 0 {
 			var disasm func(pc uint32) string
-			if *workload != "" {
-				w, _ := workloads.ByName(*workload)
-				if prog, err := w.Program(); err == nil {
-					disasm = func(pc uint32) string {
-						if int(pc) < len(prog.Instrs) {
-							return prog.Instrs[pc].String()
-						}
-						return "?"
+			if prog, err := w.Program(); err == nil {
+				disasm = func(pc uint32) string {
+					if int(pc) < len(prog.Instrs) {
+						return prog.Instrs[pc].String()
 					}
+					return "?"
 				}
 			}
-			report.WriteFragment(os.Stdout, r.Graph, disasm)
+			report.WriteFragment(os.Stdout, res.Graph, disasm)
 		}
 	}
 }

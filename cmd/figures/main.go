@@ -21,6 +21,8 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload size multiplier")
 	seed := flag.Uint64("seed", 1, "workload input seed")
 	parallel := flag.Int("parallel", 4, "concurrent model runs during precompute")
+	traceDir := flag.String("tracedir", "", "stream pre-generated <name>.dpg trace files from this directory instead of regenerating workloads in memory")
+	workers := flag.Int("workers", 0, "concurrent decode workers per streamed trace file with -tracedir (0 = all cores)")
 	verbose := flag.Bool("v", false, "print progress while running")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonPath := flag.String("json", "", "also dump every raw model result as JSON to this file")
@@ -34,6 +36,10 @@ func main() {
 	}
 
 	cfg := core.SuiteConfig{Scale: *scale, Seed: *seed, Parallel: *parallel}
+	if *traceDir != "" {
+		cfg.TraceFile = core.TraceDir(*traceDir)
+		cfg.Workers = *workers
+	}
 	if *verbose {
 		cfg.Progress = os.Stderr
 	}

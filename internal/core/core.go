@@ -41,6 +41,7 @@ type config struct {
 	workers  int
 	lenient  bool
 	statsOut *trace.Stats
+	preStats *dpg.PreStats
 }
 
 // Option configures RunTrace and AnalyzeFile.
@@ -99,6 +100,19 @@ func WithLenientTrace() Option {
 // summary — the same trace.Stats behind dpgrun's corruption report.
 func WithTraceStats(st *trace.Stats) Option {
 	return func(c *config) { c.statsOut = st }
+}
+
+// WithGraphLimit records the DPG fragment (nodes and labeled arcs, paper
+// Fig. 3) for the first n dynamic instructions into Result.Graph.
+func WithGraphLimit(n int) Option {
+	return func(c *config) { c.model.GraphLimit = n }
+}
+
+// WithPreStats points at a location AnalyzeFile fills with the pre-pass
+// summary (dynamic instruction count, PC universe, arc/D-node shape) —
+// available before the model pass runs, without materializing the trace.
+func WithPreStats(ps *dpg.PreStats) Option {
+	return func(c *config) { c.preStats = ps }
 }
 
 // readerOpts translates the ingestion half of the config into reader
@@ -166,6 +180,17 @@ type SuiteConfig struct {
 	// receives the workload name, the scaled round count, and the seed.
 	// Tests use it to source traces from files or to inject faults.
 	TraceSource func(name string, rounds int, seed uint64) (*trace.Trace, error)
+	// TraceFile, if non-nil, maps a workload name to a trace file path
+	// (see TraceDir). Result then streams the file through the pass
+	// pipeline (AnalyzeFile) instead of materializing a trace.Trace, so
+	// every figure and table runs at O(block·workers) peak memory.
+	// Workloads the lookup declines fall back to TraceSource/generation.
+	// Experiments that need the raw event stream (correlation, reuse,
+	// confidence, ilp, speculation) still load the file whole.
+	TraceFile func(name string) (path string, ok bool)
+	// Workers bounds the concurrent decode/pre-pass workers per streamed
+	// file when TraceFile is active (0 = all cores).
+	Workers int
 }
 
 // Suite caches traces and model results across the paper's experiments so
@@ -246,6 +271,15 @@ func (s *Suite) Result(name string, kind predictor.Kind) (*dpg.Result, error) {
 	}
 	s.mu.Unlock()
 	re.once.Do(func() {
+		if path, ok := s.traceFilePath(name); ok {
+			// Streaming path: run the pass pipeline over the file, never
+			// materializing the trace. Nothing enters the trace cache.
+			if s.cfg.Progress != nil {
+				fmt.Fprintf(s.cfg.Progress, "streaming %-5s with %-10s from %s\n", name, kind, path)
+			}
+			re.res, re.err = AnalyzeFile(path, WithKind(kind), WithWorkers(s.cfg.Workers))
+			return
+		}
 		t, err := s.traceFor(name)
 		if err != nil {
 			re.err = err
@@ -790,10 +824,28 @@ func (s *Suite) reuse(w io.Writer) error {
 	return nil
 }
 
+// traceFilePath resolves the workload's trace file under the streaming
+// configuration, when one is available.
+func (s *Suite) traceFilePath(name string) (string, bool) {
+	if s.cfg.TraceFile == nil {
+		return "", false
+	}
+	return s.cfg.TraceFile(name)
+}
+
 // traceOnce regenerates a workload trace at the suite's scale without
 // touching the result cache (used by experiments that need the raw trace
-// even after the standard predictor runs released it).
+// even after the standard predictor runs released it). Under TraceFile it
+// loads the trace file instead — these raw-trace analyses are the only
+// consumers that still materialize events.
 func (s *Suite) traceOnce(name string) (*trace.Trace, error) {
+	if path, ok := s.traceFilePath(name); ok {
+		t, _, err := trace.ReadFileParallel(path, trace.Workers(s.cfg.Workers))
+		if err != nil {
+			return nil, wrapTraceErr(err)
+		}
+		return t, nil
+	}
 	w, ok := workloads.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown workload %q", name)

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
 
 	"repro/internal/dpg"
 	"repro/internal/predictor"
@@ -12,8 +15,8 @@ import (
 )
 
 // traceReader is the streaming surface shared by the sequential and
-// parallel trace decoders; AnalyzeFile is agnostic to which one is
-// behind it.
+// parallel trace decoders; the model pass of AnalyzeFile is agnostic to
+// which one is behind it.
 type traceReader interface {
 	Next(*trace.Event) error
 	Name() string
@@ -44,27 +47,31 @@ func openTraceReader(path string, cfg *config) (traceReader, *os.File, error) {
 	return r, f, nil
 }
 
-// AnalyzeFile runs the model over a trace file without loading the whole
-// trace into memory. It makes two passes: the first collects the static
-// execution counts the model needs up front (write-once classification);
-// the second streams events through the builder.
+// AnalyzeFile runs the model over a trace file without ever loading the
+// whole trace into memory: peak usage is O(block · workers), not O(trace).
+// It makes two streaming passes through the pass pipeline. The first runs
+// the shardable pre-pass (dpg.PrePass) over the parallel reader's decoded
+// blocks — concurrently across WithWorkers shards — to collect the static
+// execution counts the model needs up front (write-once classification).
+// The second streams events through the sequential model pass.
 //
-// WithWorkers decodes both passes with the concurrent block decoder;
-// WithLenientTrace analyses whatever survives a damaged file instead of
-// failing; WithTraceStats surfaces the decode summary either way.
+// WithWorkers decodes both passes with the concurrent block decoder and
+// shards the pre-pass; WithLenientTrace analyses whatever survives a
+// damaged file instead of failing; WithTraceStats surfaces the decode
+// summary; WithPreStats surfaces the pre-pass summary.
 func AnalyzeFile(path string, opts ...Option) (*dpg.Result, error) {
 	cfg, err := buildConfig(opts)
 	if err != nil {
 		return nil, err
 	}
 
-	// Pass 1: static counts from the footer.
-	counts, name, err := fileStaticCounts(path, &cfg)
+	// Pass 1: sharded pre-pass over per-block batches.
+	counts, name, err := scanPrePass(path, &cfg)
 	if err != nil {
 		return nil, err
 	}
 
-	// Pass 2: stream events.
+	// Pass 2: stream events through the sequential model pass.
 	r, f, err := openTraceReader(path, &cfg)
 	if err != nil {
 		return nil, err
@@ -75,6 +82,7 @@ func AnalyzeFile(path string, opts ...Option) (*dpg.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	pl := dpg.NewPipeline(b)
 	var e trace.Event
 	for {
 		err := r.Next(&e)
@@ -84,7 +92,7 @@ func AnalyzeFile(path string, opts ...Option) (*dpg.Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: streaming %s: %w", path, wrapTraceErr(err))
 		}
-		if err := b.Observe(&e); err != nil {
+		if err := pl.Observe(&e); err != nil {
 			return nil, fmt.Errorf("core: streaming %s: %w", path, err)
 		}
 	}
@@ -94,35 +102,109 @@ func AnalyzeFile(path string, opts ...Option) (*dpg.Result, error) {
 	return b.Finish()
 }
 
-// fileStaticCounts drains a trace file for its footer. In lenient mode
-// the footer can be lost to damage; the counts are then rebuilt from the
-// events that survived, mirroring trace.ReadAllLenient.
-func fileStaticCounts(path string, cfg *config) ([]uint64, string, error) {
-	r, f, err := openTraceReader(path, cfg)
+// scanPrePass runs the shardable pre-pass over a trace file's decoded
+// blocks and returns the static execution counts plus the workload name.
+// The counts come from the footer when present (byte-identical to what a
+// materializing reader would report); a footer lost to damage in lenient
+// mode falls back to the pre-pass's own counts, which rebuild the same
+// totals from the surviving events.
+func scanPrePass(path string, cfg *config) ([]uint64, string, error) {
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, "", err
 	}
 	defer f.Close()
-	defer r.Close()
-	rebuilt := make([]uint64, r.NumStatic())
-	var e trace.Event
-	for {
-		err := r.Next(&e)
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, "", fmt.Errorf("core: scanning %s: %w", path, wrapTraceErr(err))
-		}
-		if int(e.PC) < len(rebuilt) {
-			rebuilt[e.PC]++
-		}
+
+	// The pre-pass always reads through the parallel reader: without
+	// WithWorkers it runs Workers(1) (the sequential decode fallback),
+	// which still chunks events into synthetic blocks for the block feed.
+	workers := 1
+	ropts := []trace.ReaderOption{trace.Workers(1)}
+	if cfg.lenient {
+		ropts = append(ropts, trace.Lenient())
 	}
-	counts := r.StaticCounts()
+	if cfg.parallel {
+		workers = cfg.workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		ropts[0] = trace.Workers(cfg.workers)
+	}
+	pr, err := trace.NewParallelReader(f, ropts...)
+	if err != nil {
+		return nil, "", wrapTraceErr(err)
+	}
+	defer pr.Close()
+
+	pre := dpg.NewPrePass(pr.NumStatic())
+	if err := dpg.RunSharded(pre, workers, pr.ForEachBlock); err != nil {
+		return nil, "", fmt.Errorf("core: scanning %s: %w", path, wrapTraceErr(err))
+	}
+	if cfg.preStats != nil {
+		*cfg.preStats = pre.Stats()
+	}
+	counts := pr.StaticCounts()
 	if counts == nil {
-		counts = rebuilt
+		counts = pre.StaticCounts()
 	}
-	return counts, r.Name(), nil
+	return counts, pr.Name(), nil
+}
+
+// FileResult is one file's outcome in a multi-file analysis.
+type FileResult struct {
+	Path  string
+	Res   *dpg.Result
+	Stats trace.Stats
+	Err   error
+}
+
+// AnalyzeFiles fans AnalyzeFile out over several trace files with up to
+// parallel concurrent analyses (0 or 1 = sequential), the same bounded
+// worker-pool shape Suite.Precompute uses for model runs. Results keep the
+// input order; per-file failures land in FileResult.Err without stopping
+// the other files.
+func AnalyzeFiles(paths []string, parallel int, opts ...Option) []FileResult {
+	out := make([]FileResult, len(paths))
+	if parallel < 1 {
+		parallel = 1
+	}
+	if parallel > len(paths) {
+		parallel = len(paths)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fr := &out[i]
+				fr.Path = paths[i]
+				perFile := append(append([]Option{}, opts...), WithTraceStats(&fr.Stats))
+				fr.Res, fr.Err = AnalyzeFile(paths[i], perFile...)
+			}
+		}()
+	}
+	for i := range paths {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// TraceDir returns a SuiteConfig.TraceFile lookup mapping each workload
+// name to dir/<name>.dpg when that file exists, so a suite can stream
+// pre-generated traces from disk instead of regenerating (and holding)
+// them in memory.
+func TraceDir(dir string) func(name string) (string, bool) {
+	return func(name string) (string, bool) {
+		p := filepath.Join(dir, name+".dpg")
+		if _, err := os.Stat(p); err != nil {
+			return "", false
+		}
+		return p, true
+	}
 }
 
 // DumpJSON precomputes every (workload, predictor) model result and writes

@@ -3,7 +3,6 @@ package dpg
 import (
 	"fmt"
 
-	"repro/internal/isa"
 	"repro/internal/predictor"
 	"repro/internal/trace"
 )
@@ -39,271 +38,29 @@ type Config struct {
 	CorrelateOutputs bool
 }
 
-// value is the model's record of one live produced value: who produced it,
-// whether it was predicted at production, the generator influence it
-// carries, and which static consumers have used it (for single- vs
-// repeated-use arc classification).
-type value struct {
-	isD       bool
-	writeOnce bool // producer's static instruction executes exactly once
-	predicted bool
-	src       NodeRef // producing node (or D node), for fragment recording
-	infl      inflSet
-	uses      []useRec
-}
-
-// useRec tracks consumptions of one value by one static instruction.
-type useRec struct {
-	pc         uint32
-	count      uint32
-	firstLabel ArcLabel // label of the first arc, for retroactive reclassification
-}
-
-// repeatedUse returns the repeated-use class for arcs from this value's
-// producer: repeated-input use for D nodes, write-once for single-execution
-// producers, plain repeated otherwise.
-func (v *value) repeatedUse() ArcUse {
-	switch {
-	case v.isD:
-		return UseRepeatedInput
-	case v.writeOnce:
-		return UseWriteOnce
-	default:
-		return UseRepeated
-	}
-}
-
-// genClass returns the generator class of a generating arc sourced at this
-// value. Class is a property of the producer: D nodes generate input-data
-// (D) predictability, write-once producers W, and everything else control
-// (C). (The paper's buckets additionally split C arcs by single/repeated
-// use; that split lives in ArcCount, not in the class.)
-func (v *value) genClass() GenClass {
-	switch {
-	case v.isD:
-		return GenD
-	case v.writeOnce:
-		return GenW
-	default:
-		return GenC
-	}
-}
-
-// Builder streams a dynamic instruction trace through the model. Create
-// with NewBuilder, feed events in execution order via Observe, then call
-// Finish exactly once.
+// Builder streams a dynamic instruction trace through the model. It is a
+// thin façade over the sequential model pass of the pipeline (see pass.go).
+// Create with NewBuilder, feed events in execution order via Observe, then
+// call Finish exactly once.
 type Builder struct {
-	cfg      Config
-	inPred   predictor.Predictor
-	outPred  predictor.Predictor
-	branch   *predictor.GShare
-	addrPred *predictor.Stride
-
-	res         *Result
-	staticCount []uint64
-
-	regs [isa.NumRegs]*value
-	mem  map[uint32]*value
-
-	// Generator table, indexed by generator id.
-	genClass []GenClass
-	genTree  []uint64
-	genDepth []uint32
-	genPC    []uint32
-
-	runLen   uint64 // current predictable-sequence run length
-	scratch  []inflSet
-	nodeIdx  uint64 // index of the dynamic instruction being observed
-	finished bool
+	m *modelPass
 }
 
 // NewBuilder prepares a model run for the named workload. staticCount must
 // give per-PC execution counts for the whole trace (trace.Trace carries
-// them; a streaming producer must supply them from a first pass) — the
-// model needs them up front to recognise write-once producers.
+// them; a streaming producer must supply them from a pre-pass, e.g.
+// PrePass.StaticCounts) — the model needs them up front to recognise
+// write-once producers.
 //
 // Configuration problems — a nil predictor factory, or predictor/branch-
 // predictor construction rejecting its parameters — return an error
 // matching ErrConfig; constructor panics are converted, never propagated.
-func NewBuilder(name string, staticCount []uint64, cfg Config) (b *Builder, err error) {
-	if cfg.Predictor == nil {
-		return nil, fmt.Errorf("%w: Config.Predictor is required", ErrConfig)
+func NewBuilder(name string, staticCount []uint64, cfg Config) (*Builder, error) {
+	m, err := newModelPass(name, staticCount, cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.GShareBits == 0 {
-		cfg.GShareBits = predictor.DefaultGShareBits
-	}
-	// Predictor constructors validate their parameters by panicking;
-	// convert that into the error taxonomy at this boundary.
-	defer func() {
-		if r := recover(); r != nil {
-			b, err = nil, fmt.Errorf("%w: %v", ErrConfig, r)
-		}
-	}()
-	b = &Builder{
-		cfg:         cfg,
-		inPred:      cfg.Predictor(),
-		branch:      predictor.NewGShare(cfg.GShareBits),
-		addrPred:    predictor.NewStride(predictor.DefaultTableBits),
-		staticCount: staticCount,
-		mem:         make(map[uint32]*value),
-		res: &Result{
-			Name:      name,
-			Predictor: cfg.PredictorName,
-		},
-	}
-	if cfg.SharedInputOutput {
-		b.outPred = b.inPred
-	} else {
-		b.outPred = cfg.Predictor()
-	}
-	if b.res.Predictor == "" {
-		b.res.Predictor = b.inPred.Name()
-	}
-	if cfg.GraphLimit > 0 {
-		b.res.Graph = &Fragment{}
-	}
-	return b, nil
-}
-
-// newDValue creates a fresh D node's value record.
-func (b *Builder) newDValue() *value {
-	b.res.DNodes++
-	return &value{isD: true, src: NodeRef{ID: b.res.DNodes - 1, D: true}}
-}
-
-// regValue returns the live value in register r, creating a D record for
-// initial machine state (e.g. $sp, $gp set at startup) on first read.
-func (b *Builder) regValue(r uint8) *value {
-	if b.regs[r] == nil {
-		b.regs[r] = b.newDValue()
-	}
-	return b.regs[r]
-}
-
-// memValue returns the live value at the (word-aligned) address, creating a
-// D record for statically allocated or never-written data on first read.
-// Dependence tracking is word-granular; byte accesses map to their word.
-func (b *Builder) memValue(addr uint32) *value {
-	v := b.mem[addr]
-	if v == nil {
-		v = b.newDValue()
-		b.mem[addr] = v
-	}
-	return v
-}
-
-// newGen allocates a generator instance of class c, attributed to the
-// static instruction at pc (for generating arcs, the consumer whose input
-// stream became predictable), and returns its id.
-func (b *Builder) newGen(c GenClass, pc uint32) uint32 {
-	id := uint32(len(b.genClass))
-	b.genClass = append(b.genClass, c)
-	b.genTree = append(b.genTree, 0)
-	b.genDepth = append(b.genDepth, 0)
-	b.genPC = append(b.genPC, pc)
-	b.res.Trees.ClassGens[c]++
-	return id
-}
-
-// recordPropagatingElement accounts one propagating node or arc whose
-// influence set is s (distances already include this element).
-func (b *Builder) recordPropagatingElement(s inflSet) {
-	if b.cfg.DisablePaths {
-		return
-	}
-	ps := &b.res.Path
-	ps.Elems++
-	mask := 0
-	for _, it := range s.items {
-		mask |= 1 << b.genClass[it.gen]
-		b.genTree[it.gen]++
-		if it.dist > b.genDepth[it.gen] {
-			b.genDepth[it.gen] = it.dist
-		}
-	}
-	for c := GenClass(0); c < NumGenClass; c++ {
-		if mask&(1<<c) != 0 {
-			ps.ClassElems[c]++
-		}
-	}
-	ps.ComboElems[mask]++
-	if s.over {
-		ps.NumGenHist[MaxTrackedGens+1]++
-	} else {
-		ps.NumGenHist[len(s.items)]++
-	}
-	ps.DistHist[BucketOf(s.maxDist())]++
-}
-
-// processArc accounts the dependence arc from v to the consumer at
-// consumerPC whose operand prediction outcome is consumerPred. It returns
-// the influence contribution flowing into the consumer (empty unless the
-// consumer-side prediction was correct).
-func (b *Builder) processArc(v *value, consumerPC uint32, consumerPred bool, consumedVal uint32) inflSet {
-	label := arcLabel(v.predicted, consumerPred)
-	b.res.Arcs++
-	if v.isD {
-		b.res.DArcs++
-	}
-	if g := b.res.Graph; g != nil && b.nodeIdx < uint64(b.cfg.GraphLimit) {
-		g.Arcs = append(g.Arcs, FragmentArc{
-			From: v.src, To: b.nodeIdx, Label: label, Value: consumedVal,
-		})
-	}
-
-	// Single- vs repeated-use classification, with retroactive promotion of
-	// the first arc once a second use by the same static consumer appears.
-	use := UseSingle
-	found := false
-	for i := range v.uses {
-		if v.uses[i].pc == consumerPC {
-			u := &v.uses[i]
-			u.count++
-			use = v.repeatedUse()
-			if u.count == 2 {
-				b.res.ArcCount[UseSingle][u.firstLabel]--
-				b.res.ArcCount[use][u.firstLabel]++
-			}
-			found = true
-			break
-		}
-	}
-	if !found {
-		v.uses = append(v.uses, useRec{pc: consumerPC, count: 1, firstLabel: label})
-	}
-	b.res.ArcCount[use][label]++
-
-	if b.cfg.DisablePaths {
-		return inflSet{}
-	}
-	switch label {
-	case ArcPP:
-		// The arc itself is a propagating element one step farther from
-		// every generator than its producer.
-		contrib := v.infl.bumped()
-		b.recordPropagatingElement(contrib)
-		return contrib
-	case ArcNP:
-		// The arc generates predictability: it roots a new tree.
-		return singleInfl(b.newGen(v.genClass(), consumerPC))
-	default: // ArcPN terminates, ArcNN propagates unpredictability
-		return inflSet{}
-	}
-}
-
-// inputKey derives the input-predictor key for (pc, operand slot). Slots 0
-// and 1 are register operands; slot 2 is the memory/input data operand.
-func inputKey(pc uint32, slot int) uint64 {
-	return uint64(pc)<<2 | uint64(slot)
-}
-
-// predictInput runs the input-side predictor for one operand: predict,
-// compare, update (immediate update, per the paper's methodology).
-func (b *Builder) predictInput(pc uint32, slot int, actual uint32) bool {
-	key := inputKey(pc, slot)
-	pv, ok := b.inPred.Predict(key)
-	b.inPred.Update(key, actual)
-	return ok && pv == actual
+	return &Builder{m: m}, nil
 }
 
 // Observe feeds one dynamic instruction to the model. Events with
@@ -311,261 +68,13 @@ func (b *Builder) predictInput(pc uint32, slot int, actual uint32) bool {
 // file or the static-count table — are rejected with an error matching
 // ErrMalformedEvent and leave the model state untouched.
 func (b *Builder) Observe(e *trace.Event) error {
-	if b.finished {
-		return fmt.Errorf("%w: Observe after Finish", ErrConfig)
-	}
-	if err := b.checkEvent(e); err != nil {
-		return err
-	}
-	res := b.res
-	b.nodeIdx = res.Nodes
-	res.Nodes++
-	pc := e.PC
-	op := e.Op
-
-	hasImm := e.HasImm
-	anyP, anyN := false, false
-	contribs := b.scratch[:0]
-	dataSlot, dataIsMem, isPass := isa.DataSlot(op)
-	dataPred := false
-
-	// Register source operands. Reads of $0 are immediates.
-	for slot := 0; slot < int(e.NSrc); slot++ {
-		r := e.SrcReg[slot]
-		if r == 0 {
-			hasImm = true
-			continue
-		}
-		v := b.regValue(r)
-		pred := b.predictInput(pc, slot, e.SrcVal[slot])
-		contrib := b.processArc(v, pc, pred, e.SrcVal[slot])
-		if pred {
-			anyP = true
-			if len(contrib.items) > 0 {
-				contribs = append(contribs, contrib)
-			}
-		} else {
-			anyN = true
-		}
-		if isPass && !dataIsMem && slot == dataSlot {
-			dataPred = pred
-		}
-	}
-
-	// Memory/input data operand of loads and `in`.
-	if isa.IsLoad(op) || op == isa.OpIn {
-		var v *value
-		if op == isa.OpIn {
-			v = b.newDValue() // every program input word is a fresh D node
-		} else {
-			v = b.memValue(e.Addr &^ 3)
-		}
-		pred := b.predictInput(pc, 2, e.MemVal)
-		contrib := b.processArc(v, pc, pred, e.MemVal)
-		if pred {
-			anyP = true
-			if len(contrib.items) > 0 {
-				contribs = append(contribs, contrib)
-			}
-		} else {
-			anyN = true
-		}
-		dataPred = pred
-	}
-
-	// Address-prediction extension (paper §1): cross-tabulate effective-
-	// address vs data predictability at memory instructions. The address
-	// predictor is a per-PC 2-delta stride predictor, the form first
-	// proposed for addresses; it is observational only and never feeds
-	// classification.
-	if isa.MemWidth(op) != 0 {
-		av, ok := b.addrPred.Predict(uint64(pc))
-		addrP := ok && av == e.Addr
-		b.addrPred.Update(uint64(pc), e.Addr)
-		ai, di := 0, 0
-		if addrP {
-			ai = 1
-		}
-		if dataPred {
-			di = 1
-		}
-		b.res.Addr.Count[ai][di]++
-		if isa.IsLoad(op) {
-			b.res.Addr.Loads++
-		} else {
-			b.res.Addr.Stores++
-		}
-	}
-
-	// Output prediction and node classification.
-	classified := false
-	outP := false
-	switch {
-	case isa.IsBranch(op):
-		predTaken := b.branch.Predict(pc)
-		b.branch.Update(pc, e.Taken)
-		outP = predTaken == e.Taken
-		classified = true
-	case isa.WritesValue(op):
-		if isPass {
-			// Memory instructions and register-indirect jumps copy the
-			// consumer-side prediction of their data input; they never
-			// consult the output predictor and never generate (paper §3).
-			outP = dataPred
-		} else {
-			outVal := e.DstVal
-			outKey := uint64(pc)
-			if b.cfg.CorrelateOutputs {
-				outKey = correlationKey(pc, e)
-			}
-			pv, ok := b.outPred.Predict(outKey)
-			outP = ok && pv == outVal
-			b.outPred.Update(outKey, outVal)
-		}
-		classified = true
-	default:
-		res.NeutralNodes++
-	}
-
-	var outInfl inflSet
-	if classified {
-		class := classifyNode(anyP, anyN, hasImm, outP)
-		res.NodeCount[class]++
-		res.NodeByGroup[GroupOf(op)][class]++
-		if isa.IsBranch(op) {
-			res.Branch.Count[class]++
-			res.Branch.Branches++
-			if outP {
-				res.Branch.Correct++
-			}
-		}
-		if !b.cfg.DisablePaths {
-			switch {
-			case class.Propagates():
-				merged := mergeInfl(contribs, MaxTrackedGens)
-				outInfl = merged.bumped()
-				b.recordPropagatingElement(outInfl)
-			case class.Generates():
-				outInfl = singleInfl(b.newGen(genClassForNode(class), pc))
-			}
-		}
-	}
-
-	// Install the produced value for downstream consumers.
-	if isa.WritesValue(op) && !isa.IsBranch(op) {
-		writeOnce := int(pc) < len(b.staticCount) && b.staticCount[pc] == 1
-		nv := &value{writeOnce: writeOnce, predicted: outP, infl: outInfl, src: NodeRef{ID: b.nodeIdx}}
-		switch {
-		case isa.IsStore(op):
-			b.mem[e.Addr&^3] = nv
-		case op == isa.OpJr:
-			// The target "value" flows to control, not to a register.
-		default:
-			if e.DstReg != isa.NoReg && e.DstReg != 0 {
-				// For jalr this attaches the (pass-through) target
-				// prediction outcome to the written return address — a
-				// simplification; indirect calls are rare in the workloads.
-				b.regs[e.DstReg] = nv
-			}
-		}
-	}
-
-	if g := res.Graph; g != nil && b.nodeIdx < uint64(b.cfg.GraphLimit) {
-		fn := FragmentNode{ID: b.nodeIdx, PC: pc, Op: op, HasImm: hasImm, Classified: classified}
-		if classified {
-			fn.Class = classifyNode(anyP, anyN, hasImm, outP)
-		}
-		g.Nodes = append(g.Nodes, fn)
-	}
-
-	// Predictable contiguous sequences (§4.6): an instruction belongs to a
-	// run when all its inputs and outputs were predicted correctly
-	// (vacuously true for input- and output-less instructions like j/nop).
-	if !anyN && (!classified || outP) {
-		b.runLen++
-	} else {
-		b.endRun()
-	}
-
-	b.scratch = contribs[:0] // recycle the backing array for the next event
-	return nil
+	return b.m.Observe(e)
 }
 
-// checkEvent validates the event fields the model indexes by, keeping
-// every downstream array access in bounds.
-func (b *Builder) checkEvent(e *trace.Event) error {
-	if !isa.Valid(e.Op) {
-		return fmt.Errorf("%w: invalid opcode %d", ErrMalformedEvent, e.Op)
-	}
-	if e.NSrc > 2 {
-		return fmt.Errorf("%w: %d source operands", ErrMalformedEvent, e.NSrc)
-	}
-	for i := uint8(0); i < e.NSrc; i++ {
-		if e.SrcReg[i] >= isa.NumRegs {
-			return fmt.Errorf("%w: source register %d out of range", ErrMalformedEvent, e.SrcReg[i])
-		}
-	}
-	if e.DstReg != isa.NoReg && e.DstReg >= isa.NumRegs {
-		return fmt.Errorf("%w: destination register %d out of range", ErrMalformedEvent, e.DstReg)
-	}
-	if b.staticCount != nil && int(e.PC) >= len(b.staticCount) {
-		return fmt.Errorf("%w: pc %d out of range (%d static)", ErrMalformedEvent, e.PC, len(b.staticCount))
-	}
-	return nil
-}
-
-// endRun closes the current predictable sequence, if any.
-func (b *Builder) endRun() {
-	if b.runLen == 0 {
-		return
-	}
-	n := b.runLen
-	b.runLen = 0
-	bk := BucketOf(uint32(min64(n, 1<<31-1)))
-	b.res.Seq.InstrByLen[bk] += n
-	b.res.Seq.RunsByLen[bk]++
-	b.res.Seq.PredictableInstrs += n
-}
-
-func min64(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-// Finish closes the run and folds the generator table into TreeStats. The
-// Builder must not be used afterwards.
+// Finish closes the run and returns the accumulated Result. The Builder
+// must not be used afterwards.
 func (b *Builder) Finish() (*Result, error) {
-	if b.finished {
-		return nil, fmt.Errorf("%w: Finish called twice", ErrConfig)
-	}
-	b.finished = true
-	b.endRun()
-	ts := &b.res.Trees
-	if !b.cfg.DisablePaths {
-		b.res.GenPoints = make(map[uint32]*GenPoint)
-	}
-	for id := range b.genClass {
-		depth := b.genDepth[id]
-		size := b.genTree[id]
-		bk := BucketOf(depth)
-		ts.GensByDepth[bk]++
-		ts.SizeByDepth[bk] += size
-		ts.Gens++
-		ts.Size += size
-		if b.res.GenPoints != nil {
-			pc := b.genPC[id]
-			gp := b.res.GenPoints[pc]
-			if gp == nil {
-				gp = &GenPoint{PC: pc}
-				b.res.GenPoints[pc] = gp
-			}
-			gp.Gens++
-			gp.TreeSize += size
-		}
-	}
-	return b.res, nil
+	return b.m.Finish()
 }
 
 // Run executes the model over an in-memory trace with one of the paper's
@@ -585,20 +94,11 @@ func RunWith(t *trace.Trace, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	pl := NewPipeline(b)
 	for i := range t.Events {
-		if err := b.Observe(&t.Events[i]); err != nil {
+		if err := pl.Observe(&t.Events[i]); err != nil {
 			return nil, fmt.Errorf("event %d: %w", i, err)
 		}
 	}
 	return b.Finish()
-}
-
-// correlationKey folds the instruction's source operand values into its
-// output-predictor key (Config.CorrelateOutputs).
-func correlationKey(pc uint32, e *trace.Event) uint64 {
-	h := uint64(pc)*0x9e3779b97f4a7c15 + 0x100
-	for i := uint8(0); i < e.NSrc; i++ {
-		h = (h ^ uint64(e.SrcVal[i])) * 0x100000001b3
-	}
-	return h
 }

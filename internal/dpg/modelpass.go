@@ -1,0 +1,540 @@
+package dpg
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// This file is the sequential pass of the pipeline: the predictor and
+// classification sweep. It is order-dependent by nature — every event
+// updates predictor state the next event's outcomes depend on — so it
+// always consumes the stream in execution order, downstream of whatever
+// (shardable) pre-pass produced the static counts it needs up front.
+
+// value is the model's record of one live produced value: who produced it,
+// whether it was predicted at production, the generator influence it
+// carries, and which static consumers have used it (for single- vs
+// repeated-use arc classification).
+type value struct {
+	isD       bool
+	writeOnce bool // producer's static instruction executes exactly once
+	predicted bool
+	src       NodeRef // producing node (or D node), for fragment recording
+	infl      inflSet
+	uses      []useRec
+}
+
+// useRec tracks consumptions of one value by one static instruction.
+type useRec struct {
+	pc         uint32
+	count      uint32
+	firstLabel ArcLabel // label of the first arc, for retroactive reclassification
+}
+
+// repeatedUse returns the repeated-use class for arcs from this value's
+// producer: repeated-input use for D nodes, write-once for single-execution
+// producers, plain repeated otherwise.
+func (v *value) repeatedUse() ArcUse {
+	switch {
+	case v.isD:
+		return UseRepeatedInput
+	case v.writeOnce:
+		return UseWriteOnce
+	default:
+		return UseRepeated
+	}
+}
+
+// genClass returns the generator class of a generating arc sourced at this
+// value. Class is a property of the producer: D nodes generate input-data
+// (D) predictability, write-once producers W, and everything else control
+// (C). (The paper's buckets additionally split C arcs by single/repeated
+// use; that split lives in ArcCount, not in the class.)
+func (v *value) genClass() GenClass {
+	switch {
+	case v.isD:
+		return GenD
+	case v.writeOnce:
+		return GenW
+	default:
+		return GenC
+	}
+}
+
+// modelPass is the sequential predictor/classification pass. It holds every
+// piece of order-dependent model state; Builder is its public façade.
+type modelPass struct {
+	cfg      Config
+	inPred   predictor.Predictor
+	outPred  predictor.Predictor
+	branch   *predictor.GShare
+	addrPred *predictor.Stride
+
+	res         *Result
+	staticCount []uint64
+
+	regs [isa.NumRegs]*value
+	mem  map[uint32]*value
+
+	// Generator table, indexed by generator id.
+	genClass []GenClass
+	genTree  []uint64
+	genDepth []uint32
+	genPC    []uint32
+
+	runLen   uint64 // current predictable-sequence run length
+	scratch  []inflSet
+	nodeIdx  uint64 // index of the dynamic instruction being observed
+	finished bool
+}
+
+// newModelPass prepares the sequential pass; see NewBuilder for the
+// contract (this is its implementation).
+func newModelPass(name string, staticCount []uint64, cfg Config) (m *modelPass, err error) {
+	if cfg.Predictor == nil {
+		return nil, fmt.Errorf("%w: Config.Predictor is required", ErrConfig)
+	}
+	if cfg.GShareBits == 0 {
+		cfg.GShareBits = predictor.DefaultGShareBits
+	}
+	// Predictor constructors validate their parameters by panicking;
+	// convert that into the error taxonomy at this boundary.
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, fmt.Errorf("%w: %v", ErrConfig, r)
+		}
+	}()
+	m = &modelPass{
+		cfg:         cfg,
+		inPred:      cfg.Predictor(),
+		branch:      predictor.NewGShare(cfg.GShareBits),
+		addrPred:    predictor.NewStride(predictor.DefaultTableBits),
+		staticCount: staticCount,
+		mem:         make(map[uint32]*value),
+		res: &Result{
+			Name:      name,
+			Predictor: cfg.PredictorName,
+		},
+	}
+	if cfg.SharedInputOutput {
+		m.outPred = m.inPred
+	} else {
+		m.outPred = cfg.Predictor()
+	}
+	if m.res.Predictor == "" {
+		m.res.Predictor = m.inPred.Name()
+	}
+	if cfg.GraphLimit > 0 {
+		m.res.Graph = &Fragment{}
+	}
+	return m, nil
+}
+
+// newDValue creates a fresh D node's value record.
+func (m *modelPass) newDValue() *value {
+	m.res.DNodes++
+	return &value{isD: true, src: NodeRef{ID: m.res.DNodes - 1, D: true}}
+}
+
+// regValue returns the live value in register r, creating a D record for
+// initial machine state (e.g. $sp, $gp set at startup) on first read.
+func (m *modelPass) regValue(r uint8) *value {
+	if m.regs[r] == nil {
+		m.regs[r] = m.newDValue()
+	}
+	return m.regs[r]
+}
+
+// memValue returns the live value at the (word-aligned) address, creating a
+// D record for statically allocated or never-written data on first read.
+// Dependence tracking is word-granular; byte accesses map to their word.
+func (m *modelPass) memValue(addr uint32) *value {
+	v := m.mem[addr]
+	if v == nil {
+		v = m.newDValue()
+		m.mem[addr] = v
+	}
+	return v
+}
+
+// newGen allocates a generator instance of class c, attributed to the
+// static instruction at pc (for generating arcs, the consumer whose input
+// stream became predictable), and returns its id.
+func (m *modelPass) newGen(c GenClass, pc uint32) uint32 {
+	id := uint32(len(m.genClass))
+	m.genClass = append(m.genClass, c)
+	m.genTree = append(m.genTree, 0)
+	m.genDepth = append(m.genDepth, 0)
+	m.genPC = append(m.genPC, pc)
+	m.res.Trees.ClassGens[c]++
+	return id
+}
+
+// recordPropagatingElement accounts one propagating node or arc whose
+// influence set is s (distances already include this element).
+func (m *modelPass) recordPropagatingElement(s inflSet) {
+	if m.cfg.DisablePaths {
+		return
+	}
+	ps := &m.res.Path
+	ps.Elems++
+	mask := 0
+	for _, it := range s.items {
+		mask |= 1 << m.genClass[it.gen]
+		m.genTree[it.gen]++
+		if it.dist > m.genDepth[it.gen] {
+			m.genDepth[it.gen] = it.dist
+		}
+	}
+	for c := GenClass(0); c < NumGenClass; c++ {
+		if mask&(1<<c) != 0 {
+			ps.ClassElems[c]++
+		}
+	}
+	ps.ComboElems[mask]++
+	if s.over {
+		ps.NumGenHist[MaxTrackedGens+1]++
+	} else {
+		ps.NumGenHist[len(s.items)]++
+	}
+	ps.DistHist[BucketOf(s.maxDist())]++
+}
+
+// processArc accounts the dependence arc from v to the consumer at
+// consumerPC whose operand prediction outcome is consumerPred. It returns
+// the influence contribution flowing into the consumer (empty unless the
+// consumer-side prediction was correct).
+func (m *modelPass) processArc(v *value, consumerPC uint32, consumerPred bool, consumedVal uint32) inflSet {
+	label := arcLabel(v.predicted, consumerPred)
+	m.res.Arcs++
+	if v.isD {
+		m.res.DArcs++
+	}
+	if g := m.res.Graph; g != nil && m.nodeIdx < uint64(m.cfg.GraphLimit) {
+		g.Arcs = append(g.Arcs, FragmentArc{
+			From: v.src, To: m.nodeIdx, Label: label, Value: consumedVal,
+		})
+	}
+
+	// Single- vs repeated-use classification, with retroactive promotion of
+	// the first arc once a second use by the same static consumer appears.
+	use := UseSingle
+	found := false
+	for i := range v.uses {
+		if v.uses[i].pc == consumerPC {
+			u := &v.uses[i]
+			u.count++
+			use = v.repeatedUse()
+			if u.count == 2 {
+				m.res.ArcCount[UseSingle][u.firstLabel]--
+				m.res.ArcCount[use][u.firstLabel]++
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		v.uses = append(v.uses, useRec{pc: consumerPC, count: 1, firstLabel: label})
+	}
+	m.res.ArcCount[use][label]++
+
+	if m.cfg.DisablePaths {
+		return inflSet{}
+	}
+	switch label {
+	case ArcPP:
+		// The arc itself is a propagating element one step farther from
+		// every generator than its producer.
+		contrib := v.infl.bumped()
+		m.recordPropagatingElement(contrib)
+		return contrib
+	case ArcNP:
+		// The arc generates predictability: it roots a new tree.
+		return singleInfl(m.newGen(v.genClass(), consumerPC))
+	default: // ArcPN terminates, ArcNN propagates unpredictability
+		return inflSet{}
+	}
+}
+
+// inputKey derives the input-predictor key for (pc, operand slot). Slots 0
+// and 1 are register operands; slot 2 is the memory/input data operand.
+func inputKey(pc uint32, slot int) uint64 {
+	return uint64(pc)<<2 | uint64(slot)
+}
+
+// predictInput runs the input-side predictor for one operand: predict,
+// compare, update (immediate update, per the paper's methodology).
+func (m *modelPass) predictInput(pc uint32, slot int, actual uint32) bool {
+	key := inputKey(pc, slot)
+	pv, ok := m.inPred.Predict(key)
+	m.inPred.Update(key, actual)
+	return ok && pv == actual
+}
+
+// Observe feeds one dynamic instruction to the pass. Events with
+// out-of-range fields — which would otherwise index past the register
+// file or the static-count table — are rejected with an error matching
+// ErrMalformedEvent and leave the model state untouched.
+func (m *modelPass) Observe(e *trace.Event) error {
+	if m.finished {
+		return fmt.Errorf("%w: Observe after Finish", ErrConfig)
+	}
+	if err := m.checkEvent(e); err != nil {
+		return err
+	}
+	res := m.res
+	m.nodeIdx = res.Nodes
+	res.Nodes++
+	pc := e.PC
+	op := e.Op
+
+	hasImm := e.HasImm
+	anyP, anyN := false, false
+	contribs := m.scratch[:0]
+	dataSlot, dataIsMem, isPass := isa.DataSlot(op)
+	dataPred := false
+
+	// Register source operands. Reads of $0 are immediates.
+	for slot := 0; slot < int(e.NSrc); slot++ {
+		r := e.SrcReg[slot]
+		if r == 0 {
+			hasImm = true
+			continue
+		}
+		v := m.regValue(r)
+		pred := m.predictInput(pc, slot, e.SrcVal[slot])
+		contrib := m.processArc(v, pc, pred, e.SrcVal[slot])
+		if pred {
+			anyP = true
+			if len(contrib.items) > 0 {
+				contribs = append(contribs, contrib)
+			}
+		} else {
+			anyN = true
+		}
+		if isPass && !dataIsMem && slot == dataSlot {
+			dataPred = pred
+		}
+	}
+
+	// Memory/input data operand of loads and `in`.
+	if isa.IsLoad(op) || op == isa.OpIn {
+		var v *value
+		if op == isa.OpIn {
+			v = m.newDValue() // every program input word is a fresh D node
+		} else {
+			v = m.memValue(e.Addr &^ 3)
+		}
+		pred := m.predictInput(pc, 2, e.MemVal)
+		contrib := m.processArc(v, pc, pred, e.MemVal)
+		if pred {
+			anyP = true
+			if len(contrib.items) > 0 {
+				contribs = append(contribs, contrib)
+			}
+		} else {
+			anyN = true
+		}
+		dataPred = pred
+	}
+
+	// Address-prediction extension (paper §1): cross-tabulate effective-
+	// address vs data predictability at memory instructions. The address
+	// predictor is a per-PC 2-delta stride predictor, the form first
+	// proposed for addresses; it is observational only and never feeds
+	// classification.
+	if isa.MemWidth(op) != 0 {
+		av, ok := m.addrPred.Predict(uint64(pc))
+		addrP := ok && av == e.Addr
+		m.addrPred.Update(uint64(pc), e.Addr)
+		ai, di := 0, 0
+		if addrP {
+			ai = 1
+		}
+		if dataPred {
+			di = 1
+		}
+		m.res.Addr.Count[ai][di]++
+		if isa.IsLoad(op) {
+			m.res.Addr.Loads++
+		} else {
+			m.res.Addr.Stores++
+		}
+	}
+
+	// Output prediction and node classification.
+	classified := false
+	outP := false
+	switch {
+	case isa.IsBranch(op):
+		predTaken := m.branch.Predict(pc)
+		m.branch.Update(pc, e.Taken)
+		outP = predTaken == e.Taken
+		classified = true
+	case isa.WritesValue(op):
+		if isPass {
+			// Memory instructions and register-indirect jumps copy the
+			// consumer-side prediction of their data input; they never
+			// consult the output predictor and never generate (paper §3).
+			outP = dataPred
+		} else {
+			outVal := e.DstVal
+			outKey := uint64(pc)
+			if m.cfg.CorrelateOutputs {
+				outKey = correlationKey(pc, e)
+			}
+			pv, ok := m.outPred.Predict(outKey)
+			outP = ok && pv == outVal
+			m.outPred.Update(outKey, outVal)
+		}
+		classified = true
+	default:
+		res.NeutralNodes++
+	}
+
+	var outInfl inflSet
+	if classified {
+		class := classifyNode(anyP, anyN, hasImm, outP)
+		res.NodeCount[class]++
+		res.NodeByGroup[GroupOf(op)][class]++
+		if isa.IsBranch(op) {
+			res.Branch.Count[class]++
+			res.Branch.Branches++
+			if outP {
+				res.Branch.Correct++
+			}
+		}
+		if !m.cfg.DisablePaths {
+			switch {
+			case class.Propagates():
+				merged := mergeInfl(contribs, MaxTrackedGens)
+				outInfl = merged.bumped()
+				m.recordPropagatingElement(outInfl)
+			case class.Generates():
+				outInfl = singleInfl(m.newGen(genClassForNode(class), pc))
+			}
+		}
+	}
+
+	// Install the produced value for downstream consumers.
+	if isa.WritesValue(op) && !isa.IsBranch(op) {
+		writeOnce := int(pc) < len(m.staticCount) && m.staticCount[pc] == 1
+		nv := &value{writeOnce: writeOnce, predicted: outP, infl: outInfl, src: NodeRef{ID: m.nodeIdx}}
+		switch {
+		case isa.IsStore(op):
+			m.mem[e.Addr&^3] = nv
+		case op == isa.OpJr:
+			// The target "value" flows to control, not to a register.
+		default:
+			if e.DstReg != isa.NoReg && e.DstReg != 0 {
+				// For jalr this attaches the (pass-through) target
+				// prediction outcome to the written return address — a
+				// simplification; indirect calls are rare in the workloads.
+				m.regs[e.DstReg] = nv
+			}
+		}
+	}
+
+	if g := res.Graph; g != nil && m.nodeIdx < uint64(m.cfg.GraphLimit) {
+		fn := FragmentNode{ID: m.nodeIdx, PC: pc, Op: op, HasImm: hasImm, Classified: classified}
+		if classified {
+			fn.Class = classifyNode(anyP, anyN, hasImm, outP)
+		}
+		g.Nodes = append(g.Nodes, fn)
+	}
+
+	// Predictable contiguous sequences (§4.6): an instruction belongs to a
+	// run when all its inputs and outputs were predicted correctly
+	// (vacuously true for input- and output-less instructions like j/nop).
+	if !anyN && (!classified || outP) {
+		m.runLen++
+	} else {
+		m.endRun()
+	}
+
+	m.scratch = contribs[:0] // recycle the backing array for the next event
+	return nil
+}
+
+// checkEvent validates the event fields the model indexes by, keeping
+// every downstream array access in bounds.
+func (m *modelPass) checkEvent(e *trace.Event) error {
+	if !isa.Valid(e.Op) {
+		return fmt.Errorf("%w: invalid opcode %d", ErrMalformedEvent, e.Op)
+	}
+	if e.NSrc > 2 {
+		return fmt.Errorf("%w: %d source operands", ErrMalformedEvent, e.NSrc)
+	}
+	for i := uint8(0); i < e.NSrc; i++ {
+		if e.SrcReg[i] >= isa.NumRegs {
+			return fmt.Errorf("%w: source register %d out of range", ErrMalformedEvent, e.SrcReg[i])
+		}
+	}
+	if e.DstReg != isa.NoReg && e.DstReg >= isa.NumRegs {
+		return fmt.Errorf("%w: destination register %d out of range", ErrMalformedEvent, e.DstReg)
+	}
+	if m.staticCount != nil && int(e.PC) >= len(m.staticCount) {
+		return fmt.Errorf("%w: pc %d out of range (%d static)", ErrMalformedEvent, e.PC, len(m.staticCount))
+	}
+	return nil
+}
+
+// endRun closes the current predictable sequence, if any.
+func (m *modelPass) endRun() {
+	if m.runLen == 0 {
+		return
+	}
+	n := m.runLen
+	m.runLen = 0
+	bk := BucketOf(uint32(min(n, 1<<31-1)))
+	m.res.Seq.InstrByLen[bk] += n
+	m.res.Seq.RunsByLen[bk]++
+	m.res.Seq.PredictableInstrs += n
+}
+
+// Finish closes the run and folds the generator table into TreeStats. The
+// pass must not be used afterwards.
+func (m *modelPass) Finish() (*Result, error) {
+	if m.finished {
+		return nil, fmt.Errorf("%w: Finish called twice", ErrConfig)
+	}
+	m.finished = true
+	m.endRun()
+	ts := &m.res.Trees
+	if !m.cfg.DisablePaths {
+		m.res.GenPoints = make(map[uint32]*GenPoint)
+	}
+	for id := range m.genClass {
+		depth := m.genDepth[id]
+		size := m.genTree[id]
+		bk := BucketOf(depth)
+		ts.GensByDepth[bk]++
+		ts.SizeByDepth[bk] += size
+		ts.Gens++
+		ts.Size += size
+		if m.res.GenPoints != nil {
+			pc := m.genPC[id]
+			gp := m.res.GenPoints[pc]
+			if gp == nil {
+				gp = &GenPoint{PC: pc}
+				m.res.GenPoints[pc] = gp
+			}
+			gp.Gens++
+			gp.TreeSize += size
+		}
+	}
+	return m.res, nil
+}
+
+// correlationKey folds the instruction's source operand values into its
+// output-predictor key (Config.CorrelateOutputs).
+func correlationKey(pc uint32, e *trace.Event) uint64 {
+	h := uint64(pc)*0x9e3779b97f4a7c15 + 0x100
+	for i := uint8(0); i < e.NSrc; i++ {
+		h = (h ^ uint64(e.SrcVal[i])) * 0x100000001b3
+	}
+	return h
+}

@@ -1,0 +1,106 @@
+package dpg
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/trace"
+)
+
+// The model is inherently two-phase. Order-insensitive bookkeeping — static
+// execution counts, the PC universe, D-node and arc-shape discovery — only
+// sums and first-touch joins over the event stream, so disjoint slices of
+// the stream can be processed concurrently and merged. The predictor and
+// classification sweep, by contrast, threads predictor state through every
+// event and must see the stream in execution order. The Pass interfaces
+// below encode that split: passes compose over one event stream, and the
+// shardable ones additionally fork per-worker shards that consume decoded
+// blocks concurrently and merge back into a single summary.
+//
+//	block feed ──▶ shard 0 ─┐
+//	           ──▶ shard 1 ─┼─ Merge ──▶ PreStats ──▶ sequential pass
+//	           ──▶ shard n ─┘            (counts up front)
+//
+// The streaming pipeline in internal/core runs a shardable pre-pass over
+// the parallel reader's per-block batches first, then streams the same
+// file through the sequential model pass with the pre-pass's counts.
+
+// Pass consumes one dynamic instruction stream in execution order. Both the
+// shardable pre-pass and the sequential model pass implement it, so a
+// Pipeline can feed any composition of passes from a single event source.
+type Pass interface {
+	// Observe feeds one dynamic instruction. Events with out-of-range
+	// fields are rejected with an error matching ErrMalformedEvent and
+	// leave the pass state untouched.
+	Observe(e *trace.Event) error
+}
+
+// BlockPass consumes whole decoded event blocks instead of single events.
+// Implementations must accept blocks in any order across calls, but the
+// events inside one block are always a contiguous in-order run of the
+// stream, and index gives the block's position in stream order.
+type BlockPass interface {
+	ObserveBlock(index uint64, events []trace.Event) error
+}
+
+// ShardablePass is a pass whose work distributes over disjoint block sets.
+// Fork creates an empty shard sharing the parent's configuration; Merge
+// folds a shard's accumulated state back into the receiver. Shards may
+// observe blocks concurrently with each other (never with Merge), and each
+// shard must see its own blocks in increasing index order — the invariant
+// trace.(*ParallelReader).ForEachBlock provides per worker.
+type ShardablePass interface {
+	BlockPass
+	Fork() ShardablePass
+	Merge(ShardablePass) error
+}
+
+// BlockFeed delivers decoded per-block batches to workers concurrently.
+// trace.(*ParallelReader).ForEachBlock has exactly this shape.
+type BlockFeed func(workers int, fn func(worker int, b *trace.Block) error) error
+
+// RunSharded drives a shardable pass over a concurrent block feed: it forks
+// one shard per worker, lets the feed deliver blocks into them in parallel,
+// and merges every shard back into p. workers <= 0 uses all cores.
+func RunSharded(p ShardablePass, workers int, feed BlockFeed) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := make([]ShardablePass, workers)
+	shards[0] = p
+	for i := 1; i < workers; i++ {
+		shards[i] = p.Fork()
+	}
+	if err := feed(workers, func(worker int, b *trace.Block) error {
+		return shards[worker].ObserveBlock(b.Index, b.Events)
+	}); err != nil {
+		return err
+	}
+	for i := 1; i < workers; i++ {
+		if err := p.Merge(shards[i]); err != nil {
+			return fmt.Errorf("dpg: merging shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Pipeline composes passes over one event stream: every Observe fans the
+// event to each pass in registration order, stopping at the first error.
+type Pipeline struct {
+	passes []Pass
+}
+
+// NewPipeline builds a pipeline over the given passes.
+func NewPipeline(passes ...Pass) *Pipeline {
+	return &Pipeline{passes: passes}
+}
+
+// Observe feeds one event to every pass in order.
+func (pl *Pipeline) Observe(e *trace.Event) error {
+	for _, p := range pl.passes {
+		if err := p.Observe(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

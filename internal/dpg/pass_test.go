@@ -1,0 +1,231 @@
+package dpg
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// prePassTraces returns a spread of traces exercising every event shape
+// the pre-pass discovers: register and memory first touches, `in` D nodes,
+// stores, branches, and neutral ops.
+func prePassTraces(t *testing.T) map[string]*trace.Trace {
+	t.Helper()
+	out := map[string]*trace.Trace{}
+	for _, name := range []string{"fig1", "gcc", "com"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		tr, err := w.TraceRounds(max(2, w.Rounds/50), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = tr
+	}
+	return out
+}
+
+// TestDifferentialPrePassPredictsModelShape holds the pre-pass's
+// order-insensitive discoveries exactly equal to what the sequential model
+// pass produces over the same stream: node, arc, D-node, and neutral
+// counts, the memory-operation populations, and the static execution
+// counts.
+func TestDifferentialPrePassPredictsModelShape(t *testing.T) {
+	for name, tr := range prePassTraces(t) {
+		pre := NewPrePass(tr.NumStatic)
+		for i := range tr.Events {
+			if err := pre.Observe(&tr.Events[i]); err != nil {
+				t.Fatalf("%s: pre-pass event %d: %v", name, i, err)
+			}
+		}
+		res, err := Run(tr, predictor.KindContext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := pre.Stats()
+		if st.Events != res.Nodes {
+			t.Errorf("%s: pre-pass events %d, model nodes %d", name, st.Events, res.Nodes)
+		}
+		if st.Arcs != res.Arcs {
+			t.Errorf("%s: pre-pass arcs %d, model arcs %d", name, st.Arcs, res.Arcs)
+		}
+		if st.DNodes != res.DNodes {
+			t.Errorf("%s: pre-pass D nodes %d, model D nodes %d", name, st.DNodes, res.DNodes)
+		}
+		if st.NeutralNodes != res.NeutralNodes {
+			t.Errorf("%s: pre-pass neutral %d, model neutral %d", name, st.NeutralNodes, res.NeutralNodes)
+		}
+		if st.Loads != res.Addr.Loads || st.Stores != res.Addr.Stores {
+			t.Errorf("%s: pre-pass mem %d/%d, model %d/%d", name, st.Loads, st.Stores, res.Addr.Loads, res.Addr.Stores)
+		}
+		if !reflect.DeepEqual(pre.StaticCounts(), tr.StaticCount) {
+			t.Errorf("%s: pre-pass static counts diverge from the trace's", name)
+		}
+		if st.DistinctPCs == 0 || int(st.MaxPC) >= tr.NumStatic {
+			t.Errorf("%s: PC universe implausible: distinct=%d max=%d static=%d",
+				name, st.DistinctPCs, st.MaxPC, tr.NumStatic)
+		}
+	}
+}
+
+// chunkFeed turns an in-memory trace into a BlockFeed: events are split
+// into fixed-size blocks and fanned out to workers through one FIFO
+// channel, so each worker sees its blocks in increasing index order — the
+// same shape trace.(*ParallelReader).ForEachBlock provides from disk.
+func chunkFeed(events []trace.Event, blockLen int) BlockFeed {
+	return func(workers int, fn func(worker int, b *trace.Block) error) error {
+		ch := make(chan trace.Block, workers)
+		errs := make(chan error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for b := range ch {
+					if err := fn(w, &b); err != nil {
+						select {
+						case errs <- err:
+						default:
+						}
+					}
+				}
+			}(w)
+		}
+		idx := uint64(0)
+		for off := 0; off < len(events); off += blockLen {
+			end := min(off+blockLen, len(events))
+			ch <- trace.Block{Index: idx, Events: events[off:end]}
+			idx++
+		}
+		close(ch)
+		wg.Wait()
+		select {
+		case err := <-errs:
+			return err
+		default:
+			return nil
+		}
+	}
+}
+
+// TestDifferentialShardedPrePass runs the pre-pass sharded across worker
+// counts and block sizes and holds the merged summary byte-identical to
+// the single-shard sequential pass — including the first-touch D-node
+// discoveries, which are the order-sensitive part the block-index merge
+// must reconstruct exactly. Run under -race this also proves the shards
+// share no state.
+func TestDifferentialShardedPrePass(t *testing.T) {
+	for name, tr := range prePassTraces(t) {
+		ref := NewPrePass(tr.NumStatic)
+		if err := ref.ObserveBlock(0, tr.Events); err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Stats()
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, blockLen := range []int{1, 7, 256, 100000} {
+				p := NewPrePass(tr.NumStatic)
+				if err := RunSharded(p, workers, chunkFeed(tr.Events, blockLen)); err != nil {
+					t.Fatalf("%s workers=%d block=%d: %v", name, workers, blockLen, err)
+				}
+				if got := p.Stats(); !reflect.DeepEqual(got, want) {
+					t.Errorf("%s workers=%d block=%d: sharded pre-pass diverges:\n got %+v\nwant %+v",
+						name, workers, blockLen, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPrePassMergeRejectsMismatch covers the merge error contract.
+func TestPrePassMergeRejectsMismatch(t *testing.T) {
+	p := NewPrePass(8)
+	if err := p.Merge(NewPrePass(9)); !errors.Is(err, ErrConfig) {
+		t.Errorf("mismatched numStatic merge: err = %v, want ErrConfig", err)
+	}
+	if err := p.Merge(badShard{}); !errors.Is(err, ErrConfig) {
+		t.Errorf("foreign shard merge: err = %v, want ErrConfig", err)
+	}
+}
+
+type badShard struct{}
+
+func (badShard) ObserveBlock(uint64, []trace.Event) error { return nil }
+func (badShard) Fork() ShardablePass                      { return badShard{} }
+func (badShard) Merge(ShardablePass) error                { return nil }
+
+// TestPrePassRejectsMalformed mirrors the model pass's validation: the
+// same out-of-range events must be rejected with ErrMalformedEvent.
+func TestPrePassRejectsMalformed(t *testing.T) {
+	bad := []trace.Event{
+		{Op: 255},                                // invalid opcode
+		{Op: 0, NSrc: 3},                         // too many sources
+		{Op: 0, NSrc: 1, SrcReg: [2]uint8{99}},   // source register range
+		{Op: 0, DstReg: 77},                      // destination register range
+		{Op: 0, PC: 1000},                        // pc past static table
+	}
+	p := NewPrePass(8)
+	m, err := newModelPass("t", make([]uint64, 8), Config{Predictor: predictor.KindLast.Factory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bad {
+		perr := p.Observe(&bad[i])
+		merr := m.Observe(&bad[i])
+		if !errors.Is(perr, ErrMalformedEvent) {
+			t.Errorf("event %d: pre-pass err = %v, want ErrMalformedEvent", i, perr)
+		}
+		if (perr == nil) != (merr == nil) {
+			t.Errorf("event %d: pre-pass and model pass disagree (%v vs %v)", i, perr, merr)
+		}
+	}
+	if st := p.Stats(); st.Events != 0 {
+		t.Errorf("rejected events leaked into the pre-pass: %+v", st)
+	}
+}
+
+// TestPipelineComposesPasses fans one stream into the pre-pass and the
+// model pass simultaneously and checks both see every event, with errors
+// stopping at the first failing pass.
+func TestPipelineComposesPasses(t *testing.T) {
+	tr := prePassTraces(t)["fig1"]
+	pre := NewPrePass(tr.NumStatic)
+	b, err := NewBuilder(tr.Name, tr.StaticCount, Config{Predictor: predictor.KindLast.Factory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPipeline(pre, b)
+	for i := range tr.Events {
+		if err := pl.Observe(&tr.Events[i]); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+	}
+	res, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := pre.Stats(); st.Events != res.Nodes {
+		t.Errorf("pipeline fan-out lost events: pre %d, model %d", st.Events, res.Nodes)
+	}
+	bad := trace.Event{Op: 255}
+	if err := pl.Observe(&bad); !errors.Is(err, ErrMalformedEvent) {
+		t.Errorf("pipeline error propagation: %v", err)
+	}
+}
+
+// TestRunShardedFeedError propagates a feed failure without merging.
+func TestRunShardedFeedError(t *testing.T) {
+	boom := errors.New("boom")
+	err := RunSharded(NewPrePass(4), 3, func(workers int, fn func(int, *trace.Block) error) error {
+		return fmt.Errorf("feed: %w", boom)
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("RunSharded feed error = %v, want boom", err)
+	}
+}

@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file exposes the parallel reader's per-block decoded batches.
+// Order-insensitive consumers (the model's shardable pre-pass) take whole
+// blocks concurrently via ForEachBlock instead of paying for the
+// event-by-event reassembly of Next; order-dependent consumers keep using
+// Next unchanged. Both views drain the same pipeline, so Stats, error
+// contracts, and StaticCounts behave identically.
+
+// Block is one contiguous in-order run of decoded events. Index is the
+// block's position in stream order among delivered blocks (0, 1, 2, …), so
+// consumers that shard blocks across workers can still order first-touch
+// style discoveries globally.
+type Block struct {
+	Index  uint64
+	Events []Event
+}
+
+// seqBlockEvents sizes the synthetic blocks NextBlock produces in
+// sequential-fallback mode (v1 streams and Workers(1)), where the
+// underlying reader has no parallel block pipeline to drain.
+const seqBlockEvents = 4096
+
+// NextBlock decodes the next event block into b, in stream order. The
+// error contract is Next's: io.EOF ends the stream (after which
+// StaticCounts is available), strict mode fails sticky on the first
+// structural problem in stream order — after delivering any cleanly
+// decoded prefix of the damaged block — and lenient mode records skipped
+// damage in Stats.
+//
+// Ownership of b.Events transfers to the caller; the reader never reuses
+// the slice afterwards. NextBlock and Next may be mixed: NextBlock
+// delivers whatever remains of a block partially consumed by Next.
+func (p *ParallelReader) NextBlock(b *Block) error {
+	if p.items == nil {
+		return p.nextBlockSeq(b)
+	}
+	if p.sticky != nil {
+		return p.sticky
+	}
+	if p.done {
+		return io.EOF
+	}
+	for {
+		if p.curIdx < len(p.cur.events) {
+			b.Index = p.blockSeq
+			b.Events = p.cur.events[p.curIdx:]
+			p.blockSeq++
+			p.stats.Events += uint64(len(b.Events))
+			p.curIdx = len(p.cur.events)
+			p.curHandedOff = true
+			return nil
+		}
+		if p.cur.err != nil {
+			return p.fail(p.cur.err)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+}
+
+// nextBlockSeq chunks the sequential fallback's event stream into
+// synthetic blocks, so block consumers work identically on v1 streams and
+// Workers(1). A decode error after a non-empty prefix delivers the prefix
+// now; the (sticky) error resurfaces on the next call.
+func (p *ParallelReader) nextBlockSeq(b *Block) error {
+	var events []Event
+	for len(events) < seqBlockEvents {
+		var e Event
+		err := p.seq.Next(&e)
+		if err != nil {
+			if len(events) == 0 {
+				return err
+			}
+			break
+		}
+		events = append(events, e)
+	}
+	b.Index = p.blockSeq
+	b.Events = events
+	p.blockSeq++
+	return nil
+}
+
+// ForEachBlock drains the whole stream, delivering decoded blocks to fn
+// from a pool of consumer goroutines. workers <= 0 uses all cores. Blocks
+// are dispatched in stream order through one FIFO channel, so each worker
+// sees its own subset of blocks in increasing Index order — the invariant
+// shardable passes rely on for exact first-touch merging. Globally, blocks
+// reach different workers concurrently and complete in any order.
+//
+// b and b.Events are valid only until fn returns; the buffers are recycled
+// afterwards. fn must be safe for concurrent calls with distinct worker
+// numbers (0 ≤ worker < workers). The first error — from fn, in arbitrary
+// order, or from decoding, in stream order — stops the sweep and is
+// returned; on success ForEachBlock returns nil after io.EOF, with Stats
+// and StaticCounts final.
+func (p *ParallelReader) ForEachBlock(workers int, fn func(worker int, b *Block) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ch := make(chan Block, workers)
+	var (
+		wg       sync.WaitGroup
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+	)
+	setErr := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		failed.Store(true)
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := range ch {
+				if failed.Load() {
+					putEventSlice(b.Events)
+					continue
+				}
+				if err := fn(w, &b); err != nil {
+					setErr(err)
+					continue // fn may retain on error; don't recycle
+				}
+				putEventSlice(b.Events)
+			}
+		}(i)
+	}
+	var readErr error
+	for !failed.Load() {
+		var b Block
+		err := p.NextBlock(&b)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			readErr = err
+			break
+		}
+		ch <- b
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return readErr
+}
+
+// --- buffer pools ---------------------------------------------------------
+//
+// The parallel pipeline's two hot allocations — the raw block payload the
+// splitter reads and the decoded event slice a worker produces — both have
+// bounded, well-defined lifetimes, so they recycle through sync.Pools:
+// payloads return to the pool as soon as a worker has decoded them, and
+// event slices return once the consumer (Next's cursor, or ForEachBlock
+// after fn) has fully handed them off. Slices that escape to callers
+// (NextBlock) are simply never recycled.
+
+var payloadPool sync.Pool
+
+// getPayloadBuf returns an empty byte buffer, reusing pooled capacity.
+func getPayloadBuf(capHint int) []byte {
+	if v := payloadPool.Get(); v != nil {
+		buf := (*v.(*[]byte))[:0]
+		if cap(buf) >= capHint {
+			return buf
+		}
+	}
+	return make([]byte, 0, capHint)
+}
+
+// putPayloadBuf recycles a payload buffer once nothing references it.
+func putPayloadBuf(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	payloadPool.Put(&buf)
+}
+
+var eventPool sync.Pool
+
+// getEventSlice returns an empty event slice with at least the hinted
+// capacity, reusing pooled backing arrays when large enough.
+func getEventSlice(capHint int) []Event {
+	if v := eventPool.Get(); v != nil {
+		s := (*v.(*[]Event))[:0]
+		if cap(s) >= capHint {
+			return s
+		}
+	}
+	return make([]Event, 0, capHint)
+}
+
+// putEventSlice recycles a decoded event slice once nothing references it.
+func putEventSlice(s []Event) {
+	if cap(s) == 0 {
+		return
+	}
+	eventPool.Put(&s)
+}

@@ -233,9 +233,9 @@ func (tr *Reader) readCRC(what string) (uint32, error) {
 // length field costs at most the bytes actually present in the stream.
 func readPayload(cr *countingReader, n int, what string) ([]byte, error) {
 	const chunk = 1 << 16
-	buf := make([]byte, 0, minInt(n, chunk))
+	buf := make([]byte, 0, min(n, chunk))
 	for len(buf) < n {
-		step := minInt(n-len(buf), chunk)
+		step := min(n-len(buf), chunk)
 		start := len(buf)
 		buf = append(buf, make([]byte, step)...)
 		if _, err := io.ReadFull(cr, buf[start:]); err != nil {
@@ -245,16 +245,31 @@ func readPayload(cr *countingReader, n int, what string) ([]byte, error) {
 	return buf, nil
 }
 
+// readPayloadPooled is readPayload for block payloads, drawing the buffer
+// from payloadPool (decode workers return it once the block is decoded).
+// The first chunk stays bounded so a hostile length field still costs at
+// most the bytes actually present in the stream.
+func readPayloadPooled(cr *countingReader, n int) ([]byte, error) {
+	const chunk = 1 << 16
+	buf := getPayloadBuf(min(n, chunk))
+	for len(buf) < n {
+		step := min(n-len(buf), chunk)
+		start := len(buf)
+		if cap(buf) >= start+step {
+			buf = buf[:start+step]
+		} else {
+			buf = append(buf, make([]byte, step)...)
+		}
+		if _, err := io.ReadFull(cr, buf[start:]); err != nil {
+			return nil, ioErr(cr.n, err, "reading block payload")
+		}
+	}
+	return buf, nil
+}
+
 // readPayload is the method form of the standalone helper.
 func (tr *Reader) readPayload(n int, what string) ([]byte, error) {
 	return readPayload(tr.cr, n, what)
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // bufUvarint decodes a varint from buf at *off, advancing it.
@@ -442,7 +457,7 @@ func (tr *Reader) decodeEventStream(e *Event) error {
 // incrementally, so a hostile header cannot force a giant allocation from
 // a short file.
 func (tr *Reader) readFooterV1() error {
-	counts := make([]uint64, 0, minInt(tr.numStatic, 4096))
+	counts := make([]uint64, 0, min(tr.numStatic, 4096))
 	for i := 0; i < tr.numStatic; i++ {
 		c, err := binary.ReadUvarint(tr.cr)
 		if err != nil {
@@ -617,7 +632,7 @@ func readBlockFrame(cr *countingReader) (blockFrame, error) {
 	if err != nil {
 		return bf, err
 	}
-	payload, err := readPayload(cr, int(plen), "block")
+	payload, err := readPayloadPooled(cr, int(plen))
 	if err != nil {
 		return bf, err
 	}
@@ -680,7 +695,7 @@ func readFooterFrame(cr *countingReader, numStatic int) (footerFrame, error) {
 	if uerr != nil {
 		return ff, formatErr(ff.frameOff, ErrMalformed, "bad footer event count")
 	}
-	counts := make([]uint64, 0, minInt(numStatic, 4096))
+	counts := make([]uint64, 0, min(numStatic, 4096))
 	for i := 0; i < numStatic; i++ {
 		c, uerr := bufUvarint(payload, &off)
 		if uerr != nil {

@@ -93,8 +93,13 @@ type ParallelReader struct {
 	counts []uint64
 	cur    blockResult
 	curIdx int
-	done   bool
-	sticky error
+	// curHandedOff marks cur.events as escaped to a NextBlock caller, so
+	// advance must not recycle the slice into the event pool.
+	curHandedOff bool
+	// blockSeq numbers delivered blocks in stream order (Block.Index).
+	blockSeq uint64
+	done     bool
+	sticky   error
 }
 
 // NewParallelReader parses the stream header and, for v2 streams, starts
@@ -134,6 +139,9 @@ func NewParallelReader(r io.Reader, opts ...ReaderOption) (*ParallelReader, erro
 func decodeWorker(jobs <-chan pjob, numStatic int, lenient bool) {
 	for j := range jobs {
 		j.res <- decodeBlockFrame(j.bf, numStatic, lenient)
+		// The result carries decoded events only; the raw payload is dead
+		// and can be recycled for a future block frame.
+		putPayloadBuf(j.bf.payload)
 	}
 }
 
@@ -155,7 +163,7 @@ func decodeBlockFrame(bf blockFrame, numStatic int, lenient bool) blockResult {
 		return r
 	}
 	r.blocks = 1
-	r.events = make([]Event, 0, bf.count)
+	r.events = getEventSlice(int(bf.count))
 	off := 0
 	for left := bf.count; left > 0; left-- {
 		var e Event
@@ -290,8 +298,26 @@ func (p *ParallelReader) Next(e *Event) error {
 		if p.cur.err != nil {
 			return p.fail(p.cur.err)
 		}
-		p.cur = blockResult{}
-		p.curIdx = 0
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+}
+
+// advance refills the block cursor from the in-order item stream: it pumps
+// items — folding footer, skip, and damage accounting into Stats — until a
+// decoded block is current, the stream ends (io.EOF, with done set), or a
+// terminal error occurs (already recorded via fail). It is the shared pump
+// behind Next and NextBlock; callers invoke it only with the current block
+// exhausted and error-free.
+func (p *ParallelReader) advance() error {
+	if p.cur.events != nil && !p.curHandedOff {
+		putEventSlice(p.cur.events)
+	}
+	p.cur = blockResult{}
+	p.curIdx = 0
+	p.curHandedOff = false
+	for {
 		it := <-p.items
 		switch {
 		case it.res != nil:
@@ -300,6 +326,7 @@ func (p *ParallelReader) Next(e *Event) error {
 			p.stats.BlocksSkipped += r.blocksSkipped
 			p.stats.BytesSkipped += r.bytesSkipped
 			p.cur = r
+			return nil
 		case it.footer != nil:
 			p.stats.EventsDeclared = it.footer.total
 			if !p.seq.lenient && it.footer.total != p.stats.Events {
