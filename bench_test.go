@@ -202,6 +202,50 @@ func BenchmarkParallelDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkCompressedDecode measures decode throughput over per-block
+// compressed streams: each codec through the sequential reader and the
+// parallel pool (decompression runs inside the block workers). The ratio
+// metric records compressed size as a fraction of the uncompressed stream
+// — the disk-reduction number the bench JSON artifact carries.
+func BenchmarkCompressedDecode(b *testing.B) {
+	tr := benchTrace(b)
+	var plain bytes.Buffer
+	if err := trace.WriteAll(&plain, tr, trace.BlockBytes(8<<10)); err != nil {
+		b.Fatal(err)
+	}
+	for _, codec := range trace.Codecs() {
+		var buf bytes.Buffer
+		if err := trace.WriteAll(&buf, tr, trace.BlockBytes(8<<10), trace.Compression(codec)); err != nil {
+			b.Fatal(err)
+		}
+		stream := buf.Bytes()
+		ratio := float64(len(stream)) / float64(plain.Len())
+		decode := func(b *testing.B, workers int) {
+			b.Helper()
+			b.ReportAllocs()
+			b.SetBytes(int64(tr.Len()))
+			b.ReportMetric(ratio, "ratio")
+			for i := 0; i < b.N; i++ {
+				var got *trace.Trace
+				var err error
+				if workers == 0 {
+					got, err = trace.ReadAll(bytes.NewReader(stream))
+				} else {
+					got, _, err = trace.ParallelReadAll(bytes.NewReader(stream), trace.Workers(workers))
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got.Len() != tr.Len() {
+					b.Fatalf("decoded %d events, want %d", got.Len(), tr.Len())
+				}
+			}
+		}
+		b.Run(codec.String()+"/sequential", func(b *testing.B) { decode(b, 0) })
+		b.Run(codec.String()+"/workers4", func(b *testing.B) { decode(b, 4) })
+	}
+}
+
 // BenchmarkPipeline measures the streaming pass pipeline end to end: a
 // trace file on disk through the sharded pre-pass and the sequential model
 // pass (core.AnalyzeFile), against the seed path that materializes the

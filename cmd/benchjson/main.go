@@ -1,21 +1,33 @@
 // Command benchjson converts `go test -bench` text output on stdin into a
 // JSON document on stdout, so CI can record benchmark runs as machine-
-// readable artifacts (BENCH_pipeline.json).
+// readable artifacts (BENCH_pipeline.json), and compares two such
+// documents so CI can fail on performance regressions.
 //
 // Usage:
 //
 //	go test -run XXX -bench BenchmarkPipeline -benchtime 5x . | benchjson
+//	benchjson -compare BENCH_pipeline.json BENCH_new.json -tolerance 0.15
 //
 // Each benchmark line becomes one entry with the standard testing metrics
 // (ns/op, MB/s, B/op, allocs/op) plus any custom b.ReportMetric units.
 // Header lines (goos, goarch, pkg, cpu) are captured as metadata.
+//
+// In -compare mode the two positional arguments are a baseline and a
+// candidate document. Every benchmark present in both is compared on the
+// chosen -metric (default ns/op, where smaller is better): the run fails
+// (exit 1) if any candidate exceeds its baseline by more than -tolerance
+// (a fraction; 0.15 = +15%). Benchmarks present on only one side are
+// reported but do not fail the comparison, so baselines and new
+// benchmarks can land in either order.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -32,6 +44,41 @@ type doc struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two benchmark JSON documents (baseline, candidate) instead of converting")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional regression on -metric before failing (compare mode)")
+	metric := flag.String("metric", "ns/op", "metric to compare, smaller is better (compare mode)")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fail(fmt.Errorf("-compare needs exactly two files (baseline, candidate), got %d", flag.NArg()))
+		}
+		old, err := loadDoc(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		cur, err := loadDoc(flag.Arg(1))
+		if err != nil {
+			fail(err)
+		}
+		report, regressions := compareDocs(old, cur, *metric, *tolerance)
+		for _, line := range report {
+			fmt.Println(line)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% on %s\n",
+				regressions, *tolerance*100, *metric)
+			os.Exit(1)
+		}
+		return
+	}
+	convert()
+}
+
+// convert is the original mode: bench text on stdin, JSON on stdout.
+// Repeated names (go test -count=N) collapse to the fastest run — min
+// ns/op is the standard noise-robust statistic for a regression gate.
+func convert() {
 	out := doc{Meta: map[string]string{}, Results: []result{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -42,7 +89,7 @@ func main() {
 			continue
 		case strings.HasPrefix(line, "Benchmark"):
 			if r, ok := parseBench(line); ok {
-				out.Results = append(out.Results, r)
+				out.Results = mergeResult(out.Results, r)
 			}
 		default:
 			if k, v, ok := strings.Cut(line, ": "); ok {
@@ -51,14 +98,12 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fail(err)
 	}
 }
 
@@ -83,4 +128,106 @@ func parseBench(line string) (result, bool) {
 		r.Metrics[fields[i+1]] = v
 	}
 	return r, true
+}
+
+// mergeResult appends r, or if a result with the same name exists keeps
+// whichever run has the smaller ns/op (entries without ns/op keep the
+// first run seen).
+func mergeResult(results []result, r result) []result {
+	for i := range results {
+		if results[i].Name != r.Name {
+			continue
+		}
+		old, oldOK := results[i].Metrics["ns/op"]
+		cur, curOK := r.Metrics["ns/op"]
+		if oldOK && curOK && cur < old {
+			results[i] = r
+		}
+		return results
+	}
+	return append(results, r)
+}
+
+func loadDoc(path string) (doc, error) {
+	var d doc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// normalizeName strips the testing package's trailing -GOMAXPROCS suffix
+// ("BenchmarkX/case-8" -> "BenchmarkX/case"), so baselines recorded on
+// machines with different core counts still line up.
+func normalizeName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	if i == len(name)-1 {
+		return name
+	}
+	return name[:i]
+}
+
+// compareDocs lines the candidate up against the baseline on one metric
+// (smaller is better) and returns a human-readable report plus the number
+// of benchmarks whose regression exceeds the tolerance. Names are matched
+// with the -GOMAXPROCS suffix stripped. Benchmarks missing a side or the
+// metric are reported as skipped, never as failures.
+func compareDocs(old, cur doc, metric string, tolerance float64) ([]string, int) {
+	base := make(map[string]result, len(old.Results))
+	for _, r := range old.Results {
+		base[normalizeName(r.Name)] = r
+	}
+	seen := make(map[string]bool, len(cur.Results))
+	var report []string
+	regressions := 0
+	for _, r := range cur.Results {
+		seen[normalizeName(r.Name)] = true
+		b, ok := base[normalizeName(r.Name)]
+		if !ok {
+			report = append(report, fmt.Sprintf("  new      %-40s (no baseline)", r.Name))
+			continue
+		}
+		bv, bok := b.Metrics[metric]
+		cv, cok := r.Metrics[metric]
+		if !bok || !cok || bv <= 0 {
+			report = append(report, fmt.Sprintf("  skipped  %-40s (%s missing on one side)", r.Name, metric))
+			continue
+		}
+		delta := cv/bv - 1
+		status := "ok"
+		if delta > tolerance {
+			status = "REGRESSED"
+			regressions++
+		}
+		report = append(report, fmt.Sprintf("  %-8s %-40s %s %12.1f -> %12.1f  (%+.1f%%)",
+			status, r.Name, metric, bv, cv, delta*100))
+	}
+	var missing []string
+	for name, r := range base {
+		if !seen[name] {
+			missing = append(missing, r.Name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		report = append(report, fmt.Sprintf("  missing  %-40s (in baseline, not in candidate)", name))
+	}
+	return report, regressions
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
 }

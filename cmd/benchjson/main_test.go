@@ -1,0 +1,112 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	r, ok := parseBench("BenchmarkPipeline/gcc-8   	       5	 223456789 ns/op	        12.50 ratio	 1024 B/op")
+	if !ok {
+		t.Fatal("valid bench line rejected")
+	}
+	if r.Name != "BenchmarkPipeline/gcc-8" || r.Iterations != 5 {
+		t.Errorf("parsed %+v", r)
+	}
+	if r.Metrics["ns/op"] != 223456789 || r.Metrics["ratio"] != 12.50 || r.Metrics["B/op"] != 1024 {
+		t.Errorf("metrics %+v", r.Metrics)
+	}
+	if _, ok := parseBench("Benchmark"); ok {
+		t.Error("truncated line accepted")
+	}
+	if _, ok := parseBench("BenchmarkX notanint"); ok {
+		t.Error("bad iteration count accepted")
+	}
+}
+
+func TestMergeResultKeepsFastest(t *testing.T) {
+	mk := func(ns float64) result {
+		return result{Name: "BenchmarkX-8", Iterations: 5, Metrics: map[string]float64{"ns/op": ns}}
+	}
+	rs := mergeResult(nil, mk(100))
+	rs = mergeResult(rs, mk(80))
+	rs = mergeResult(rs, mk(120))
+	rs = mergeResult(rs, result{Name: "BenchmarkY-8", Metrics: map[string]float64{"ns/op": 7}})
+	if len(rs) != 2 {
+		t.Fatalf("merged to %d results, want 2", len(rs))
+	}
+	if rs[0].Metrics["ns/op"] != 80 {
+		t.Errorf("kept ns/op %v, want the fastest (80)", rs[0].Metrics["ns/op"])
+	}
+}
+
+func mkDoc(entries map[string]float64) doc {
+	var d doc
+	for name, ns := range entries {
+		d.Results = append(d.Results, result{Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": ns}})
+	}
+	return d
+}
+
+func TestCompareDocs(t *testing.T) {
+	old := mkDoc(map[string]float64{
+		"BenchmarkA-8":    100,
+		"BenchmarkB-8":    100,
+		"BenchmarkC-8":    100,
+		"BenchmarkGone-8": 50,
+	})
+	cur := mkDoc(map[string]float64{
+		"BenchmarkA-8":   110, // +10%: within a 15% tolerance
+		"BenchmarkB-8":   130, // +30%: regression
+		"BenchmarkC-8":   80,  // improvement
+		"BenchmarkNew-8": 42,
+	})
+	report, regressions := compareDocs(old, cur, "ns/op", 0.15)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", regressions, strings.Join(report, "\n"))
+	}
+	joined := strings.Join(report, "\n")
+	for _, want := range []string{
+		"REGRESSED",
+		"BenchmarkB-8",
+		"BenchmarkNew-8",
+		"no baseline",
+		"BenchmarkGone-8",
+		"in baseline, not in candidate",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q:\n%s", want, joined)
+		}
+	}
+
+	// Exactly at tolerance is not a regression (strictly greater fails).
+	_, r := compareDocs(mkDoc(map[string]float64{"X": 100}), mkDoc(map[string]float64{"X": 115}), "ns/op", 0.15)
+	if r != 0 {
+		t.Errorf("boundary +15%% flagged as regression")
+	}
+
+	// GOMAXPROCS suffixes must not defeat the match: a baseline recorded on
+	// a different core count still gates the candidate.
+	_, r = compareDocs(mkDoc(map[string]float64{"BenchmarkA": 100}), mkDoc(map[string]float64{"BenchmarkA-16": 200}), "ns/op", 0.15)
+	if r != 1 {
+		t.Errorf("suffix mismatch hid a regression: %d", r)
+	}
+	for in, want := range map[string]string{
+		"BenchmarkA-8":       "BenchmarkA",
+		"BenchmarkA/case-16": "BenchmarkA/case",
+		"BenchmarkA":         "BenchmarkA",
+		"BenchmarkA-":        "BenchmarkA-",
+		"Benchmark-v2-x":     "Benchmark-v2-x",
+	} {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+
+	// A missing metric is skipped, not failed.
+	noMetric := doc{Results: []result{{Name: "X", Metrics: map[string]float64{"MB/s": 5}}}}
+	report, r = compareDocs(mkDoc(map[string]float64{"X": 100}), noMetric, "ns/op", 0.15)
+	if r != 0 || !strings.Contains(strings.Join(report, "\n"), "skipped") {
+		t.Errorf("missing metric not skipped: %d regressions, %v", r, report)
+	}
+}

@@ -241,8 +241,12 @@ func printResult(r *dpg.Result) {
 // printCorruption summarises what the lenient reader recovered (and lost).
 func printCorruption(st trace.Stats) {
 	if st.BlocksSkipped == 0 && !st.Truncated && !st.FooterLost {
-		fmt.Fprintf(os.Stderr, "dpgrun: trace intact (v%d, %d blocks, %d events)\n",
-			st.Version, st.Blocks, st.Events)
+		compressed := ""
+		if st.BlocksCompressed > 0 {
+			compressed = fmt.Sprintf(", %d compressed", st.BlocksCompressed)
+		}
+		fmt.Fprintf(os.Stderr, "dpgrun: trace intact (v%d, %d blocks%s, %d events)\n",
+			st.Version, st.Blocks, compressed, st.Events)
 		return
 	}
 	fmt.Fprintf(os.Stderr, "dpgrun: corruption summary (v%d): recovered %d events from %d blocks; skipped %d damaged region(s), %d bytes",

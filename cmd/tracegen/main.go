@@ -7,6 +7,7 @@
 //	tracegen -workload gcc -o gcc.dpg
 //	tracegen -workload com -rounds 2000 -seed 7 -o com.dpg
 //	tracegen -workload gcc -blocklen 4096 -o gcc.dpg   # 4096-event blocks
+//	tracegen -workload gcc -compress lz -o gcc.dpg     # per-block compression
 //	tracegen -asm prog.s -o prog.dpg          # inputs read as words from -in
 package main
 
@@ -30,11 +31,16 @@ func main() {
 	inPath := flag.String("in", "", "input word file for -asm (one unsigned word per line)")
 	limit := flag.Uint64("limit", workloads.MaxTraceLen, "instruction limit")
 	blocklen := flag.Int("blocklen", 0, "events per trace block (0 = default byte-size blocks)")
+	compress := flag.String("compress", "none", "per-block compression codec (none, lz, flate); readers auto-detect")
 	out := flag.String("o", "", "output trace path (required)")
 	flag.Parse()
 
 	if *out == "" {
 		fail("missing -o output path")
+	}
+	codec, err := trace.ParseCodec(*compress)
+	if err != nil {
+		fail(err.Error())
 	}
 
 	var t *trace.Trace
@@ -85,10 +91,15 @@ func main() {
 		fail("missing -workload or -asm")
 	}
 
-	if err := trace.WriteFile(*out, t, trace.BlockEvents(*blocklen)); err != nil {
+	if err := trace.WriteFile(*out, t, trace.BlockEvents(*blocklen), trace.Compression(codec)); err != nil {
 		fail(err.Error())
 	}
-	fmt.Printf("wrote %s: %d dynamic instructions, %d static\n", *out, t.Len(), t.NumStatic)
+	size := int64(-1)
+	if fi, err := os.Stat(*out); err == nil {
+		size = fi.Size()
+	}
+	fmt.Printf("wrote %s: %d dynamic instructions, %d static, %d bytes on disk (codec %s)\n",
+		*out, t.Len(), t.NumStatic, size, codec)
 }
 
 func readWords(path string) ([]uint32, error) {

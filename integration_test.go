@@ -1,11 +1,16 @@
 package repro
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workloads"
 )
 
 // buildTools compiles the command binaries once into a shared temp dir.
@@ -58,6 +63,29 @@ func TestCLIPipeline(t *testing.T) {
 		}
 	}
 
+	// tracegen -compress: the compressed file is smaller, reports its codec,
+	// and dpgrun consumes it with no special flags (readers auto-detect).
+	plainInfo, err := os.Stat(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lzPath := filepath.Join(work, "fig1-lz.dpg")
+	out = run("tracegen", "-workload", "fig1", "-rounds", "20", "-compress", "lz", "-o", lzPath)
+	if !strings.Contains(out, "codec lz") {
+		t.Errorf("tracegen -compress output missing codec: %q", out)
+	}
+	lzInfo, err := os.Stat(lzPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lzInfo.Size() >= plainInfo.Size() {
+		t.Errorf("compressed trace not smaller: %d vs %d bytes", lzInfo.Size(), plainInfo.Size())
+	}
+	out = run("dpgrun", "-trace", lzPath, "-predictor", "stride")
+	if !strings.Contains(out, "predictor: stride") {
+		t.Errorf("dpgrun on compressed trace: %q", out)
+	}
+
 	// dpgrun -graph prints the Fig. 3 fragment.
 	out = run("dpgrun", "-workload", "fig1", "-rounds", "2", "-predictor", "stride", "-graph", "8")
 	if !strings.Contains(out, "DPG fragment") || !strings.Contains(out, "<n,n>") {
@@ -89,6 +117,65 @@ func TestCLIPipeline(t *testing.T) {
 	for _, want := range []string{"simprog", "static instruction mix", "memory"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("objdump output missing %q", want)
+		}
+	}
+}
+
+// TestCompressionDifferentialWorkloads is the acceptance differential for
+// per-block compression: across real workloads × every codec × sequential
+// and parallel readers at several worker counts, the decoded event stream
+// of a compressed trace must be identical to the original, and the
+// transforming codecs must actually shrink real traces.
+func TestCompressionDifferentialWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload sweep in -short mode")
+	}
+	for _, name := range []string{"fig1", "com", "gcc"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		orig, err := w.TraceRounds(w.Rounds/20+1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var plain bytes.Buffer
+		if err := trace.WriteAll(&plain, orig); err != nil {
+			t.Fatal(err)
+		}
+		for _, codec := range trace.Codecs() {
+			var buf bytes.Buffer
+			if err := trace.WriteAll(&buf, orig, trace.Compression(codec)); err != nil {
+				t.Fatalf("%s/%s: %v", name, codec, err)
+			}
+			if codec != trace.CodecNone && buf.Len() >= plain.Len() {
+				t.Errorf("%s/%s: compressed stream not smaller: %d vs %d", name, codec, buf.Len(), plain.Len())
+			}
+			check := func(label string, got *trace.Trace, err error) {
+				t.Helper()
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", name, codec, label, err)
+				}
+				if len(got.Events) != len(orig.Events) {
+					t.Fatalf("%s/%s/%s: %d events, want %d", name, codec, label, len(got.Events), len(orig.Events))
+				}
+				for i := range got.Events {
+					if got.Events[i] != orig.Events[i] {
+						t.Fatalf("%s/%s/%s: event %d differs", name, codec, label, i)
+					}
+				}
+				for i, c := range got.StaticCount {
+					if c != orig.StaticCount[i] {
+						t.Fatalf("%s/%s/%s: static count %d differs", name, codec, label, i)
+					}
+				}
+			}
+			got, err := trace.ReadAll(bytes.NewReader(buf.Bytes()))
+			check("sequential", got, err)
+			for _, workers := range []int{1, 2, 8} {
+				pgot, _, perr := trace.ParallelReadAll(bytes.NewReader(buf.Bytes()), trace.Workers(workers))
+				check(fmt.Sprintf("parallel-%d", workers), pgot, perr)
+			}
 		}
 	}
 }

@@ -46,6 +46,44 @@ func TestAnalyzeFileMatchesInMemory(t *testing.T) {
 	}
 }
 
+// TestAnalyzeFileCompressedParity runs the same workload trace through
+// AnalyzeFile from an uncompressed file and from per-block-compressed
+// files under every codec: the analysis must not be able to tell them
+// apart (readers auto-detect compression per block, so AnalyzeFile's API
+// and results are unchanged).
+func TestAnalyzeFileCompressedParity(t *testing.T) {
+	w, _ := workloads.ByName("fig1")
+	tr, err := w.TraceRounds(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.dpg")
+	if err := trace.WriteFile(plain, tr); err != nil {
+		t.Fatal(err)
+	}
+	want, err := AnalyzeFile(plain, WithKind(predictor.KindStride))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, codec := range trace.Codecs() {
+		path := filepath.Join(dir, codec.String()+".dpg")
+		if err := trace.WriteFile(path, tr, trace.BlockBytes(4096), trace.Compression(codec)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := AnalyzeFile(path, WithKind(predictor.KindStride))
+		if err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		if got.NodeCount != want.NodeCount || got.ArcCount != want.ArcCount ||
+			got.Path != want.Path || got.Trees != want.Trees ||
+			got.Seq != want.Seq || got.Branch != want.Branch ||
+			got.Nodes != want.Nodes || got.Arcs != want.Arcs || got.Name != want.Name {
+			t.Errorf("%s: analysis of compressed file diverges:\n got %+v\nwant %+v", codec, got, want)
+		}
+	}
+}
+
 func TestAnalyzeFileDefaultPredictor(t *testing.T) {
 	w, _ := workloads.ByName("fig1")
 	tr, _ := w.TraceRounds(3, 1)

@@ -164,11 +164,11 @@ func (badShard) Merge(ShardablePass) error                { return nil }
 // same out-of-range events must be rejected with ErrMalformedEvent.
 func TestPrePassRejectsMalformed(t *testing.T) {
 	bad := []trace.Event{
-		{Op: 255},                                // invalid opcode
-		{Op: 0, NSrc: 3},                         // too many sources
-		{Op: 0, NSrc: 1, SrcReg: [2]uint8{99}},   // source register range
-		{Op: 0, DstReg: 77},                      // destination register range
-		{Op: 0, PC: 1000},                        // pc past static table
+		{Op: 255},                              // invalid opcode
+		{Op: 0, NSrc: 3},                       // too many sources
+		{Op: 0, NSrc: 1, SrcReg: [2]uint8{99}}, // source register range
+		{Op: 0, DstReg: 77},                    // destination register range
+		{Op: 0, PC: 1000},                      // pc past static table
 	}
 	p := NewPrePass(8)
 	m, err := newModelPass("t", make([]uint64, 8), Config{Predictor: predictor.KindLast.Factory()})

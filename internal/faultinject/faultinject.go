@@ -167,6 +167,42 @@ func (r *scatterReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// scrambleReader corrupts every byte of one contiguous region.
+type scrambleReader struct {
+	src        io.Reader
+	off        int64
+	start, end int64
+	rng        xorshift64
+}
+
+// ScrambleRegion wraps src, XOR-corrupting every byte in the n-byte region
+// starting at offset start with non-zero pseudo-random masks drawn from
+// seed — the shape of a torn sector: total damage inside one contiguous
+// range, every byte outside it untouched. The same parameters always
+// produce the same faulty stream.
+func ScrambleRegion(src io.Reader, start, n int64, seed uint64) io.Reader {
+	if seed == 0 {
+		seed = 1
+	}
+	return &scrambleReader{src: src, start: start, end: start + n, rng: xorshift64(seed)}
+}
+
+func (r *scrambleReader) Read(p []byte) (int, error) {
+	n, err := r.src.Read(p)
+	for i := 0; i < n; i++ {
+		pos := r.off + int64(i)
+		if pos >= r.start && pos < r.end {
+			mask := byte(r.rng.next() >> 32)
+			if mask == 0 {
+				mask = 0x80
+			}
+			p[i] ^= mask
+		}
+	}
+	r.off += int64(n)
+	return n, err
+}
+
 // truncWriter silently discards everything past n bytes while reporting
 // full writes — the shape of a crash after a partial flush.
 type truncWriter struct {

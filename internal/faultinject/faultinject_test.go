@@ -125,6 +125,33 @@ func TestScatterDeterministic(t *testing.T) {
 	}
 }
 
+func TestScrambleRegion(t *testing.T) {
+	src := payload(256)
+	read := func(seed uint64) []byte {
+		got, err := io.ReadAll(ScrambleRegion(ShortReads(bytes.NewReader(src), 7), 100, 20, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a := read(9)
+	if !bytes.Equal(a, read(9)) {
+		t.Error("same seed produced different corruption")
+	}
+	for i := range src {
+		in := i >= 100 && i < 120
+		if in && a[i] == src[i] {
+			t.Errorf("byte %d inside region survived", i)
+		}
+		if !in && a[i] != src[i] {
+			t.Errorf("byte %d outside region damaged", i)
+		}
+	}
+	if bytes.Equal(a, read(10)) {
+		t.Error("different seeds produced identical corruption")
+	}
+}
+
 func TestTruncateWriter(t *testing.T) {
 	var buf bytes.Buffer
 	w := TruncateWriter(&buf, 5)

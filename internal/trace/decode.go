@@ -20,6 +20,9 @@ type Stats struct {
 	Version int
 	// Blocks counts v2 event blocks decoded successfully.
 	Blocks uint64
+	// BlocksCompressed counts decoded blocks whose payload was stored
+	// compressed (codec lz or flate); raw-stored blocks are not counted.
+	BlocksCompressed uint64
 	// BlocksSkipped counts corrupt regions skipped in lenient mode.
 	BlocksSkipped uint64
 	// BytesSkipped counts bytes discarded while resynchronising.
@@ -97,10 +100,15 @@ type Reader struct {
 	done      bool
 	sticky    error
 
-	// v2 block cursor.
+	// v2 block cursor. block holds decoded-payload bytes (decompressed
+	// when the frame was compressed); blockBase is the stream offset
+	// event-decode errors are reported against — the first stored payload
+	// byte, so offsets into compressed payloads stay monotone in stream
+	// order even though they index the inflated bytes.
 	block     []byte
 	blockOff  int
 	blockLeft uint64
+	blockBase int64
 }
 
 // NewReader parses the stream header and negotiates the format version.
@@ -481,7 +489,7 @@ func (tr *Reader) readFooterV1() error {
 func (tr *Reader) next2(e *Event) error {
 	for {
 		if tr.blockLeft > 0 {
-			blockBase := tr.cr.n - int64(len(tr.block))
+			blockBase := tr.blockBase
 			err := decodeEventBuf(tr.block, &tr.blockOff, e, tr.numStatic)
 			if err == nil {
 				tr.blockLeft--
@@ -537,7 +545,7 @@ func (tr *Reader) readFrame() error {
 		if isFooter {
 			ferr = tr.readFooterV2()
 		} else {
-			ferr = tr.readBlockV2()
+			ferr = tr.readBlockV2(marker == blockMarkerC)
 		}
 		if ferr == nil {
 			if isFooter {
@@ -568,7 +576,7 @@ func scanMarker(cr *countingReader, lenient bool) (string, int64, error) {
 	skipped := int64(0)
 	for {
 		m := string(win[:])
-		if m == blockMarker || m == countMarker {
+		if m == blockMarker || m == blockMarkerC || m == countMarker {
 			return m, skipped, nil
 		}
 		if !lenient {
@@ -595,13 +603,15 @@ func (tr *Reader) nextMarker() (string, int64, error) {
 }
 
 // blockFrame is one framed v2 event block as read off the stream, before
-// CRC verification or event decoding.
+// CRC verification, decompression, or event decoding.
 type blockFrame struct {
 	frameOff   int64  // stream offset of the frame marker
-	payloadOff int64  // stream offset of the first payload byte
+	payloadOff int64  // stream offset of the first stored payload byte
 	count      uint64 // declared event count
-	crc        uint32 // declared payload CRC32C
-	payload    []byte
+	crc        uint32 // declared CRC32C of the stored payload
+	codec      Codec  // how the payload is stored (CodecNone for "BLK2")
+	ulen       int    // declared uncompressed payload length
+	payload    []byte // stored (possibly compressed) payload bytes
 }
 
 // frameLen is the whole frame's size in bytes, marker through payload.
@@ -609,24 +619,55 @@ func (bf *blockFrame) frameLen() int64 {
 	return bf.payloadOff + int64(len(bf.payload)) - bf.frameOff
 }
 
-// readBlockFrame reads a block frame's lengths, checksum field, and
-// payload; the marker is already consumed. The CRC is not verified here so
-// a parallel decoder can farm that (and event decoding) out to workers.
-func readBlockFrame(cr *countingReader) (blockFrame, error) {
+// readBlockFrame reads a block frame's codec flag, lengths, checksum
+// field, and stored payload; the marker is already consumed (compressed
+// reports which of the two block markers it was). The CRC is not verified
+// and the payload not decompressed here, so a parallel decoder can farm
+// that (and event decoding) out to workers.
+//
+// Every length is validated against maxBlockLen before any allocation —
+// critically the declared *uncompressed* length, so a hostile frame
+// cannot claim a huge post-inflate size — and the event count is checked
+// as count > len/minEventLen (division, not multiplication, so an
+// extreme count cannot wrap the check and drive a giant event-slice
+// allocation downstream).
+func readBlockFrame(cr *countingReader, compressed bool) (blockFrame, error) {
 	bf := blockFrame{frameOff: cr.n - 4}
-	plen, err := readUvarint(cr, "block length")
+	if compressed {
+		codec, err := cr.ReadByte()
+		if err != nil {
+			return bf, ioErr(cr.n, err, "reading block codec")
+		}
+		if Codec(codec) >= numCodecs {
+			return bf, formatErr(bf.frameOff, ErrMalformed, "unknown block codec %d", codec)
+		}
+		bf.codec = Codec(codec)
+	}
+	ulen, err := readUvarint(cr, "block length")
 	if err != nil {
 		return bf, err
 	}
-	if plen == 0 || plen > maxBlockLen {
-		return bf, formatErr(bf.frameOff, ErrMalformed, "block length %d out of range", plen)
+	if ulen == 0 || ulen > maxBlockLen {
+		return bf, formatErr(bf.frameOff, ErrMalformed, "block length %d out of range", ulen)
 	}
+	bf.ulen = int(ulen)
 	count, err := readUvarint(cr, "block event count")
 	if err != nil {
 		return bf, err
 	}
-	if count == 0 || count*minEventLen > plen {
-		return bf, formatErr(bf.frameOff, ErrMalformed, "block event count %d impossible for %d bytes", count, plen)
+	if count == 0 || count > ulen/minEventLen {
+		return bf, formatErr(bf.frameOff, ErrMalformed, "block event count %d impossible for %d bytes", count, ulen)
+	}
+	plen := ulen
+	if compressed {
+		clen, err := readUvarint(cr, "block stored length")
+		if err != nil {
+			return bf, err
+		}
+		if clen == 0 || clen > ulen || (bf.codec == CodecNone && clen != ulen) {
+			return bf, formatErr(bf.frameOff, ErrMalformed, "block stored length %d impossible for %d uncompressed bytes (codec %s)", clen, ulen, bf.codec)
+		}
+		plen = clen
 	}
 	crc, err := readCRC(cr, "block")
 	if err != nil {
@@ -641,18 +682,29 @@ func readBlockFrame(cr *countingReader) (blockFrame, error) {
 	return bf, nil
 }
 
-// readBlockV2 parses one framed event block into the block cursor.
-func (tr *Reader) readBlockV2() error {
-	bf, err := readBlockFrame(tr.cr)
+// readBlockV2 parses one framed event block into the block cursor,
+// CRC-checking the stored bytes and inflating compressed payloads.
+func (tr *Reader) readBlockV2(compressed bool) error {
+	bf, err := readBlockFrame(tr.cr, compressed)
 	if err != nil {
 		return err
 	}
 	if crc32.Checksum(bf.payload, castagnoli) != bf.crc {
 		return formatErr(bf.frameOff, ErrChecksum, "block checksum")
 	}
-	tr.block = bf.payload
+	payload := bf.payload
+	if bf.codec != CodecNone {
+		payload, err = expandBlock(&bf)
+		if err != nil {
+			return err
+		}
+		putPayloadBuf(bf.payload)
+		tr.stats.BlocksCompressed++
+	}
+	tr.block = payload
 	tr.blockOff = 0
 	tr.blockLeft = bf.count
+	tr.blockBase = bf.payloadOff
 	tr.stats.Blocks++
 	return nil
 }

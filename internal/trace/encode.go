@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -19,12 +21,21 @@ import (
 //	header  uvarint payload length + 4-byte CRC32C + payload:
 //	            name uvarint length + bytes
 //	            static uvarint program length
-//	blocks  repeated framed event blocks:
-//	            marker  "BLK2"
+//	blocks  repeated framed event blocks, in one of two frames:
+//	            marker  "BLK2"                    (raw payload)
 //	            len     uvarint payload length (≤ 4 MiB)
 //	            count   uvarint events in block (≥ 1, ≤ len/3)
 //	            crc     4-byte CRC32C of payload
 //	            payload count × event records
+//	        or, when the writer has a compression codec selected:
+//	            marker  "BLKC"                    (per-block codec)
+//	            codec   flags byte: 0 none, 1 lz, 2 flate (compress.go)
+//	            ulen    uvarint uncompressed payload length (≤ 4 MiB)
+//	            count   uvarint events in block (≥ 1, ≤ ulen/3)
+//	            clen    uvarint stored payload length (≤ ulen)
+//	            crc     4-byte CRC32C of the stored payload
+//	            payload clen stored bytes (count × event records
+//	                    after decompression; codec 0 stores them raw)
 //	footer  framed static-count block:
 //	            marker  "FTR2"
 //	            len     uvarint payload length
@@ -57,7 +68,10 @@ const (
 	headerMagic = "DPGT"
 	footerMagic = "END!"
 	blockMarker = "BLK2"
-	countMarker = "FTR2"
+	// blockMarkerC frames a block whose payload may be compressed; the
+	// marker is followed by a codec flags byte (see compress.go).
+	blockMarkerC = "BLKC"
+	countMarker  = "FTR2"
 
 	// Version1 is the legacy unframed, unchecksummed format.
 	Version1 = 1
@@ -74,6 +88,12 @@ const (
 	maxBlockLen = 1 << 22
 	// minEventLen is the smallest possible event record (op, pc, flags).
 	minEventLen = 3
+	// maxEventLen bounds one encoded event record: op byte, pc varint (≤ 5
+	// for uint32), flags byte, two sources (reg byte + ≤ 5-byte varint
+	// each), destination (reg byte + varint), and memory (two varints).
+	// The writer flushes before a block could cross maxBlockLen by one
+	// event, so every emitted payload honours the reader's bound.
+	maxEventLen = 1 + 5 + 1 + 2*(1+5) + (1 + 5) + (5 + 5)
 	// defaultBlockLen is the writer's flush threshold.
 	defaultBlockLen = 1 << 16
 )
@@ -171,6 +191,12 @@ type Writer struct {
 	block          []byte
 	blockEvents    uint64
 	blockMaxEvents uint64
+
+	// v2 per-block compression.
+	codec    Codec
+	comp     []byte // scratch for the compressed form of a block
+	flateW   *flate.Writer
+	flateBuf bytes.Buffer
 }
 
 // NewWriter starts a version-2 trace stream for a program of numStatic
@@ -245,6 +271,22 @@ func (tw *Writer) SetBlockEvents(n int) {
 	tw.blockMaxEvents = uint64(n)
 }
 
+// SetCompression selects the per-block codec for version-2 streams: each
+// flushed block is compressed and framed with a codec flags byte, falling
+// back to raw storage for blocks compression would not shrink. CodecNone
+// (the default) keeps the uncompressed "BLK2" framing, byte-identical to
+// earlier writers. It has no effect on version-1 streams, which have no
+// blocks. An unknown codec poisons the writer: the next operation fails.
+func (tw *Writer) SetCompression(c Codec) {
+	if c >= numCodecs {
+		if tw.err == nil {
+			tw.err = fmt.Errorf("trace: unknown codec %d", byte(c))
+		}
+		return
+	}
+	tw.codec = c
+}
+
 func (tw *Writer) writeByte(b byte) {
 	if tw.err == nil {
 		tw.err = tw.w.WriteByte(b)
@@ -290,6 +332,12 @@ func (tw *Writer) Write(e *Event) error {
 		tw.block = appendEvent(tw.block[:0], e)
 		tw.writeBytes(tw.block)
 	case Version2:
+		// Flush early if this event could push the payload past the
+		// reader's maxBlockLen bound — the threshold alone lets a block
+		// overshoot by one event when blockLen is at the cap.
+		if len(tw.block)+maxEventLen > maxBlockLen {
+			tw.flushBlock()
+		}
 		tw.block = appendEvent(tw.block, e)
 		tw.blockEvents++
 		if len(tw.block) >= tw.blockLen ||
@@ -300,18 +348,75 @@ func (tw *Writer) Write(e *Event) error {
 	return tw.err
 }
 
-// flushBlock frames and emits the accumulated v2 block.
+// flushBlock frames and emits the accumulated v2 block. With a codec
+// selected the frame is "BLKC": codec byte, uncompressed length, event
+// count, stored length, CRC of the stored bytes, stored payload — where
+// the stored payload is the compressed form when that is strictly smaller
+// and the raw block (flags byte CodecNone) otherwise.
 func (tw *Writer) flushBlock() {
 	if tw.blockEvents == 0 {
 		return
 	}
-	tw.writeBytes([]byte(blockMarker))
-	tw.writeUvarint(uint64(len(tw.block)))
-	tw.writeUvarint(tw.blockEvents)
-	tw.writeCRC(tw.block)
-	tw.writeBytes(tw.block)
+	if tw.codec == CodecNone {
+		tw.writeBytes([]byte(blockMarker))
+		tw.writeUvarint(uint64(len(tw.block)))
+		tw.writeUvarint(tw.blockEvents)
+		tw.writeCRC(tw.block)
+		tw.writeBytes(tw.block)
+	} else {
+		stored, codec := tw.block, CodecNone
+		if comp, ok := tw.compressBlock(); ok {
+			stored, codec = comp, tw.codec
+		}
+		tw.writeBytes([]byte(blockMarkerC))
+		tw.writeByte(byte(codec))
+		tw.writeUvarint(uint64(len(tw.block)))
+		tw.writeUvarint(tw.blockEvents)
+		tw.writeUvarint(uint64(len(stored)))
+		tw.writeCRC(stored)
+		tw.writeBytes(stored)
+	}
 	tw.block = tw.block[:0]
 	tw.blockEvents = 0
+}
+
+// compressBlock compresses the pending block with the writer's codec,
+// reporting ok = false when the block is too small to bother with, the
+// codec failed, or — the skip-if-incompressible heuristic — the result
+// would not be strictly smaller than the raw payload.
+func (tw *Writer) compressBlock() ([]byte, bool) {
+	if len(tw.block) < minCompressLen {
+		return nil, false
+	}
+	var comp []byte
+	switch tw.codec {
+	case CodecLZ:
+		tw.comp = lzAppend(tw.comp[:0], tw.block)
+		comp = tw.comp
+	case CodecFlate:
+		if tw.flateW == nil {
+			fw, err := flate.NewWriter(&tw.flateBuf, flate.DefaultCompression)
+			if err != nil {
+				return nil, false
+			}
+			tw.flateW = fw
+		}
+		tw.flateBuf.Reset()
+		tw.flateW.Reset(&tw.flateBuf)
+		if _, err := tw.flateW.Write(tw.block); err != nil {
+			return nil, false
+		}
+		if err := tw.flateW.Close(); err != nil {
+			return nil, false
+		}
+		comp = tw.flateBuf.Bytes()
+	default:
+		return nil, false
+	}
+	if len(comp) >= len(tw.block) {
+		return nil, false
+	}
+	return comp, true
 }
 
 // Count returns the number of events written so far.
@@ -362,6 +467,13 @@ func BlockEvents(n int) WriteOption {
 // Writer.SetBlockSize.
 func BlockBytes(n int) WriteOption {
 	return func(w *Writer) { w.SetBlockSize(n) }
+}
+
+// Compression selects the per-block codec for version-2 streams; see
+// Writer.SetCompression. Readers auto-detect per block, so consumers need
+// no matching option.
+func Compression(c Codec) WriteOption {
+	return func(w *Writer) { w.SetCompression(c) }
 }
 
 // WriteAll serialises an in-memory trace to w in the current format.

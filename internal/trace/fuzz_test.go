@@ -80,6 +80,64 @@ func drainChecked(t *testing.T, data []byte, lenient bool) {
 	t.Fatal("decoder failed to terminate on bounded input")
 }
 
+// FuzzCompressedBlock drives the compression layer three ways with one
+// input: the LZ codec must round-trip arbitrary bytes exactly; the LZ
+// decoder must survive the same bytes *as* a compressed stream (bounded
+// output, error or success, never a panic); and a whole trace written with
+// a fuzzer-chosen codec and block size must decode identically through
+// both readers.
+func FuzzCompressedBlock(f *testing.F) {
+	stream, _ := smallV2Stream(f, 64)
+	f.Add([]byte{}, byte(1), uint16(64))
+	f.Add([]byte("abcabcabcabcabcabc"), byte(1), uint16(64))
+	f.Add(stream, byte(2), uint16(100))
+	f.Add(bytes.Repeat([]byte{0xFF, 0x00}, 200), byte(2), uint16(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, codecByte byte, blockSize uint16) {
+		// 1. Identity: compress-then-expand is the identity on any input.
+		comp := lzAppend(nil, data)
+		got, err := lzExpand(nil, comp, len(data))
+		if err != nil {
+			t.Fatalf("lz round trip errored: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("lz round trip mismatch: %d in, %d out", len(data), len(got))
+		}
+
+		// 2. Adversarial: the input interpreted as a compressed stream.
+		if out, err := lzExpand(nil, data, 1<<16); err == nil && len(out) > 1<<16 {
+			t.Fatalf("lz expand exceeded its cap: %d bytes", len(out))
+		}
+
+		// 3. Full-stack: a valid trace under a fuzzer-chosen shape must
+		// round-trip through both readers, observably identically.
+		codec := Codec(uint(codecByte) % uint(numCodecs))
+		tr := New("fz", 4)
+		for i := 0; i < 50; i++ {
+			v := uint32(i)
+			if len(data) > 0 {
+				v = uint32(data[i%len(data)])
+			}
+			tr.Append(Event{PC: uint32(i % 4), Op: isa.OpAddi, NSrc: 1,
+				SrcReg: [2]uint8{8}, SrcVal: [2]uint32{v}, DstReg: 8, DstVal: v + 1, HasImm: true})
+		}
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, tr, BlockBytes(int(blockSize)), Compression(codec)); err != nil {
+			t.Fatalf("write with codec %s: %v", codec, err)
+		}
+		seq := captureSequential(t, buf.Bytes())
+		diffRuns(t, "fuzz-compressed", seq, captureParallel(t, buf.Bytes(), Workers(4)))
+		if seq.finalErr != "" || len(seq.events) != len(tr.Events) {
+			t.Fatalf("codec %s: decode failed: %d events, err %q", codec, len(seq.events), seq.finalErr)
+		}
+		for i := range seq.events {
+			if seq.events[i] != tr.Events[i] {
+				t.Fatalf("codec %s: event %d differs", codec, i)
+			}
+		}
+	})
+}
+
 // FuzzCorruption round-trips a known-good multi-block stream through
 // fuzzer-chosen corruption (a byte flip plus a truncation point) and
 // asserts the recover-or-typed-error contract on both reader modes.

@@ -51,6 +51,9 @@ type blockResult struct {
 	err error
 	// blocks is 1 when the payload was CRC-clean (Stats.Blocks).
 	blocks uint64
+	// compressed is 1 when the payload was stored compressed
+	// (Stats.BlocksCompressed).
+	compressed uint64
 	// blocksSkipped/bytesSkipped carry lenient damage accounting.
 	blocksSkipped uint64
 	bytesSkipped  int64
@@ -145,12 +148,14 @@ func decodeWorker(jobs <-chan pjob, numStatic int, lenient bool) {
 	}
 }
 
-// decodeBlockFrame CRC-checks and decodes one block, reproducing the
-// sequential reader's per-block semantics: in strict mode the first
-// damage is an error after the cleanly decoded prefix (and a trailing-
-// junk block withholds its final event, as the sequential reader does);
-// in lenient mode damage becomes skip accounting and every clean event
-// is delivered.
+// decodeBlockFrame CRC-checks, decompresses, and decodes one block,
+// reproducing the sequential reader's per-block semantics: in strict mode
+// the first damage is an error after the cleanly decoded prefix (and a
+// trailing-junk block withholds its final event, as the sequential reader
+// does); in lenient mode damage becomes skip accounting and every clean
+// event is delivered. Compressed payloads inflate here, inside the worker
+// pool, so decompression parallelises with CRC verification and event
+// decoding.
 func decodeBlockFrame(bf blockFrame, numStatic int, lenient bool) blockResult {
 	var r blockResult
 	if crc32.Checksum(bf.payload, castagnoli) != bf.crc {
@@ -162,30 +167,46 @@ func decodeBlockFrame(bf blockFrame, numStatic int, lenient bool) blockResult {
 		}
 		return r
 	}
+	payload := bf.payload
+	if bf.codec != CodecNone {
+		inflated, err := expandBlock(&bf)
+		if err != nil {
+			if lenient {
+				r.blocksSkipped = 1
+				r.bytesSkipped = bf.frameLen()
+			} else {
+				r.err = err
+			}
+			return r
+		}
+		payload = inflated
+		defer putPayloadBuf(inflated)
+		r.compressed = 1
+	}
 	r.blocks = 1
 	r.events = getEventSlice(int(bf.count))
 	off := 0
 	for left := bf.count; left > 0; left-- {
 		var e Event
-		if err := decodeEventBuf(bf.payload, &off, &e, numStatic); err != nil {
+		if err := decodeEventBuf(payload, &off, &e, numStatic); err != nil {
 			werr := formatErr(bf.payloadOff+int64(off), ErrMalformed, "%v", err)
 			if lenient {
 				r.blocksSkipped = 1
-				r.bytesSkipped = int64(len(bf.payload) - off)
+				r.bytesSkipped = int64(len(payload) - off)
 			} else {
 				r.err = werr
 			}
 			return r
 		}
-		if left == 1 && off != len(bf.payload) {
+		if left == 1 && off != len(payload) {
 			// Count and payload disagree; the delivered events were
 			// CRC-clean, but the block is damaged.
 			junk := formatErr(bf.payloadOff+int64(off), ErrMalformed,
-				"%d trailing bytes in block", len(bf.payload)-off)
+				"%d trailing bytes in block", len(payload)-off)
 			if lenient {
 				r.events = append(r.events, e)
 				r.blocksSkipped = 1
-				r.bytesSkipped = int64(len(bf.payload) - off)
+				r.bytesSkipped = int64(len(payload) - off)
 			} else {
 				r.err = junk
 			}
@@ -239,7 +260,7 @@ func (p *ParallelReader) split(jobs chan<- pjob) {
 			p.emit(pitem{eof: true})
 			return
 		}
-		bf, berr := readBlockFrame(sc.cr)
+		bf, berr := readBlockFrame(sc.cr, marker == blockMarkerC)
 		if berr != nil {
 			if sc.lenient && recoverableKind(berr) {
 				if !p.emit(pitem{skipBlocks: 1, skipBytes: sc.cr.n - frameStart}) {
@@ -323,6 +344,7 @@ func (p *ParallelReader) advance() error {
 		case it.res != nil:
 			r := <-it.res
 			p.stats.Blocks += r.blocks
+			p.stats.BlocksCompressed += r.compressed
 			p.stats.BlocksSkipped += r.blocksSkipped
 			p.stats.BytesSkipped += r.bytesSkipped
 			p.cur = r

@@ -178,6 +178,11 @@ func encodeCorpus(t *testing.T) map[string][]byte {
 	corpus["many-block"], _ = smallV2Stream(t, 64)
 	corpus["tiny-blocks"] = encode(small, func(w *Writer) { w.SetBlockEvents(1) })
 	corpus["empty"] = encode(New("empty", 4), nil)
+	corpus["lz"] = encode(small, func(w *Writer) { w.SetBlockSize(64); w.SetCompression(CodecLZ) })
+	corpus["flate"] = encode(small, func(w *Writer) { w.SetBlockSize(64); w.SetCompression(CodecFlate) })
+	// Tiny per-event blocks sit below the compression threshold, so these
+	// frames are "BLKC" with codec none — the stored-raw fallback shape.
+	corpus["lz-stored"] = encode(small, func(w *Writer) { w.SetBlockEvents(1); w.SetCompression(CodecLZ) })
 
 	var v1 bytes.Buffer
 	if err := WriteAllV1(&v1, small); err != nil {
