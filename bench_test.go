@@ -286,6 +286,43 @@ func BenchmarkPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkSpeculativePass compares the sequential model pass against the
+// epoch-speculative pass (dpg.RunSpeculative) at several chain counts on
+// the gcc trace with the context predictor — the heaviest predictor and
+// the one the paper's headline figures use. Results are byte-identical by
+// the differential battery; this benchmark records the speedup the
+// speculation buys (bytes/s are events/s).
+func BenchmarkSpeculativePass(b *testing.B) {
+	tr := benchTrace(b)
+	cfg := dpg.Config{
+		Predictor:     predictor.KindContext.Factory(),
+		PredictorName: "context",
+	}
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(tr.Len()))
+		for i := 0; i < b.N; i++ {
+			benchRunWith(b, tr, cfg)
+		}
+	})
+	for _, workers := range []int{2, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(tr.Len()))
+			for i := 0; i < b.N; i++ {
+				var st dpg.SpecStats
+				if _, err := dpg.RunSpeculative(tr, cfg, dpg.SpecConfig{Workers: workers, Stats: &st}); err != nil {
+					b.Fatal(err)
+				}
+				if st.Fallback || st.Diverged != 0 {
+					b.Fatalf("implausible speculation stats %+v", st)
+				}
+			}
+		})
+	}
+}
+
 // --- Ablation benches (design-choice studies from DESIGN.md §5) ----------
 
 // BenchmarkAblationSharedIO compares the paper's split input/output

@@ -53,6 +53,7 @@ func main() {
 	strict := flag.Bool("strict", true, "reject corrupt traces; -strict=false resyncs past damage and summarises it")
 	workers := flag.Int("workers", 0, "concurrent trace-decode workers per file (0 = all cores, 1 = sequential)")
 	parallel := flag.Int("parallel", 0, "concurrent files in directory/glob mode (0 = all cores)")
+	speculate := flag.Int("speculate", 0, "run the model pass epoch-speculatively with N predictor chains (0 = off, -1 = auto); results are identical, only faster")
 	flag.Parse()
 
 	kinds := predictor.Kinds
@@ -70,12 +71,12 @@ func main() {
 	case *tracePat != "":
 		paths := expandTraces(*tracePat)
 		if len(paths) == 1 {
-			runFile(paths[0], kinds, *graph, *strict, *workers)
+			runFile(paths[0], kinds, *graph, *strict, *workers, *speculate)
 			return
 		}
-		runFiles(paths, kinds, *strict, *workers, *parallel)
+		runFiles(paths, kinds, *strict, *workers, *parallel, *speculate)
 	case *workload != "":
-		runWorkload(*workload, *rounds, kinds, *graph)
+		runWorkload(*workload, *rounds, kinds, *graph, *speculate)
 	default:
 		fail("missing -trace or -workload")
 	}
@@ -99,7 +100,7 @@ func expandTraces(pat string) []string {
 }
 
 // fileOpts assembles the streaming options shared by both file modes.
-func fileOpts(k predictor.Kind, graph int, strict bool, workers int) []core.Option {
+func fileOpts(k predictor.Kind, graph int, strict bool, workers, speculate int) []core.Option {
 	opts := []core.Option{core.WithKind(k), core.WithWorkers(workers)}
 	if graph > 0 {
 		opts = append(opts, core.WithGraphLimit(graph))
@@ -107,22 +108,54 @@ func fileOpts(k predictor.Kind, graph int, strict bool, workers int) []core.Opti
 	if !strict {
 		opts = append(opts, core.WithLenientTrace())
 	}
+	opts = append(opts, specOpts(speculate)...)
 	return opts
+}
+
+// specOpts translates -speculate: 0 is off, negative is automatic chain
+// count, positive is an explicit one.
+func specOpts(speculate int) []core.Option {
+	if speculate == 0 {
+		return nil
+	}
+	n := speculate
+	if n < 0 {
+		n = 0 // auto
+	}
+	return []core.Option{core.WithSpeculation(n)}
+}
+
+// printSpecStats summarises a speculative run on stderr, out of band of
+// the report (whose content is identical either way).
+func printSpecStats(st dpg.SpecStats) {
+	if st.Fallback {
+		fmt.Fprintf(os.Stderr, "dpgrun: speculation: predictor has no checkpoint support, ran sequentially\n")
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dpgrun: speculation: %d epochs on %d chains, %d diverged, %d replayed (%d replay epochs), %d abandoned\n",
+		st.Epochs, st.Chains, st.Diverged, st.Replayed, st.ReplayEpochs, st.Abandoned)
 }
 
 // runFile streams one trace file through the pass pipeline, once per
 // predictor, printing the same header and per-predictor report as the
 // workload mode.
-func runFile(path string, kinds []predictor.Kind, graph int, strict bool, workers int) {
+func runFile(path string, kinds []predictor.Kind, graph int, strict bool, workers, speculate int) {
 	headerDone := false
 	for _, k := range kinds {
 		var ps dpg.PreStats
 		var st trace.Stats
-		opts := append(fileOpts(k, graph, strict, workers),
+		var ss dpg.SpecStats
+		opts := append(fileOpts(k, graph, strict, workers, speculate),
 			core.WithPreStats(&ps), core.WithTraceStats(&st))
+		if speculate != 0 {
+			opts = append(opts, core.WithSpecStats(&ss))
+		}
 		r, err := core.AnalyzeFile(path, opts...)
 		if err != nil {
 			fail(err.Error())
+		}
+		if speculate != 0 {
+			printSpecStats(ss)
 		}
 		if !headerDone {
 			headerDone = true
@@ -142,13 +175,15 @@ func runFile(path string, kinds []predictor.Kind, graph int, strict bool, worker
 // AnalyzeFiles sweep per predictor, and prints per-file summary lines in
 // file-major order. Any per-file failure turns into a non-zero exit after
 // every file has been reported.
-func runFiles(paths []string, kinds []predictor.Kind, strict bool, workers, parallel int) {
+func runFiles(paths []string, kinds []predictor.Kind, strict bool, workers, parallel, speculate int) {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
 	byKind := make([][]core.FileResult, len(kinds))
 	for i, k := range kinds {
-		byKind[i] = core.AnalyzeFiles(paths, parallel, fileOpts(k, 0, strict, workers)...)
+		// No WithSpecStats here: one options slice serves every concurrent
+		// file, and a shared stats pointer would race.
+		byKind[i] = core.AnalyzeFiles(paths, parallel, fileOpts(k, 0, strict, workers, speculate)...)
 	}
 	failed := 0
 	for fi, path := range paths {
@@ -180,7 +215,7 @@ func runFiles(paths []string, kinds []predictor.Kind, strict bool, workers, para
 // runWorkload traces a built-in workload in memory and runs the model —
 // the only dpgrun mode that materializes a trace (the generator produces
 // one directly).
-func runWorkload(name string, rounds int, kinds []predictor.Kind, graph int) {
+func runWorkload(name string, rounds int, kinds []predictor.Kind, graph, speculate int) {
 	w, ok := workloads.ByName(name)
 	if !ok {
 		fail(fmt.Sprintf("unknown workload %q; known: %v", name, workloads.Names()))
@@ -195,13 +230,18 @@ func runWorkload(name string, rounds int, kinds []predictor.Kind, graph int) {
 	}
 	fmt.Printf("trace %s: %d dynamic instructions, %d static\n\n", t.Name, t.Len(), t.NumStatic)
 	for _, k := range kinds {
-		res, err := dpg.RunWith(t, dpg.Config{
-			Predictor:     k.Factory(),
-			PredictorName: k.String(),
-			GraphLimit:    graph,
-		})
+		var ss dpg.SpecStats
+		opts := []core.Option{core.WithKind(k), core.WithGraphLimit(graph)}
+		opts = append(opts, specOpts(speculate)...)
+		if speculate != 0 {
+			opts = append(opts, core.WithSpecStats(&ss))
+		}
+		res, err := core.RunTrace(t, opts...)
 		if err != nil {
 			fail(err.Error())
+		}
+		if speculate != 0 {
+			printSpecStats(ss)
 		}
 		printResult(res)
 		if graph > 0 {

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with current output")
+
+// goldenScale keeps the golden experiments fast enough for CI while still
+// exercising every workload and predictor the figures touch. Changing it
+// invalidates the committed goldens (regenerate with -update).
+const goldenScale = 0.02
+
+// goldenExperiments are the figures pinned byte-for-byte: the headline
+// predictability chart, the generator-class path analysis, and the branch
+// behaviour figure — one from each major stage of the analysis pipeline.
+var goldenExperiments = []string{"fig5", "fig9", "fig13"}
+
+// TestGoldenFigures regenerates selected figures in-process, exactly the
+// way the CLI does, and compares the rendered text byte-for-byte against
+// the committed goldens in testdata/. Any drift in the model, the
+// experiment code, or the text rendering fails with a diff position;
+// intentional changes are re-blessed with `go test ./cmd/figures -update`.
+func TestGoldenFigures(t *testing.T) {
+	for _, id := range goldenExperiments {
+		t.Run(id, func(t *testing.T) {
+			suite := core.NewSuite(core.SuiteConfig{Scale: goldenScale, Seed: 1})
+			var buf bytes.Buffer
+			if err := suite.Run(id, &buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", id+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got := buf.Bytes(); !bytes.Equal(got, want) {
+				t.Fatalf("%s output drifted from golden:\n%s\nregenerate with -update if the change is intended", id, firstDiff(got, want))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first divergent line between got and want, with a
+// line of context, so a golden failure is readable without an external
+// diff tool.
+func firstDiff(got, want []byte) string {
+	gl := bytes.Split(got, []byte("\n"))
+	wl := bytes.Split(want, []byte("\n"))
+	n := min(len(gl), len(wl))
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			return fmt.Sprintf("line %d:\n  got:  %q\n  want: %q", i+1, gl[i], wl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: got %d lines, want %d", len(gl), len(wl))
+}

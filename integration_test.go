@@ -6,9 +6,13 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/dpg"
+	"repro/internal/predictor"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -61,6 +65,28 @@ func TestCLIPipeline(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("dpgrun output missing %q", want)
 		}
+	}
+
+	// dpgrun -speculate produces byte-identical stdout (the stats line
+	// goes to stderr, which CombinedOutput folds in — so compare stdout
+	// only via a fresh invocation capturing it alone).
+	seqCmd := exec.Command(filepath.Join(bin, "dpgrun"), "-trace", tracePath, "-predictor", "stride")
+	seqOut, err := seqCmd.Output()
+	if err != nil {
+		t.Fatalf("dpgrun sequential: %v", err)
+	}
+	specCmd := exec.Command(filepath.Join(bin, "dpgrun"), "-trace", tracePath, "-predictor", "stride", "-speculate", "2")
+	var specErr bytes.Buffer
+	specCmd.Stderr = &specErr
+	specOut, err := specCmd.Output()
+	if err != nil {
+		t.Fatalf("dpgrun -speculate: %v\n%s", err, specErr.String())
+	}
+	if !bytes.Equal(seqOut, specOut) {
+		t.Errorf("dpgrun -speculate stdout differs from sequential run")
+	}
+	if !strings.Contains(specErr.String(), "speculation:") {
+		t.Errorf("dpgrun -speculate stderr missing stats line: %q", specErr.String())
 	}
 
 	// tracegen -compress: the compressed file is smaller, reports its codec,
@@ -175,6 +201,64 @@ func TestCompressionDifferentialWorkloads(t *testing.T) {
 			for _, workers := range []int{1, 2, 8} {
 				pgot, _, perr := trace.ParallelReadAll(bytes.NewReader(buf.Bytes()), trace.Workers(workers))
 				check(fmt.Sprintf("parallel-%d", workers), pgot, perr)
+			}
+		}
+	}
+}
+
+// TestSpeculationIntegrationSweep is the acceptance differential for the
+// epoch-speculative pass at the file level: across real workloads × codecs
+// × decode worker counts × speculation chain counts × epoch shapes, the
+// full AnalyzeFile result under WithSpeculation must equal the sequential
+// analysis of the same file exactly — compression, parallel decode and
+// speculative execution composing freely.
+func TestSpeculationIntegrationSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speculation sweep in -short mode")
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"fig1", "com", "gcc"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		orig, err := w.TraceRounds(w.Rounds/20+1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, codec := range []trace.Codec{trace.CodecNone, trace.CodecLZ} {
+			path := filepath.Join(dir, fmt.Sprintf("%s-%s.dpg", name, codec))
+			if err := trace.WriteFile(path, orig, trace.Compression(codec), trace.BlockBytes(8<<10)); err != nil {
+				t.Fatalf("%s/%s: %v", name, codec, err)
+			}
+			want, err := core.AnalyzeFile(path, core.WithKind(predictor.KindContext))
+			if err != nil {
+				t.Fatalf("%s/%s baseline: %v", name, codec, err)
+			}
+			for _, decode := range []int{0, 2} {
+				for _, chains := range []int{1, 4} {
+					for _, epochs := range []int{0, 7} {
+						label := fmt.Sprintf("%s/%s/decode%d/chains%d/epochs%d", name, codec, decode, chains, epochs)
+						opts := []core.Option{core.WithKind(predictor.KindContext), core.WithSpeculation(chains)}
+						if decode > 0 {
+							opts = append(opts, core.WithWorkers(decode))
+						}
+						if epochs > 0 {
+							opts = append(opts, core.WithSpeculationEpochs(epochs))
+						}
+						var st dpg.SpecStats
+						got, err := core.AnalyzeFile(path, append(opts, core.WithSpecStats(&st))...)
+						if err != nil {
+							t.Fatalf("%s: %v", label, err)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s: speculative result differs from sequential", label)
+						}
+						if st.Fallback || st.Diverged != 0 || st.Epochs == 0 {
+							t.Fatalf("%s: implausible stats %+v", label, st)
+						}
+					}
+				}
 			}
 		}
 	}

@@ -39,45 +39,66 @@ type reuseEntry struct {
 	valid  bool
 }
 
-// Reuse simulates a 2^bits-entry reuse buffer over the trace.
-func Reuse(t *trace.Trace, bits int) ReuseStats {
+// ReuseSim is the streaming form of the reuse-buffer study: feed events
+// one at a time with Observe and read the totals with Stats. Memory stays
+// O(buffer), independent of trace length, so a suite can drive it straight
+// off a trace-file reader without materializing the events.
+type ReuseSim struct {
+	table []reuseEntry
+	mask  uint64
+	stats ReuseStats
+}
+
+// NewReuseSim simulates a 2^bits-entry direct-mapped reuse buffer.
+func NewReuseSim(name string, bits int) *ReuseSim {
 	if bits <= 0 || bits > 26 {
 		panic("analysis: reuse buffer bits out of range")
 	}
 	table := make([]reuseEntry, 1<<uint(bits))
-	mask := uint64(len(table) - 1)
-	stats := ReuseStats{Name: t.Name}
+	return &ReuseSim{table: table, mask: uint64(len(table) - 1), stats: ReuseStats{Name: name}}
+}
 
-	for i := range t.Events {
-		e := &t.Events[i]
-		info := isa.InfoFor(e.Op)
-		if !info.HasRd || isa.IsBranch(e.Op) || e.Op == isa.OpIn {
-			continue // only register-result computation is memoizable
-		}
-		// Tuple: PC plus every consumed value (register sources and, for
-		// loads, the memory value).
-		key := uint64(e.PC)*0x9e3779b97f4a7c15 + 1
-		for s := uint8(0); s < e.NSrc; s++ {
-			key = (key ^ uint64(e.SrcVal[s])) * 0x100000001b3
-		}
-		isLoad := isa.IsLoad(e.Op)
-		if isLoad {
-			key = (key ^ uint64(e.MemVal)) * 0x100000001b3
-		}
-		stats.Eligible++
-		if isLoad {
-			stats.Loads++
-		}
-		slot := &table[(key^key>>29)&mask]
-		if slot.valid && slot.key == key && slot.output == e.DstVal {
-			stats.Reused++
-			if isLoad {
-				stats.LoadsReused++
-			}
-		}
-		slot.key = key
-		slot.output = e.DstVal
-		slot.valid = true
+// Observe feeds one dynamic instruction through the reuse buffer.
+func (r *ReuseSim) Observe(e *trace.Event) {
+	info := isa.InfoFor(e.Op)
+	if !info.HasRd || isa.IsBranch(e.Op) || e.Op == isa.OpIn {
+		return // only register-result computation is memoizable
 	}
-	return stats
+	// Tuple: PC plus every consumed value (register sources and, for
+	// loads, the memory value).
+	key := uint64(e.PC)*0x9e3779b97f4a7c15 + 1
+	for s := uint8(0); s < e.NSrc; s++ {
+		key = (key ^ uint64(e.SrcVal[s])) * 0x100000001b3
+	}
+	isLoad := isa.IsLoad(e.Op)
+	if isLoad {
+		key = (key ^ uint64(e.MemVal)) * 0x100000001b3
+	}
+	r.stats.Eligible++
+	if isLoad {
+		r.stats.Loads++
+	}
+	slot := &r.table[(key^key>>29)&r.mask]
+	if slot.valid && slot.key == key && slot.output == e.DstVal {
+		r.stats.Reused++
+		if isLoad {
+			r.stats.LoadsReused++
+		}
+	}
+	slot.key = key
+	slot.output = e.DstVal
+	slot.valid = true
+}
+
+// Stats returns the totals observed so far.
+func (r *ReuseSim) Stats() ReuseStats { return r.stats }
+
+// Reuse simulates a 2^bits-entry reuse buffer over an in-memory trace —
+// the materializing façade over ReuseSim.
+func Reuse(t *trace.Trace, bits int) ReuseStats {
+	sim := NewReuseSim(t.Name, bits)
+	for i := range t.Events {
+		sim.Observe(&t.Events[i])
+	}
+	return sim.Stats()
 }

@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"sync"
 
@@ -36,12 +37,16 @@ import (
 // (reader choice, lenient decoding, stats surfacing). RunTrace operates
 // on an already-decoded trace, so it uses only the model half.
 type config struct {
-	model    dpg.Config
-	parallel bool
-	workers  int
-	lenient  bool
-	statsOut *trace.Stats
-	preStats *dpg.PreStats
+	model       dpg.Config
+	parallel    bool
+	workers     int
+	lenient     bool
+	statsOut    *trace.Stats
+	preStats    *dpg.PreStats
+	speculate   bool
+	specWorkers int
+	specEpochs  int
+	specStats   *dpg.SpecStats
 }
 
 // Option configures RunTrace and AnalyzeFile.
@@ -115,6 +120,41 @@ func WithPreStats(ps *dpg.PreStats) Option {
 	return func(c *config) { c.preStats = ps }
 }
 
+// WithSpeculation runs the model pass epoch-speculatively with up to n
+// predictor chains (0 = min(cores, 4)). Results are byte-identical to the
+// sequential pass for every configuration — speculation is validated
+// against state digests and replayed on divergence, never trusted — so
+// only throughput changes. Predictors without checkpoint support fall back
+// to the sequential pass (see dpg.SpecStats.Fallback).
+func WithSpeculation(n int) Option {
+	return func(c *config) {
+		c.speculate = true
+		c.specWorkers = n
+	}
+}
+
+// WithSpeculationEpochs overrides how many epochs the speculative pass
+// splits the trace into (0 = automatic). Epoch granularity never changes
+// results; it trades pipelining against snapshot overhead.
+func WithSpeculationEpochs(n int) Option {
+	return func(c *config) { c.specEpochs = n }
+}
+
+// WithSpecStats points at a location the speculative pass fills with its
+// run statistics (epochs, chains, divergences, replays, fallback).
+func WithSpecStats(st *dpg.SpecStats) Option {
+	return func(c *config) { c.specStats = st }
+}
+
+// specConfig translates the speculation half of the config for dpg.
+func (c *config) specConfig() dpg.SpecConfig {
+	return dpg.SpecConfig{
+		Workers: c.specWorkers,
+		Epochs:  c.specEpochs,
+		Stats:   c.specStats,
+	}
+}
+
 // readerOpts translates the ingestion half of the config into reader
 // options.
 func (c *config) readerOpts() []trace.ReaderOption {
@@ -159,6 +199,9 @@ func RunTrace(t *trace.Trace, opts ...Option) (*dpg.Result, error) {
 	cfg, err := buildConfig(opts)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.speculate {
+		return dpg.RunSpeculative(t, cfg.model, cfg.specConfig())
 	}
 	return dpg.RunWith(t, cfg.model)
 }
@@ -803,11 +846,11 @@ func (s *Suite) reuse(w io.Writer) error {
 	fmt.Fprintln(w, "Reuse: 64K-entry reuse buffer hit rate vs fully predictable instructions (context)")
 	fmt.Fprintf(w, "%-6s %10s %12s %12s %16s\n", "bench", "eligible", "reuse%", "load-reuse%", "predictable%")
 	for _, name := range intNames() {
-		t, err := s.traceOnce(name)
-		if err != nil {
+		sim := analysis.NewReuseSim(name, 16)
+		if err := s.streamEvents(name, sim.Observe); err != nil {
 			return err
 		}
-		rs := analysis.Reuse(t, 16)
+		rs := sim.Stats()
 		res, err := s.Result(name, predictor.KindContext)
 		if err != nil {
 			return err
@@ -833,11 +876,52 @@ func (s *Suite) traceFilePath(name string) (string, bool) {
 	return s.cfg.TraceFile(name)
 }
 
+// streamEvents drives observe over one workload's dynamic instructions.
+// Under TraceFile it streams the file through the block decoder without
+// ever materializing the event slice — peak memory is O(block · workers)
+// plus whatever the observers hold, not O(trace). Without a trace file it
+// falls back to the in-memory trace the workload generator produces.
+func (s *Suite) streamEvents(name string, observe func(*trace.Event)) error {
+	path, ok := s.traceFilePath(name)
+	if !ok {
+		t, err := s.traceOnce(name)
+		if err != nil {
+			return err
+		}
+		for i := range t.Events {
+			observe(&t.Events[i])
+		}
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewParallelReader(f, trace.Workers(s.cfg.Workers))
+	if err != nil {
+		return wrapTraceErr(err)
+	}
+	defer r.Close()
+	var e trace.Event
+	for {
+		err := r.Next(&e)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("core: streaming %s: %w", path, wrapTraceErr(err))
+		}
+		observe(&e)
+	}
+}
+
 // traceOnce regenerates a workload trace at the suite's scale without
 // touching the result cache (used by experiments that need the raw trace
 // even after the standard predictor runs released it). Under TraceFile it
-// loads the trace file instead — these raw-trace analyses are the only
-// consumers that still materialize events.
+// loads the trace file instead — the remaining raw-trace analyses
+// (confidence, speculation) are the only consumers that still materialize
+// events; reuse and ilp stream through streamEvents.
 func (s *Suite) traceOnce(name string) (*trace.Trace, error) {
 	if path, ok := s.traceFilePath(name); ok {
 		t, _, err := trace.ReadFileParallel(path, trace.Workers(s.cfg.Workers))
@@ -924,14 +1008,25 @@ func (s *Suite) ilp(w io.Writer) error {
 	}
 	fmt.Fprintln(w)
 	for _, name := range allNames() {
-		t, err := s.traceOnce(name)
+		// One streaming pass drives every predictor's simulator at once:
+		// the base timeline is identical across kinds, so the sims differ
+		// only in their prediction side.
+		sims := make([]*analysis.ILPSim, len(predictor.Kinds))
+		for i, k := range predictor.Kinds {
+			sims[i] = analysis.NewILPSim(name, k)
+		}
+		err := s.streamEvents(name, func(e *trace.Event) {
+			for _, sim := range sims {
+				sim.Observe(e)
+			}
+		})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-6s %10d", name, t.Len())
+		fmt.Fprintf(w, "%-6s %10d", name, sims[0].Stats().Instructions)
 		first := true
-		for _, k := range predictor.Kinds {
-			st := analysis.ILP(t, k)
+		for _, sim := range sims {
+			st := sim.Stats()
 			if first {
 				fmt.Fprintf(w, " %10.2f", st.ILPBase())
 				first = false

@@ -71,13 +71,19 @@ func AnalyzeFile(path string, opts ...Option) (*dpg.Result, error) {
 		return nil, err
 	}
 
-	// Pass 2: stream events through the sequential model pass.
+	// Pass 2: stream events through the sequential model pass — or, under
+	// WithSpeculation, through the epoch-speculative pass, which overlaps
+	// the predictor chains with the classification sweep while producing
+	// byte-identical results.
 	r, f, err := openTraceReader(path, &cfg)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	defer r.Close()
+	if cfg.speculate {
+		return analyzeSpeculative(path, r, name, counts, &cfg)
+	}
 	b, err := dpg.NewBuilder(name, counts, cfg.model)
 	if err != nil {
 		return nil, err
@@ -100,6 +106,72 @@ func AnalyzeFile(path string, opts ...Option) (*dpg.Result, error) {
 		*cfg.statsOut = r.Stats()
 	}
 	return b.Finish()
+}
+
+// analyzeSpeculative is AnalyzeFile's second pass under WithSpeculation:
+// it batches the reader's events into blocks and feeds them to the
+// epoch-speculative model pass. The error contract matches the sequential
+// path exactly: read errors and model errors both surface as
+// "core: streaming <path>: ..." with the same underlying taxonomy.
+func analyzeSpeculative(path string, r traceReader, name string, counts []uint64, cfg *config) (*dpg.Result, error) {
+	spec := cfg.specConfig()
+	if spec.Epochs > 0 {
+		// The pre-pass already counted the trace, so a requested epoch
+		// count translates into an epoch length up front.
+		var total uint64
+		for _, c := range counts {
+			total += c
+		}
+		if n := total / uint64(spec.Epochs); n > 0 && n < uint64(1<<31) {
+			spec.EpochEvents = int(n) + 1
+		}
+	}
+	s, err := dpg.NewSpecRun(name, counts, cfg.model, spec)
+	if err != nil {
+		return nil, err
+	}
+	const batch = 4096
+	buf := make([]trace.Event, 0, batch)
+	idx := uint64(0)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		err := s.ObserveBlock(idx, buf)
+		idx++
+		buf = buf[:0] // SpecRun copies; the batch buffer is reusable
+		return err
+	}
+	var e trace.Event
+	for {
+		err := r.Next(&e)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("core: streaming %s: %w", path, wrapTraceErr(err))
+		}
+		buf = append(buf, e)
+		if len(buf) == batch {
+			if err := flush(); err != nil {
+				s.Close()
+				return nil, fmt.Errorf("core: streaming %s: %w", path, err)
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("core: streaming %s: %w", path, err)
+	}
+	if cfg.statsOut != nil {
+		*cfg.statsOut = r.Stats()
+	}
+	res, err := s.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("core: streaming %s: %w", path, err)
+	}
+	return res, nil
 }
 
 // scanPrePass runs the shardable pre-pass over a trace file's decoded

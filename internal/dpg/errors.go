@@ -14,4 +14,9 @@ var (
 	// range for the model (invalid opcode, register number ≥ NumRegs,
 	// more than two sources, PC past the static program).
 	ErrMalformedEvent = errors.New("malformed trace event")
+	// ErrSpeculation reports an internal desynchronisation of the
+	// speculative pass (a predictor chain's recorded outcome stream did not
+	// line up with the committed event stream). It indicates a bug, not bad
+	// input; the sequential passes can never return it.
+	ErrSpeculation = errors.New("speculative pass desynchronised")
 )

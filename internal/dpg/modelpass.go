@@ -64,14 +64,67 @@ func (v *value) genClass() GenClass {
 	}
 }
 
+// predictorOracle supplies the four predictor verdicts the classification
+// sweep consumes. Every call is a pure function of the event stream and the
+// Config — which predictor calls happen, with which keys and values, is
+// fully determined by each event's fields — so the verdicts can either be
+// computed live (livePreds, the ordinary sequential pass) or replayed from
+// a recording produced by a run-ahead predictor chain (the speculative
+// pass, see speculate.go).
+type predictorOracle interface {
+	// predictInput runs the input-side predictor for one operand slot:
+	// predict, compare against actual, update (immediate update, per the
+	// paper's methodology).
+	predictInput(pc uint32, slot int, actual uint32) bool
+	// predictOutput runs the output-side predictor for the produced value
+	// under the given (possibly correlated, see outputKey) key.
+	predictOutput(key uint64, actual uint32) bool
+	// predictBranch resolves the branch at pc and reports whether the
+	// predicted direction matched taken.
+	predictBranch(pc uint32, taken bool) bool
+	// predictAddr runs the address predictor for the memory access at pc.
+	predictAddr(pc uint32, addr uint32) bool
+}
+
+// livePreds is the live predictorOracle: the four predictor instances the
+// sequential model pass owns, updated in stream order.
+type livePreds struct {
+	in   predictor.Predictor
+	out  predictor.Predictor
+	br   *predictor.GShare
+	addr *predictor.Stride
+}
+
+func (l *livePreds) predictInput(pc uint32, slot int, actual uint32) bool {
+	key := inputKey(pc, slot)
+	pv, ok := l.in.Predict(key)
+	l.in.Update(key, actual)
+	return ok && pv == actual
+}
+
+func (l *livePreds) predictOutput(key uint64, actual uint32) bool {
+	pv, ok := l.out.Predict(key)
+	l.out.Update(key, actual)
+	return ok && pv == actual
+}
+
+func (l *livePreds) predictBranch(pc uint32, taken bool) bool {
+	predTaken := l.br.Predict(pc)
+	l.br.Update(pc, taken)
+	return predTaken == taken
+}
+
+func (l *livePreds) predictAddr(pc uint32, addr uint32) bool {
+	av, ok := l.addr.Predict(uint64(pc))
+	l.addr.Update(uint64(pc), addr)
+	return ok && av == addr
+}
+
 // modelPass is the sequential predictor/classification pass. It holds every
 // piece of order-dependent model state; Builder is its public façade.
 type modelPass struct {
-	cfg      Config
-	inPred   predictor.Predictor
-	outPred  predictor.Predictor
-	branch   *predictor.GShare
-	addrPred *predictor.Stride
+	cfg    Config
+	oracle predictorOracle
 
 	res         *Result
 	staticCount []uint64
@@ -107,30 +160,45 @@ func newModelPass(name string, staticCount []uint64, cfg Config) (m *modelPass, 
 			m, err = nil, fmt.Errorf("%w: %v", ErrConfig, r)
 		}
 	}()
-	m = &modelPass{
+	live := &livePreds{
+		in:   cfg.Predictor(),
+		br:   predictor.NewGShare(cfg.GShareBits),
+		addr: predictor.NewStride(predictor.DefaultTableBits),
+	}
+	if cfg.SharedInputOutput {
+		live.out = live.in
+	} else {
+		live.out = cfg.Predictor()
+	}
+	predName := cfg.PredictorName
+	if predName == "" {
+		predName = live.in.Name()
+	}
+	return newModelPassOracle(name, staticCount, cfg, predName, live), nil
+}
+
+// newModelPassOracle prepares a sequential pass whose predictor verdicts
+// come from an already-built oracle. The speculative committer uses it to
+// run the classification sweep against recorded outcomes without owning
+// live predictor instances.
+func newModelPassOracle(name string, staticCount []uint64, cfg Config, predName string, o predictorOracle) *modelPass {
+	if cfg.GShareBits == 0 {
+		cfg.GShareBits = predictor.DefaultGShareBits
+	}
+	m := &modelPass{
 		cfg:         cfg,
-		inPred:      cfg.Predictor(),
-		branch:      predictor.NewGShare(cfg.GShareBits),
-		addrPred:    predictor.NewStride(predictor.DefaultTableBits),
+		oracle:      o,
 		staticCount: staticCount,
 		mem:         make(map[uint32]*value),
 		res: &Result{
 			Name:      name,
-			Predictor: cfg.PredictorName,
+			Predictor: predName,
 		},
-	}
-	if cfg.SharedInputOutput {
-		m.outPred = m.inPred
-	} else {
-		m.outPred = cfg.Predictor()
-	}
-	if m.res.Predictor == "" {
-		m.res.Predictor = m.inPred.Name()
 	}
 	if cfg.GraphLimit > 0 {
 		m.res.Graph = &Fragment{}
 	}
-	return m, nil
+	return m
 }
 
 // newDValue creates a fresh D node's value record.
@@ -265,13 +333,14 @@ func inputKey(pc uint32, slot int) uint64 {
 	return uint64(pc)<<2 | uint64(slot)
 }
 
-// predictInput runs the input-side predictor for one operand: predict,
-// compare, update (immediate update, per the paper's methodology).
-func (m *modelPass) predictInput(pc uint32, slot int, actual uint32) bool {
-	key := inputKey(pc, slot)
-	pv, ok := m.inPred.Predict(key)
-	m.inPred.Update(key, actual)
-	return ok && pv == actual
+// outputKey derives the output-predictor key for the instruction at pc:
+// the PC alone, or the PC correlated with the source operand values under
+// Config.CorrelateOutputs.
+func outputKey(cfg *Config, pc uint32, e *trace.Event) uint64 {
+	if cfg.CorrelateOutputs {
+		return correlationKey(pc, e)
+	}
+	return uint64(pc)
 }
 
 // Observe feeds one dynamic instruction to the pass. Events with
@@ -305,7 +374,7 @@ func (m *modelPass) Observe(e *trace.Event) error {
 			continue
 		}
 		v := m.regValue(r)
-		pred := m.predictInput(pc, slot, e.SrcVal[slot])
+		pred := m.oracle.predictInput(pc, slot, e.SrcVal[slot])
 		contrib := m.processArc(v, pc, pred, e.SrcVal[slot])
 		if pred {
 			anyP = true
@@ -328,7 +397,7 @@ func (m *modelPass) Observe(e *trace.Event) error {
 		} else {
 			v = m.memValue(e.Addr &^ 3)
 		}
-		pred := m.predictInput(pc, 2, e.MemVal)
+		pred := m.oracle.predictInput(pc, 2, e.MemVal)
 		contrib := m.processArc(v, pc, pred, e.MemVal)
 		if pred {
 			anyP = true
@@ -347,9 +416,7 @@ func (m *modelPass) Observe(e *trace.Event) error {
 	// proposed for addresses; it is observational only and never feeds
 	// classification.
 	if isa.MemWidth(op) != 0 {
-		av, ok := m.addrPred.Predict(uint64(pc))
-		addrP := ok && av == e.Addr
-		m.addrPred.Update(uint64(pc), e.Addr)
+		addrP := m.oracle.predictAddr(pc, e.Addr)
 		ai, di := 0, 0
 		if addrP {
 			ai = 1
@@ -370,9 +437,7 @@ func (m *modelPass) Observe(e *trace.Event) error {
 	outP := false
 	switch {
 	case isa.IsBranch(op):
-		predTaken := m.branch.Predict(pc)
-		m.branch.Update(pc, e.Taken)
-		outP = predTaken == e.Taken
+		outP = m.oracle.predictBranch(pc, e.Taken)
 		classified = true
 	case isa.WritesValue(op):
 		if isPass {
@@ -381,14 +446,7 @@ func (m *modelPass) Observe(e *trace.Event) error {
 			// consult the output predictor and never generate (paper §3).
 			outP = dataPred
 		} else {
-			outVal := e.DstVal
-			outKey := uint64(pc)
-			if m.cfg.CorrelateOutputs {
-				outKey = correlationKey(pc, e)
-			}
-			pv, ok := m.outPred.Predict(outKey)
-			outP = ok && pv == outVal
-			m.outPred.Update(outKey, outVal)
+			outP = m.oracle.predictOutput(outputKey(&m.cfg, pc, e), e.DstVal)
 		}
 		classified = true
 	default:
@@ -462,6 +520,13 @@ func (m *modelPass) Observe(e *trace.Event) error {
 // checkEvent validates the event fields the model indexes by, keeping
 // every downstream array access in bounds.
 func (m *modelPass) checkEvent(e *trace.Event) error {
+	return checkModelEvent(e, m.staticCount)
+}
+
+// checkModelEvent is the model's event validation as a free function, so
+// the speculative predictor chains can apply exactly the same acceptance
+// rule as the sequential pass (both sides must stop at the same event).
+func checkModelEvent(e *trace.Event, staticCount []uint64) error {
 	if !isa.Valid(e.Op) {
 		return fmt.Errorf("%w: invalid opcode %d", ErrMalformedEvent, e.Op)
 	}
@@ -476,8 +541,8 @@ func (m *modelPass) checkEvent(e *trace.Event) error {
 	if e.DstReg != isa.NoReg && e.DstReg >= isa.NumRegs {
 		return fmt.Errorf("%w: destination register %d out of range", ErrMalformedEvent, e.DstReg)
 	}
-	if m.staticCount != nil && int(e.PC) >= len(m.staticCount) {
-		return fmt.Errorf("%w: pc %d out of range (%d static)", ErrMalformedEvent, e.PC, len(m.staticCount))
+	if staticCount != nil && int(e.PC) >= len(staticCount) {
+		return fmt.Errorf("%w: pc %d out of range (%d static)", ErrMalformedEvent, e.PC, len(staticCount))
 	}
 	return nil
 }

@@ -21,6 +21,8 @@ type Context struct {
 	order  int
 	l1     []l1Entry
 	l2     []l2Entry
+	track  bool
+	dig    uint64
 }
 
 // maxOrder bounds the history length to the fixed array in l1Entry.
@@ -85,8 +87,15 @@ func (p *Context) Predict(key uint64) (uint32, bool) {
 
 // Update implements Predictor.
 func (p *Context) Update(key uint64, actual uint32) {
-	l1 := &p.l1[mix(key)&p.l1mask]
-	l2 := &p.l2[p.l2index(l1)]
+	i1 := mix(key) & p.l1mask
+	l1 := &p.l1[i1]
+	i2 := p.l2index(l1)
+	l2 := &p.l2[i2]
+	var old1, old2 uint64
+	if p.track {
+		old1 = l1Contrib(i1, l1)
+		old2 = l2Contrib(i2, packL2Entry(l2))
+	}
 	switch {
 	case !l2.valid:
 		l2.value = actual
@@ -107,6 +116,9 @@ func (p *Context) Update(key uint64, actual uint32) {
 		l1.hist[i] = l1.hist[i-1]
 	}
 	l1.hist[0] = hashValue(actual)
+	if p.track {
+		p.dig ^= old1 ^ l1Contrib(i1, l1) ^ old2 ^ l2Contrib(i2, packL2Entry(l2))
+	}
 }
 
 // Reset implements Predictor.
@@ -117,4 +129,5 @@ func (p *Context) Reset() {
 	for i := range p.l2 {
 		p.l2[i] = l2Entry{}
 	}
+	p.dig = 0
 }

@@ -8,6 +8,8 @@ type GShare struct {
 	histBits uint
 	history  uint32
 	counters []uint8
+	track    bool
+	dig      uint64
 }
 
 // NewGShare returns a gshare predictor with 2^bits two-bit counters and a
@@ -37,7 +39,12 @@ func (g *GShare) Predict(pc uint32) bool {
 // Update trains the counter for pc with the resolved direction and shifts
 // it into the global history.
 func (g *GShare) Update(pc uint32, taken bool) {
-	c := &g.counters[g.index(pc)]
+	i := g.index(pc)
+	c := &g.counters[i]
+	var old uint64
+	if g.track {
+		old = gshareCtrContrib(uint64(i), *c) ^ gshareHistContrib(g.history)
+	}
 	if taken {
 		if *c < 3 {
 			*c++
@@ -49,6 +56,9 @@ func (g *GShare) Update(pc uint32, taken bool) {
 	if taken {
 		g.history |= 1
 	}
+	if g.track {
+		g.dig ^= old ^ gshareCtrContrib(uint64(i), *c) ^ gshareHistContrib(g.history)
+	}
 }
 
 // Reset clears counters and history.
@@ -57,4 +67,5 @@ func (g *GShare) Reset() {
 	for i := range g.counters {
 		g.counters[i] = 0
 	}
+	g.dig = 0
 }

@@ -13,6 +13,8 @@ package predictor
 type LastValue struct {
 	mask    uint64
 	entries []lastEntry
+	track   bool
+	dig     uint64
 }
 
 type lastEntry struct {
@@ -46,7 +48,12 @@ func (p *LastValue) Predict(key uint64) (uint32, bool) {
 
 // Update implements Predictor.
 func (p *LastValue) Update(key uint64, actual uint32) {
-	e := &p.entries[p.index(key)]
+	i := p.index(key)
+	e := &p.entries[i]
+	var old uint64
+	if p.track {
+		old = packLastEntry(*e)
+	}
 	switch {
 	case !e.valid:
 		e.value = actual
@@ -62,6 +69,9 @@ func (p *LastValue) Update(key uint64, actual uint32) {
 		e.value = actual
 		e.ctr = 1
 	}
+	if p.track {
+		p.dig ^= lastContrib(i, old) ^ lastContrib(i, packLastEntry(*e))
+	}
 }
 
 // Reset implements Predictor.
@@ -69,6 +79,7 @@ func (p *LastValue) Reset() {
 	for i := range p.entries {
 		p.entries[i] = lastEntry{}
 	}
+	p.dig = 0
 }
 
 func (p *LastValue) index(key uint64) uint64 { return mix(key) & p.mask }

@@ -1,0 +1,250 @@
+package predictor
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// ckptCase adapts one checkpointable predictor to the generic property
+// tests: fresh builds a tracking instance, update applies one random
+// observation, and probe fingerprints the predictions over a fixed key set
+// (Predict never mutates, so probing is side-effect free).
+type ckptCase struct {
+	name   string
+	fresh  func() Checkpointer
+	other  func() Checkpointer // same type, different geometry
+	update func(c Checkpointer, r *rand.Rand)
+	probe  func(c Checkpointer) []uint64
+}
+
+func valueUpdate(c Checkpointer, r *rand.Rand) {
+	p := c.(Predictor)
+	p.Update(uint64(r.Intn(4096)), uint32(r.Intn(64)))
+}
+
+func valueProbe(c Checkpointer) []uint64 {
+	p := c.(Predictor)
+	out := make([]uint64, 0, 4096)
+	for key := uint64(0); key < 4096; key++ {
+		v, ok := p.Predict(key)
+		enc := uint64(v) << 1
+		if ok {
+			enc |= 1
+		}
+		out = append(out, enc)
+	}
+	return out
+}
+
+func track(c Checkpointer) Checkpointer {
+	c.TrackDigest(true)
+	return c
+}
+
+func ckptCases() []ckptCase {
+	return []ckptCase{
+		{
+			name:   "last-value",
+			fresh:  func() Checkpointer { return track(NewLastValue(12)) },
+			other:  func() Checkpointer { return track(NewLastValue(10)) },
+			update: valueUpdate,
+			probe:  valueProbe,
+		},
+		{
+			name:   "stride",
+			fresh:  func() Checkpointer { return track(NewStride(12)) },
+			other:  func() Checkpointer { return track(NewStride(10)) },
+			update: valueUpdate,
+			probe:  valueProbe,
+		},
+		{
+			name:   "context",
+			fresh:  func() Checkpointer { return track(NewContext(10, 14, DefaultOrder)) },
+			other:  func() Checkpointer { return track(NewContext(10, 14, 2)) },
+			update: valueUpdate,
+			probe:  valueProbe,
+		},
+		{
+			name:  "gshare",
+			fresh: func() Checkpointer { return track(NewGShare(12)) },
+			other: func() Checkpointer { return track(NewGShare(10)) },
+			update: func(c Checkpointer, r *rand.Rand) {
+				c.(*GShare).Update(uint32(r.Intn(4096)), r.Intn(2) == 0)
+			},
+			probe: func(c Checkpointer) []uint64 {
+				g := c.(*GShare)
+				out := make([]uint64, 0, 4096)
+				for pc := uint32(0); pc < 4096; pc++ {
+					enc := uint64(0)
+					if g.Predict(pc) {
+						enc = 1
+					}
+					out = append(out, enc)
+				}
+				return out
+			},
+		},
+	}
+}
+
+func sameProbe(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSnapshotRestoreRoundTrip is the satellite property test: after N
+// random updates, Restore(Snapshot()) — into a fresh instance and into a
+// differently-warmed instance — yields identical predictions on a probe
+// stream, identical digests, and identical behaviour under a continued
+// shared update stream.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	for _, tc := range ckptCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(1))
+			a := tc.fresh()
+			for i := 0; i < 5000; i++ {
+				tc.update(a, r)
+			}
+			snap := a.Snapshot()
+			wantProbe := tc.probe(a)
+			if snap.Digest() != a.Digest() {
+				t.Fatalf("snapshot digest %#x != live digest %#x", snap.Digest(), a.Digest())
+			}
+
+			// Restore into a fresh instance.
+			b := tc.fresh()
+			if err := b.Restore(snap); err != nil {
+				t.Fatalf("Restore into fresh: %v", err)
+			}
+			if !sameProbe(tc.probe(b), wantProbe) {
+				t.Fatal("restored instance predicts differently on probe stream")
+			}
+			if b.Digest() != a.Digest() {
+				t.Fatalf("restored digest %#x != source digest %#x", b.Digest(), a.Digest())
+			}
+
+			// Restore into an instance warmed with unrelated state.
+			c := tc.fresh()
+			rc := rand.New(rand.NewSource(99))
+			for i := 0; i < 3000; i++ {
+				tc.update(c, rc)
+			}
+			if err := c.Restore(snap); err != nil {
+				t.Fatalf("Restore into warm: %v", err)
+			}
+			if !sameProbe(tc.probe(c), wantProbe) {
+				t.Fatal("warm-restored instance predicts differently on probe stream")
+			}
+
+			// Continued identical update streams stay in lockstep.
+			ra := rand.New(rand.NewSource(7))
+			rb := rand.New(rand.NewSource(7))
+			for i := 0; i < 2000; i++ {
+				tc.update(a, ra)
+				tc.update(b, rb)
+			}
+			if !sameProbe(tc.probe(a), tc.probe(b)) {
+				t.Fatal("instances drift apart after restore under identical updates")
+			}
+			if a.Digest() != b.Digest() {
+				t.Fatalf("digests drift apart after restore: %#x vs %#x", a.Digest(), b.Digest())
+			}
+
+			// The snapshot is immutable: restoring it again recovers the
+			// probed state even after both live instances moved on.
+			d := tc.fresh()
+			if err := d.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			if !sameProbe(tc.probe(d), wantProbe) {
+				t.Fatal("snapshot mutated by later live updates")
+			}
+		})
+	}
+}
+
+// TestSnapshotDigestPureFunctionOfState checks the digest conventions the
+// speculative pass relies on: fresh and Reset states digest to zero, equal
+// update streams give equal digests, and a diverging update changes the
+// digest.
+func TestSnapshotDigestPureFunctionOfState(t *testing.T) {
+	for _, tc := range ckptCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := tc.fresh(), tc.fresh()
+			if a.Digest() != 0 {
+				t.Fatalf("fresh digest = %#x, want 0", a.Digest())
+			}
+			ra, rb := rand.New(rand.NewSource(3)), rand.New(rand.NewSource(3))
+			for i := 0; i < 4000; i++ {
+				tc.update(a, ra)
+				tc.update(b, rb)
+			}
+			if a.Digest() != b.Digest() {
+				t.Fatalf("identical streams, different digests: %#x vs %#x", a.Digest(), b.Digest())
+			}
+			tc.update(b, rb)
+			if a.Digest() == b.Digest() {
+				t.Fatal("diverging update left digest unchanged")
+			}
+			if p, ok := a.(Predictor); ok {
+				p.Reset()
+				if a.Digest() != 0 {
+					t.Fatalf("digest after Reset = %#x, want 0", a.Digest())
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotEqual checks content equality across snapshots of equal,
+// diverged, and foreign-type states.
+func TestSnapshotEqual(t *testing.T) {
+	cases := ckptCases()
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ra, rb := rand.New(rand.NewSource(5)), rand.New(rand.NewSource(5))
+			a, b := tc.fresh(), tc.fresh()
+			for n := 0; n < 1000; n++ {
+				tc.update(a, ra)
+				tc.update(b, rb)
+			}
+			sa, sb := a.Snapshot(), b.Snapshot()
+			if !sa.Equal(sb) || !sb.Equal(sa) {
+				t.Fatal("snapshots of identical states not Equal")
+			}
+			tc.update(b, rb)
+			if sa.Equal(b.Snapshot()) {
+				t.Fatal("snapshots of diverged states Equal")
+			}
+			foreign := cases[(i+1)%len(cases)].fresh().Snapshot()
+			if sa.Equal(foreign) {
+				t.Fatal("snapshot Equal across predictor types")
+			}
+		})
+	}
+}
+
+// TestSnapshotRestoreMismatch checks that Restore rejects snapshots of the
+// wrong type or geometry with ErrSnapshot.
+func TestSnapshotRestoreMismatch(t *testing.T) {
+	cases := ckptCases()
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := tc.fresh()
+			if err := a.Restore(cases[(i+1)%len(cases)].fresh().Snapshot()); !errors.Is(err, ErrSnapshot) {
+				t.Fatalf("foreign-type Restore: err = %v, want ErrSnapshot", err)
+			}
+			if err := a.Restore(tc.other().Snapshot()); !errors.Is(err, ErrSnapshot) {
+				t.Fatalf("geometry-mismatch Restore: err = %v, want ErrSnapshot", err)
+			}
+		})
+	}
+}

@@ -9,6 +9,8 @@ package predictor
 type Stride struct {
 	mask    uint64
 	entries []strideEntry
+	track   bool
+	dig     uint64
 }
 
 type strideEntry struct {
@@ -48,7 +50,20 @@ func (p *Stride) Predict(key uint64) (uint32, bool) {
 
 // Update implements Predictor.
 func (p *Stride) Update(key uint64, actual uint32) {
-	e := &p.entries[mix(key)&p.mask]
+	i := mix(key) & p.mask
+	e := &p.entries[i]
+	var oa, ob uint64
+	if p.track {
+		oa, ob = packStrideEntry(*e)
+	}
+	p.update(e, actual)
+	if p.track {
+		na, nb := packStrideEntry(*e)
+		p.dig ^= strideContrib(i, oa, ob) ^ strideContrib(i, na, nb)
+	}
+}
+
+func (p *Stride) update(e *strideEntry, actual uint32) {
 	if !e.valid {
 		e.last = actual
 		e.valid = true
@@ -74,4 +89,5 @@ func (p *Stride) Reset() {
 	for i := range p.entries {
 		p.entries[i] = strideEntry{}
 	}
+	p.dig = 0
 }
