@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func traceBytes(t *testing.T, rounds int) []byte {
+	t.Helper()
+	w, ok := workloads.ByName("fig1")
+	if !ok {
+		t.Fatal("fig1 workload missing")
+	}
+	tr, err := w.TraceRounds(rounds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteAll(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunErrors exercises the startup failure paths: bad flags, an
+// unusable listen address, and an unusable store directory all exit
+// non-zero with a diagnostic instead of limping up half-configured.
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &out, nil); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	out.Reset()
+	// No -store here: this also walks the default temp-store branch.
+	if code := run([]string{"-addr", "256.256.256.256:0"}, &out, &out, nil); code != 1 {
+		t.Errorf("bad addr: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "dpgd:") {
+		t.Errorf("bad addr: missing diagnostic, got %q", out.String())
+	}
+	// A store path that collides with a regular file cannot be created.
+	file := t.TempDir() + "/occupied"
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"-addr", "127.0.0.1:0", "-store", file}, &out, &out, nil); code != 1 {
+		t.Errorf("store collision: exit %d, want 1", code)
+	}
+}
+
+// TestIntegration boots dpgd on a random port and drives the whole
+// lifecycle end to end: happy upload, cached repeat, corrupt upload,
+// overload burst, metrics, and a signal-driven drain — asserting no
+// goroutine growth once the server exits.
+func TestIntegration(t *testing.T) {
+	// The first signal.Notify starts a process-wide watcher goroutine that
+	// never exits; force it up before the baseline so the growth check
+	// measures dpgd, not the runtime.
+	warm := make(chan os.Signal, 1)
+	signal.Notify(warm, syscall.SIGUSR1)
+	signal.Stop(warm)
+	base := runtime.NumGoroutine()
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 1)
+	exited := make(chan int, 1)
+	go func() {
+		exited <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-store", t.TempDir(),
+			"-queue", "2",
+			"-workers", "2",
+			"-drain-timeout", "10s",
+		}, &stdout, &stderr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case code := <-exited:
+		t.Fatalf("dpgd exited before ready (code %d): %s", code, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("dpgd never became ready")
+	}
+	url := "http://" + addr
+
+	// Liveness and readiness.
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(url + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", ep, resp.StatusCode)
+		}
+	}
+
+	// Happy upload, then an identical repeat that must come from cache.
+	data := traceBytes(t, 10)
+	var first struct {
+		Digest string `json:"digest"`
+		Cached bool   `json:"cached"`
+		Events uint64 `json:"events"`
+	}
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(url+"/analyze?predictor=last-value", "application/octet-stream", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("upload %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &first); err != nil {
+			t.Fatalf("upload %d: %v", i, err)
+		}
+		if i == 1 && !first.Cached {
+			t.Error("identical repeat upload was not served from cache")
+		}
+		if first.Events == 0 || first.Digest == "" {
+			t.Errorf("upload %d: empty payload %s", i, body)
+		}
+	}
+
+	// Corrupt upload: typed rejection, not a 500.
+	resp, err := http.Post(url+"/analyze", "application/octet-stream", strings.NewReader("garbage, not a trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 422 {
+		t.Fatalf("corrupt upload: status %d, want 422", resp.StatusCode)
+	}
+
+	// Overload burst: distinct traces racing a queue of 2. Every request
+	// must get a definite 200 or 429 — nothing hangs, nothing 500s.
+	const burst = 12
+	var wg sync.WaitGroup
+	codes := make(chan int, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// rounds 20+ keep these distinct from the cached rounds-10 trace.
+			r, err := http.Post(url+"/analyze", "application/octet-stream", bytes.NewReader(traceBytes(t, i+20)))
+			if err != nil {
+				codes <- -1
+				return
+			}
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+			codes <- r.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	close(codes)
+	okCount := 0
+	for c := range codes {
+		switch c {
+		case http.StatusOK:
+			okCount++
+		case http.StatusTooManyRequests:
+		default:
+			t.Errorf("burst status %d", c)
+		}
+	}
+	if okCount == 0 {
+		t.Error("no burst request succeeded")
+	}
+
+	// Metrics reflect the traffic.
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"dpgd_cache_hits_total 1", "dpgd_queue_capacity 2", "dpgd_uploads_total"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Signal-driven drain: SIGTERM must exit 0 after finishing work.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("drain exit code %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("dpgd did not exit after SIGTERM")
+	}
+	if !strings.Contains(stdout.String(), "drained cleanly") {
+		t.Errorf("missing drain message in output:\n%s", stdout.String())
+	}
+
+	// The whole server lifecycle must leave no goroutines behind.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine growth after shutdown: %d live, baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -27,12 +27,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
+	"syscall"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -56,6 +60,12 @@ func main() {
 	speculate := flag.Int("speculate", 0, "run the model pass epoch-speculatively with N predictor chains (0 = off, -1 = auto); results are identical, only faster")
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancels the analysis through the streaming decode
+	// loops: whatever finished is reported, the run exits cleanly with a
+	// partial-results summary and status 130 (128+SIGINT by convention).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	kinds := predictor.Kinds
 	if !*all {
 		k, ok := kindByName(*pred)
@@ -71,12 +81,12 @@ func main() {
 	case *tracePat != "":
 		paths := expandTraces(*tracePat)
 		if len(paths) == 1 {
-			runFile(paths[0], kinds, *graph, *strict, *workers, *speculate)
+			runFile(ctx, paths[0], kinds, *graph, *strict, *workers, *speculate)
 			return
 		}
-		runFiles(paths, kinds, *strict, *workers, *parallel, *speculate)
+		runFiles(ctx, paths, kinds, *strict, *workers, *parallel, *speculate)
 	case *workload != "":
-		runWorkload(*workload, *rounds, kinds, *graph, *speculate)
+		runWorkload(ctx, *workload, *rounds, kinds, *graph, *speculate)
 	default:
 		fail("missing -trace or -workload")
 	}
@@ -100,8 +110,8 @@ func expandTraces(pat string) []string {
 }
 
 // fileOpts assembles the streaming options shared by both file modes.
-func fileOpts(k predictor.Kind, graph int, strict bool, workers, speculate int) []core.Option {
-	opts := []core.Option{core.WithKind(k), core.WithWorkers(workers)}
+func fileOpts(ctx context.Context, k predictor.Kind, graph int, strict bool, workers, speculate int) []core.Option {
+	opts := []core.Option{core.WithKind(k), core.WithWorkers(workers), core.WithContext(ctx)}
 	if graph > 0 {
 		opts = append(opts, core.WithGraphLimit(graph))
 	}
@@ -139,18 +149,21 @@ func printSpecStats(st dpg.SpecStats) {
 // runFile streams one trace file through the pass pipeline, once per
 // predictor, printing the same header and per-predictor report as the
 // workload mode.
-func runFile(path string, kinds []predictor.Kind, graph int, strict bool, workers, speculate int) {
+func runFile(ctx context.Context, path string, kinds []predictor.Kind, graph int, strict bool, workers, speculate int) {
 	headerDone := false
-	for _, k := range kinds {
+	for i, k := range kinds {
 		var ps dpg.PreStats
 		var st trace.Stats
 		var ss dpg.SpecStats
-		opts := append(fileOpts(k, graph, strict, workers, speculate),
+		opts := append(fileOpts(ctx, k, graph, strict, workers, speculate),
 			core.WithPreStats(&ps), core.WithTraceStats(&st))
 		if speculate != 0 {
 			opts = append(opts, core.WithSpecStats(&ss))
 		}
 		r, err := core.AnalyzeFile(path, opts...)
+		if errors.Is(err, core.ErrAborted) {
+			failInterrupted(i, len(kinds))
+		}
 		if err != nil {
 			fail(err.Error())
 		}
@@ -175,7 +188,7 @@ func runFile(path string, kinds []predictor.Kind, graph int, strict bool, worker
 // AnalyzeFiles sweep per predictor, and prints per-file summary lines in
 // file-major order. Any per-file failure turns into a non-zero exit after
 // every file has been reported.
-func runFiles(paths []string, kinds []predictor.Kind, strict bool, workers, parallel, speculate int) {
+func runFiles(ctx context.Context, paths []string, kinds []predictor.Kind, strict bool, workers, parallel, speculate int) {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
@@ -183,13 +196,18 @@ func runFiles(paths []string, kinds []predictor.Kind, strict bool, workers, para
 	for i, k := range kinds {
 		// No WithSpecStats here: one options slice serves every concurrent
 		// file, and a shared stats pointer would race.
-		byKind[i] = core.AnalyzeFiles(paths, parallel, fileOpts(k, 0, strict, workers, speculate)...)
+		byKind[i] = core.AnalyzeFiles(paths, parallel, fileOpts(ctx, k, 0, strict, workers, speculate)...)
 	}
-	failed := 0
+	failed, interrupted := 0, 0
 	for fi, path := range paths {
 		fmt.Printf("== %s ==\n", path)
 		for ki, k := range kinds {
 			fr := byKind[ki][fi]
+			if errors.Is(fr.Err, core.ErrAborted) {
+				interrupted++
+				fmt.Printf("  %-10s INTERRUPTED\n", k)
+				continue
+			}
 			if fr.Err != nil {
 				failed++
 				fmt.Fprintf(os.Stderr, "dpgrun: %s (%s): %v\n", path, k, fr.Err)
@@ -206,7 +224,13 @@ func runFiles(paths []string, kinds []predictor.Kind, strict bool, workers, para
 			}
 		}
 	}
-	fmt.Printf("\n%d file(s), %d predictor run(s), %d failure(s)\n", len(paths), len(paths)*len(kinds), failed)
+	total := len(paths) * len(kinds)
+	if interrupted > 0 {
+		fmt.Printf("\ninterrupted: %d of %d predictor run(s) completed, %d failure(s), %d cancelled\n",
+			total-failed-interrupted, total, failed, interrupted)
+		os.Exit(130)
+	}
+	fmt.Printf("\n%d file(s), %d predictor run(s), %d failure(s)\n", len(paths), total, failed)
 	if failed > 0 {
 		os.Exit(1)
 	}
@@ -215,7 +239,7 @@ func runFiles(paths []string, kinds []predictor.Kind, strict bool, workers, para
 // runWorkload traces a built-in workload in memory and runs the model —
 // the only dpgrun mode that materializes a trace (the generator produces
 // one directly).
-func runWorkload(name string, rounds int, kinds []predictor.Kind, graph, speculate int) {
+func runWorkload(ctx context.Context, name string, rounds int, kinds []predictor.Kind, graph, speculate int) {
 	w, ok := workloads.ByName(name)
 	if !ok {
 		fail(fmt.Sprintf("unknown workload %q; known: %v", name, workloads.Names()))
@@ -229,7 +253,12 @@ func runWorkload(name string, rounds int, kinds []predictor.Kind, graph, specula
 		fail(err.Error())
 	}
 	fmt.Printf("trace %s: %d dynamic instructions, %d static\n\n", t.Name, t.Len(), t.NumStatic)
-	for _, k := range kinds {
+	for i, k := range kinds {
+		// The in-memory model pass has no cancellation probes; honor the
+		// signal between predictor runs.
+		if ctx.Err() != nil {
+			failInterrupted(i, len(kinds))
+		}
 		var ss dpg.SpecStats
 		opts := []core.Option{core.WithKind(k), core.WithGraphLimit(graph)}
 		opts = append(opts, specOpts(speculate)...)
@@ -307,4 +336,12 @@ func printCorruption(st trace.Stats) {
 func fail(msg string) {
 	fmt.Fprintln(os.Stderr, "dpgrun:", msg)
 	os.Exit(1)
+}
+
+// failInterrupted reports a signal-driven partial run: done of total
+// predictor runs finished before the interrupt. Exit 130 follows the
+// 128+SIGINT shell convention for a clean signal exit.
+func failInterrupted(done, total int) {
+	fmt.Fprintf(os.Stderr, "dpgrun: interrupted; partial results: %d of %d predictor run(s) completed\n", done, total)
+	os.Exit(130)
 }

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -47,6 +48,8 @@ type config struct {
 	specWorkers int
 	specEpochs  int
 	specStats   *dpg.SpecStats
+	ctx         context.Context
+	failFast    bool
 }
 
 // Option configures RunTrace and AnalyzeFile.
@@ -146,6 +149,26 @@ func WithSpecStats(st *dpg.SpecStats) Option {
 	return func(c *config) { c.specStats = st }
 }
 
+// WithContext binds an analysis to ctx: once ctx is cancelled or its
+// deadline passes, AnalyzeFile aborts promptly — decode workers, the
+// pre-pass, and the speculative pass all stop within the current block —
+// and returns an error matching ErrAborted (and the context's own error
+// via errors.Is). AnalyzeFiles additionally stops launching new files once
+// the context ends, marking the unstarted ones with ErrAborted. A nil ctx
+// (the default) disables cancellation entirely.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) { c.ctx = ctx }
+}
+
+// WithFailFast makes AnalyzeFiles stop launching new files after the
+// first hard failure: in-flight analyses finish (their results are kept),
+// and every file not yet started is marked with an error matching
+// ErrAborted instead of being analysed. Without it the fan-out always
+// runs every path to completion.
+func WithFailFast() Option {
+	return func(c *config) { c.failFast = true }
+}
+
 // specConfig translates the speculation half of the config for dpg.
 func (c *config) specConfig() dpg.SpecConfig {
 	return dpg.SpecConfig{
@@ -165,7 +188,19 @@ func (c *config) readerOpts() []trace.ReaderOption {
 	if c.parallel {
 		opts = append(opts, trace.Workers(c.workers))
 	}
+	if c.ctx != nil {
+		opts = append(opts, trace.WithContext(c.ctx))
+	}
 	return opts
+}
+
+// ctxErr reports the config's context error (nil without WithContext or
+// while the context is live).
+func (c *config) ctxErr() error {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Err()
 }
 
 // buildConfig folds the options over the default (context) configuration.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -19,6 +20,11 @@ import (
 //   - ErrMalformedEvent: a trace event carries out-of-range fields.
 //   - ErrTruncated: a trace stream ended before its footer.
 //   - ErrChecksum: a CRC-protected trace region failed verification.
+//   - ErrAborted: the analysis was cut short by the caller — a cancelled
+//     or expired WithContext, or fail-fast abandonment in AnalyzeFiles —
+//     rather than by anything wrong with the trace. Context-driven aborts
+//     also match the context's own error (context.Canceled /
+//     context.DeadlineExceeded) through errors.Is.
 var (
 	// ErrConfig reports invalid configuration or API misuse.
 	ErrConfig = dpg.ErrConfig
@@ -28,17 +34,38 @@ var (
 	ErrTruncated = trace.ErrTruncated
 	// ErrChecksum reports trace data failing its checksum.
 	ErrChecksum = trace.ErrChecksum
+	// ErrAborted reports an analysis stopped by cancellation or fail-fast,
+	// not by trace damage.
+	ErrAborted = errors.New("core: analysis aborted")
 )
 
 // wrapTraceErr folds trace-level decode failures into the core taxonomy:
 // structural corruption becomes ErrMalformedEvent (truncation and checksum
-// kinds already are the shared sentinels and pass through unchanged).
+// kinds already are the shared sentinels and pass through unchanged), and
+// context-driven decode aborts become ErrAborted.
 func wrapTraceErr(err error) error {
 	if err == nil {
 		return nil
+	}
+	if isCancel(err) {
+		return wrapAbort(err)
 	}
 	if errors.Is(err, trace.ErrMalformed) && !errors.Is(err, ErrMalformedEvent) {
 		return fmt.Errorf("%w: %w", ErrMalformedEvent, err)
 	}
 	return err
+}
+
+// isCancel reports whether err stems from a cancelled or expired context.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// wrapAbort stamps an abort cause with the ErrAborted sentinel (idempotent
+// so double-wrapped paths stay clean).
+func wrapAbort(err error) error {
+	if errors.Is(err, ErrAborted) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrAborted, err)
 }

@@ -2,12 +2,14 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dpg"
 	"repro/internal/predictor"
@@ -63,6 +65,9 @@ func AnalyzeFile(path string, opts ...Option) (*dpg.Result, error) {
 	cfg, err := buildConfig(opts)
 	if err != nil {
 		return nil, err
+	}
+	if err := cfg.ctxErr(); err != nil {
+		return nil, wrapAbort(err)
 	}
 
 	// Pass 1: sharded pre-pass over per-block batches.
@@ -195,6 +200,9 @@ func scanPrePass(path string, cfg *config) ([]uint64, string, error) {
 	if cfg.lenient {
 		ropts = append(ropts, trace.Lenient())
 	}
+	if cfg.ctx != nil {
+		ropts = append(ropts, trace.WithContext(cfg.ctx))
+	}
 	if cfg.parallel {
 		workers = cfg.workers
 		if workers <= 0 {
@@ -235,6 +243,12 @@ type FileResult struct {
 // worker-pool shape Suite.Precompute uses for model runs. Results keep the
 // input order; per-file failures land in FileResult.Err without stopping
 // the other files.
+//
+// Under WithFailFast the fan-out stops launching new files after the
+// first hard failure: analyses already in flight run to completion, and
+// every file not yet started gets an ErrAborted-matching error instead.
+// Under WithContext, cancellation both aborts in-flight analyses and
+// prevents new ones from starting.
 func AnalyzeFiles(paths []string, parallel int, opts ...Option) []FileResult {
 	out := make([]FileResult, len(paths))
 	if parallel < 1 {
@@ -243,6 +257,12 @@ func AnalyzeFiles(paths []string, parallel int, opts ...Option) []FileResult {
 	if parallel > len(paths) {
 		parallel = len(paths)
 	}
+	// The fan-out policy knobs (fail-fast, context) live in the same
+	// option set as the per-file configuration; resolve them once here. An
+	// invalid option set is left for the per-file AnalyzeFile calls to
+	// report, preserving the per-file error contract.
+	cfg, _ := buildConfig(opts)
+	var failed atomic.Bool
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < parallel; w++ {
@@ -252,8 +272,19 @@ func AnalyzeFiles(paths []string, parallel int, opts ...Option) []FileResult {
 			for i := range jobs {
 				fr := &out[i]
 				fr.Path = paths[i]
+				if err := cfg.ctxErr(); err != nil {
+					fr.Err = wrapAbort(err)
+					continue
+				}
+				if cfg.failFast && failed.Load() {
+					fr.Err = fmt.Errorf("%w: fail-fast: an earlier file failed", ErrAborted)
+					continue
+				}
 				perFile := append(append([]Option{}, opts...), WithTraceStats(&fr.Stats))
 				fr.Res, fr.Err = AnalyzeFile(paths[i], perFile...)
+				if fr.Err != nil && !errors.Is(fr.Err, ErrAborted) {
+					failed.Store(true)
+				}
 			}
 		}()
 	}

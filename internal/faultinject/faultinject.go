@@ -9,6 +9,8 @@ package faultinject
 
 import (
 	"io"
+	"sync/atomic"
+	"time"
 )
 
 // Flip describes one byte-level corruption: the byte at Offset is XORed
@@ -201,6 +203,67 @@ func (r *scrambleReader) Read(p []byte) (int, error) {
 	}
 	r.off += int64(n)
 	return n, err
+}
+
+// stallReader delivers `after` bytes normally, then sleeps once for d
+// before continuing.
+type stallReader struct {
+	src     io.Reader
+	after   int64
+	d       time.Duration
+	stalled bool
+}
+
+// Stall wraps src so the stream pauses for d once `after` bytes have been
+// delivered, then continues normally — the shape of a slow or hostile
+// client that goes quiet mid-upload. The stall happens exactly once, on
+// the first Read at or past the boundary, so the fault is deterministic
+// in position (timing granularity is the scheduler's).
+func Stall(src io.Reader, after int64, d time.Duration) io.Reader {
+	return &stallReader{src: src, after: after, d: d}
+}
+
+func (r *stallReader) Read(p []byte) (int, error) {
+	if r.after > 0 {
+		// Deliver the pre-stall bytes without crossing the boundary, so
+		// the pause lands at a reproducible stream offset.
+		if int64(len(p)) > r.after {
+			p = p[:r.after]
+		}
+		n, err := r.src.Read(p)
+		r.after -= int64(n)
+		return n, err
+	}
+	if !r.stalled {
+		r.stalled = true
+		time.Sleep(r.d)
+	}
+	return r.src.Read(p)
+}
+
+// flakyReader fails its first n Read calls, then passes through.
+type flakyReader struct {
+	src      io.Reader
+	failures atomic.Int64
+	err      error
+}
+
+// FlakyReader wraps src so the first failures Read calls return err
+// without consuming anything, after which reads pass through untouched —
+// the shape of transient I/O (an NFS hiccup, a throttled object store)
+// that a retry loop should absorb. It is safe for use under concurrent
+// retries.
+func FlakyReader(src io.Reader, failures int, err error) io.Reader {
+	r := &flakyReader{src: src, err: err}
+	r.failures.Store(int64(failures))
+	return r
+}
+
+func (r *flakyReader) Read(p []byte) (int, error) {
+	if r.failures.Add(-1) >= 0 {
+		return 0, r.err
+	}
+	return r.src.Read(p)
 }
 
 // truncWriter silently discards everything past n bytes while reporting

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"testing"
+	"time"
 )
 
 func payload(n int) []byte {
@@ -185,5 +186,65 @@ func TestErrAfterWriter(t *testing.T) {
 	w2 := ErrAfterWriter(&buf2, 5, boom)
 	if n, err := w2.Write(payload(8)); !errors.Is(err, boom) || n != 5 {
 		t.Errorf("boundary: n=%d err=%v, want 5+boom", n, err)
+	}
+}
+
+func TestStall(t *testing.T) {
+	src := payload(64)
+	const pause = 30 * time.Millisecond
+	r := Stall(bytes.NewReader(src), 10, pause)
+
+	// The pre-stall bytes arrive without delay and never cross the
+	// boundary in one call.
+	head := make([]byte, 32)
+	start := time.Now()
+	n, err := r.Read(head)
+	if err != nil || n != 10 {
+		t.Fatalf("pre-stall read: n=%d err=%v, want 10 bytes", n, err)
+	}
+	if d := time.Since(start); d >= pause {
+		t.Errorf("pre-stall read took %v, should not have slept", d)
+	}
+
+	// The read at the boundary stalls once, then the stream continues.
+	start = time.Now()
+	rest, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < pause {
+		t.Errorf("post-stall read took %v, want >= %v", d, pause)
+	}
+	got := append(head[:n], rest...)
+	if !bytes.Equal(got, src) {
+		t.Error("stalled stream delivered different bytes")
+	}
+}
+
+func TestFlakyReader(t *testing.T) {
+	src := payload(32)
+	transient := errors.New("transient I/O")
+	r := FlakyReader(bytes.NewReader(src), 3, transient)
+	buf := make([]byte, 8)
+	for i := 0; i < 3; i++ {
+		if n, err := r.Read(buf); n != 0 || !errors.Is(err, transient) {
+			t.Fatalf("flaky read %d: n=%d err=%v, want injected error", i, n, err)
+		}
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Error("recovered stream delivered different bytes")
+	}
+}
+
+func TestFlakyReaderZeroFailures(t *testing.T) {
+	src := payload(16)
+	r := FlakyReader(bytes.NewReader(src), 0, errors.New("never"))
+	got, err := io.ReadAll(r)
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("zero-failure flaky reader altered the stream: %v", err)
 	}
 }

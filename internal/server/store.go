@@ -1,0 +1,241 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Store is the content-addressed trace store behind the upload handler.
+// Uploads spool through a temp file into <dir>/<sha256>.dpg, so identical
+// traces share one file on disk, and analysis jobs stream from that path.
+// Store-side I/O (create, sync, rename, open) runs under a bounded
+// retry-with-jittered-backoff loop, so transient filesystem hiccups —
+// the FlakyReader shape — are absorbed instead of failing the job.
+type Store struct {
+	dir      string
+	attempts int           // total tries per operation (>=1)
+	backoff  time.Duration // base delay, doubled per retry, jittered ±50%
+
+	// sleep and openFile are seams for fault-injection tests; production
+	// uses time.Sleep and os.Open.
+	sleep    func(time.Duration)
+	openFile func(string) (io.ReadCloser, error)
+	onRetry  func(error) // observability hook (store-retry counter)
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu   sync.Mutex
+	refs map[string]int // digest → active jobs reading the spool
+}
+
+// permanentErr marks a failure the retry loop must not absorb (client
+// errors, cancellation, corrupt-by-construction conditions).
+type permanentErr struct{ error }
+
+func (e permanentErr) Unwrap() error { return e.error }
+
+// permanent wraps err so retryOp surfaces it immediately.
+func permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return permanentErr{err}
+}
+
+func newStore(dir string, attempts int, backoff time.Duration, onRetry func(error)) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: creating trace store: %w", err)
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	if backoff <= 0 {
+		backoff = 5 * time.Millisecond
+	}
+	if onRetry == nil {
+		onRetry = func(error) {}
+	}
+	return &Store{
+		dir:      dir,
+		attempts: attempts,
+		backoff:  backoff,
+		sleep:    time.Sleep,
+		openFile: func(p string) (io.ReadCloser, error) { return os.Open(p) },
+		onRetry:  onRetry,
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		refs:     make(map[string]int),
+	}, nil
+}
+
+// jitter returns d scaled by a random factor in [0.5, 1.5), so synchronized
+// retry storms from concurrent jobs spread out instead of thundering.
+func (st *Store) jitter(d time.Duration) time.Duration {
+	st.rngMu.Lock()
+	f := 0.5 + st.rng.Float64()
+	st.rngMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// retryOp runs op up to the attempt budget with jittered exponential
+// backoff between tries. Permanent failures and context termination stop
+// the loop immediately; the last error is returned when the budget runs
+// out.
+func (st *Store) retryOp(ctx context.Context, op func() error) error {
+	delay := st.backoff
+	var err error
+	for attempt := 0; attempt < st.attempts; attempt++ {
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		err = op()
+		if err == nil {
+			return nil
+		}
+		var perm permanentErr
+		if errors.As(err, &perm) {
+			return perm.error
+		}
+		if attempt == st.attempts-1 {
+			break
+		}
+		st.onRetry(err)
+		st.sleep(st.jitter(delay))
+		delay *= 2
+	}
+	return err
+}
+
+// SpoolResult describes one spooled upload.
+type SpoolResult struct {
+	// Digest is the lowercase hex SHA-256 of the spooled bytes — the
+	// content-addressed identity of the trace.
+	Digest string
+	// Path is the spool file the analysis streams from.
+	Path string
+	// Size is the spooled byte count.
+	Size int64
+}
+
+// Spool streams src into the store without ever holding the whole trace
+// in memory: bytes flow through the digest into a temp file, which is
+// renamed to its content address once complete. A source longer than
+// maxBytes fails with ErrTooLarge (permanent); source read errors — a
+// dead client — are permanent too, while store-side failures retry.
+// The returned spool holds one reference; Release it when the job is done.
+func (st *Store) Spool(ctx context.Context, src io.Reader, maxBytes int64) (SpoolResult, error) {
+	var res SpoolResult
+	var tmp *os.File
+	err := st.retryOp(ctx, func() error {
+		f, err := os.CreateTemp(st.dir, "spool-*.tmp")
+		if err != nil {
+			return err
+		}
+		tmp = f
+		return nil
+	})
+	if err != nil {
+		return res, &JobError{Kind: KindStore, Err: err}
+	}
+	tmpPath := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpPath)
+	}
+
+	h := sha256.New()
+	limited := io.LimitReader(src, maxBytes+1)
+	n, err := io.Copy(io.MultiWriter(tmp, h), limited)
+	if err != nil {
+		cleanup()
+		// The copy failed on the client side (body read) or the store side
+		// (write). Either way the partial spool is useless; report the
+		// cause without retrying a non-rewindable body.
+		return res, err
+	}
+	if n > maxBytes {
+		cleanup()
+		return res, ErrTooLarge
+	}
+	if err := st.retryOp(ctx, func() error { return tmp.Sync() }); err != nil {
+		cleanup()
+		return res, &JobError{Kind: KindStore, Err: err}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return res, &JobError{Kind: KindStore, Err: err}
+	}
+
+	res.Digest = hex.EncodeToString(h.Sum(nil))
+	res.Size = n
+	res.Path = filepath.Join(st.dir, res.Digest+".dpg")
+	st.acquire(res.Digest)
+	err = st.retryOp(ctx, func() error {
+		if _, serr := os.Stat(res.Path); serr == nil {
+			// Content-addressed dedupe: an identical trace is already
+			// spooled; drop the duplicate temp file.
+			return nil
+		}
+		return os.Rename(tmpPath, res.Path)
+	})
+	os.Remove(tmpPath) // no-op after a successful rename
+	if err != nil {
+		st.Release(res.Digest)
+		return res, &JobError{Kind: KindStore, Err: err}
+	}
+	return res, nil
+}
+
+// Probe opens the spool and reads its first bytes under the retry budget,
+// so a transiently flaky store surfaces as a delay rather than a failed
+// job.
+func (st *Store) Probe(ctx context.Context, path string) error {
+	return st.retryOp(ctx, func() error {
+		f, err := st.openFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				// A vanished spool won't come back; don't burn the budget.
+				return permanent(err)
+			}
+			return err
+		}
+		defer f.Close()
+		var head [4]byte
+		if _, err := io.ReadFull(f, head[:]); err != nil {
+			return err
+		}
+		return nil
+	})
+}
+
+// acquire adds a reference to a spooled digest.
+func (st *Store) acquire(digest string) {
+	st.mu.Lock()
+	st.refs[digest]++
+	st.mu.Unlock()
+}
+
+// Release drops one reference to a spooled digest, deleting the file when
+// no job uses it anymore. (The cache keeps results, not traces, so a
+// cached repeat never needs the bytes back.)
+func (st *Store) Release(digest string) {
+	st.mu.Lock()
+	st.refs[digest]--
+	gone := st.refs[digest] <= 0
+	if gone {
+		delete(st.refs, digest)
+	}
+	st.mu.Unlock()
+	if gone {
+		os.Remove(filepath.Join(st.dir, digest+".dpg"))
+	}
+}

@@ -2,8 +2,10 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
@@ -44,6 +46,7 @@ type Stats struct {
 type readerConfig struct {
 	lenient bool
 	workers int
+	ctx     context.Context
 }
 
 // ReaderOption configures NewReader or NewParallelReader.
@@ -63,6 +66,23 @@ func Lenient() ReaderOption {
 // falls back to plain sequential decoding. NewReader ignores the option.
 func Workers(n int) ReaderOption {
 	return func(c *readerConfig) { c.workers = n }
+}
+
+// WithContext binds the reader to ctx: once ctx is cancelled (or its
+// deadline passes), Next stops decoding promptly — within the current
+// block — and fails sticky with an error matching ctx.Err(). The parallel
+// decoder additionally interrupts its wait on in-flight workers, so a
+// consumer blocked behind a slow source regains control as soon as the
+// context ends. A nil ctx (the default) disables the checks entirely.
+func WithContext(ctx context.Context) ReaderOption {
+	return func(c *readerConfig) { c.ctx = ctx }
+}
+
+// canceledErr wraps a context's termination so it surfaces from Next as a
+// sticky decode failure while still matching context.Canceled /
+// context.DeadlineExceeded via errors.Is.
+func canceledErr(ctx context.Context) error {
+	return fmt.Errorf("trace: decode canceled: %w", context.Cause(ctx))
 }
 
 // countingReader tracks the byte offset of everything consumed, so decode
@@ -96,6 +116,7 @@ type Reader struct {
 	numStatic int
 	counts    []uint64
 	lenient   bool
+	ctx       context.Context // nil unless WithContext
 	stats     Stats
 	done      bool
 	sticky    error
@@ -117,7 +138,7 @@ func NewReader(r io.Reader, opts ...ReaderOption) (*Reader, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	tr := &Reader{cr: &countingReader{br: bufio.NewReaderSize(r, 1<<16)}, lenient: cfg.lenient}
+	tr := &Reader{cr: &countingReader{br: bufio.NewReaderSize(r, 1<<16)}, lenient: cfg.lenient, ctx: cfg.ctx}
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(tr.cr, magic); err != nil {
 		return nil, ioErr(tr.cr.n, err, "reading magic")
@@ -349,6 +370,12 @@ func (tr *Reader) Next(e *Event) error {
 	if tr.done {
 		return io.EOF
 	}
+	// The cancellation probe runs at most once per 1024 events so the
+	// per-event fast path stays branch-cheap; a cancelled context is still
+	// observed within one block (v2) or one probe window (v1).
+	if tr.ctx != nil && tr.stats.Events&1023 == 0 && tr.ctx.Err() != nil {
+		return tr.fail(canceledErr(tr.ctx))
+	}
 	var err error
 	if tr.version == Version1 {
 		err = tr.next1(e)
@@ -531,6 +558,9 @@ func (tr *Reader) skipRestOfBlock() {
 // or, at the footer, parses the counts and returns io.EOF with done set.
 func (tr *Reader) readFrame() error {
 	for {
+		if tr.ctx != nil && tr.ctx.Err() != nil {
+			return tr.fail(canceledErr(tr.ctx))
+		}
 		marker, skipped, err := tr.nextMarker()
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"errors"
 	"hash/crc32"
 	"io"
@@ -87,6 +88,10 @@ type pitem struct {
 type ParallelReader struct {
 	seq *Reader // header owner; the whole decoder when fallback is active
 
+	// ctx is non-nil under WithContext: cancellation interrupts the
+	// consumer's wait on the pipeline and fails the reader sticky.
+	ctx context.Context
+
 	// items is nil in sequential-fallback mode.
 	items chan pitem
 	quit  chan struct{}
@@ -117,7 +122,7 @@ func NewParallelReader(r io.Reader, opts ...ReaderOption) (*ParallelReader, erro
 	if err != nil {
 		return nil, err
 	}
-	p := &ParallelReader{seq: seq}
+	p := &ParallelReader{seq: seq, ctx: cfg.ctx}
 	workers := cfg.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -309,6 +314,12 @@ func (p *ParallelReader) Next(e *Event) error {
 	if p.done {
 		return io.EOF
 	}
+	// Same probe cadence as the sequential reader: cancellation is
+	// observed within the current block even when every event is already
+	// decoded and waiting in the cursor.
+	if p.ctx != nil && p.stats.Events&1023 == 0 && p.ctx.Err() != nil {
+		return p.fail(canceledErr(p.ctx))
+	}
 	for {
 		if p.curIdx < len(p.cur.events) {
 			*e = p.cur.events[p.curIdx]
@@ -339,7 +350,24 @@ func (p *ParallelReader) advance() error {
 	p.curIdx = 0
 	p.curHandedOff = false
 	for {
-		it := <-p.items
+		var it pitem
+		if p.ctx != nil {
+			// Checking the context before the select keeps cancellation
+			// deterministic (a ready item never races a done context), and
+			// the select interrupts the wait on the pipeline, so a consumer
+			// stuck behind a stalled source regains control the moment its
+			// deadline fires.
+			if p.ctx.Err() != nil {
+				return p.fail(canceledErr(p.ctx))
+			}
+			select {
+			case it = <-p.items:
+			case <-p.ctx.Done():
+				return p.fail(canceledErr(p.ctx))
+			}
+		} else {
+			it = <-p.items
+		}
 		switch {
 		case it.res != nil:
 			r := <-it.res
