@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -284,6 +285,72 @@ func BenchmarkPipeline(b *testing.B) {
 		workers := workers
 		b.Run(fmt.Sprintf("stream-workers%d", workers), func(b *testing.B) { stream(b, workers) })
 	}
+}
+
+// BenchmarkFusedSuite measures the observer fan-out's amortization: the
+// model pass alone (one experiment, one decode), the fused five-experiment
+// pass (model + reuse + ILP + confidence + speculation riding one decode
+// via WithObservers), and the same five experiments decoding separately —
+// the pre-fusion cost this engine exists to avoid. Bytes/s are events/s.
+func BenchmarkFusedSuite(b *testing.B) {
+	tr := benchTrace(b)
+	path := filepath.Join(b.TempDir(), "gcc.dpg")
+	if err := trace.WriteFile(path, tr, trace.BlockBytes(64<<10)); err != nil {
+		b.Fatal(err)
+	}
+	sims := func() []analysis.Observer {
+		return []analysis.Observer{
+			analysis.NewReuseSim("gcc", 16),
+			analysis.NewILPSim("gcc", predictor.KindContext),
+			analysis.NewConfidenceSim(predictor.KindContext, 7),
+			analysis.NewSpecSim("gcc", predictor.KindContext,
+				analysis.SpecConfig{Width: 64, Threshold: 3, MaxConfidence: 7, Penalty: 8}),
+		}
+	}
+	b.Run("experiments1", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(tr.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := core.AnalyzeFile(path, core.WithKind(predictor.KindContext), core.WithWorkers(2)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("experiments5-fused", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(tr.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := core.AnalyzeFile(path, core.WithKind(predictor.KindContext), core.WithWorkers(2),
+				core.WithObservers(sims()...)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("experiments5-separate", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(tr.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := core.AnalyzeFile(path, core.WithKind(predictor.KindContext), core.WithWorkers(2)); err != nil {
+				b.Fatal(err)
+			}
+			// Each experiment pays its own full decode, the pre-fusion way.
+			for _, sim := range sims() {
+				f, err := os.Open(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pr, err := trace.NewParallelReader(f, trace.Workers(2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := analysis.RunObservers(pr, sim); err != nil {
+					b.Fatal(err)
+				}
+				pr.Close()
+				f.Close()
+			}
+		}
+	})
 }
 
 // BenchmarkSpeculativePass compares the sequential model pass against the

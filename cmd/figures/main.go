@@ -21,7 +21,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload size multiplier")
 	seed := flag.Uint64("seed", 1, "workload input seed")
 	parallel := flag.Int("parallel", 4, "concurrent model runs during precompute")
-	traceDir := flag.String("tracedir", "", "stream pre-generated <name>.dpg trace files from this directory instead of regenerating workloads in memory")
+	traceDir := flag.String("tracedir", "", "stream pre-generated <name>.dpg trace files from this directory instead of regenerating workloads in memory; every experiment shares one decode per trace (fused observer fan-out)")
 	workers := flag.Int("workers", 0, "concurrent decode workers per streamed trace file with -tracedir (0 = all cores)")
 	verbose := flag.Bool("v", false, "print progress while running")
 	list := flag.Bool("list", false, "list experiment ids and exit")

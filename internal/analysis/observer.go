@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// This file is the observer fan-out engine: the piece that turns "five
+// experiments, five decodes" into "five experiments, one decode". Every
+// streaming experiment in this package (ReuseSim, ILPSim, ConfidenceSim,
+// SpecSim — and, in internal/core, the model pipeline itself) satisfies
+// Observer; RunObservers registers any set of them onto one shared decode
+// of a trace, delivering each decoded block to every observer in turn
+// before asking the source for the next one. Memory stays at the source's
+// own ceiling — O(block · workers) for the parallel reader — no matter how
+// many observers ride along.
+//
+// Isolation contract: a panicking observer is caught, converted to a typed
+// *ObserverError, and removed from the fan-out; the surviving observers
+// keep receiving every block and still get their Finish call. Sibling
+// results are never corrupted by one observer's failure, because observers
+// only read the shared events.
+
+// Observer consumes a stream of decoded events. Events arrive in stream
+// order. The *trace.Event pointers alias a shared, reader-owned buffer:
+// observers must treat them as read-only and must not retain them past the
+// return of Observe.
+type Observer interface {
+	Observe(e *trace.Event)
+}
+
+// BlockObserver is an Observer that prefers whole decoded blocks — the
+// fast path for consumers with their own batch interface. The same
+// aliasing rules apply to b and b.Events: read-only, valid only until
+// ObserveBlock returns.
+type BlockObserver interface {
+	Observer
+	ObserveBlock(b *trace.Block)
+}
+
+// Finisher is an Observer with an end-of-stream hook. RunObservers calls
+// Finish exactly once, after the source has returned a clean io.EOF —
+// never after a source error, and never on an observer that has already
+// failed.
+type Finisher interface {
+	Finish() error
+}
+
+// BlockSource is where RunObservers pulls decoded blocks from. The
+// contract is trace.(*ParallelReader).NextBlock's: io.EOF ends the stream
+// cleanly, any other error is a decode failure. Sources that additionally
+// implement ReleaseBlock(*trace.Block) (as the parallel reader does) get
+// each block handed back once every observer has seen it, keeping the
+// whole fan-out at the source's own memory ceiling.
+type BlockSource interface {
+	NextBlock(b *trace.Block) error
+}
+
+// blockReleaser is the optional recycling half of BlockSource.
+type blockReleaser interface {
+	ReleaseBlock(b *trace.Block)
+}
+
+// ObserverError reports one observer's failure — a panic during Observe /
+// ObserveBlock, or an error from Finish — identified by its position in
+// the RunObservers argument list. Match with errors.As.
+type ObserverError struct {
+	// Index is the observer's position in the RunObservers argument list.
+	Index int
+	// Kind is the observer's concrete Go type.
+	Kind string
+	// Panic is the recovered panic value, nil if the failure was a Finish
+	// error.
+	Panic any
+	// Err is the error Finish returned, nil if the failure was a panic.
+	Err error
+}
+
+func (e *ObserverError) Error() string {
+	if e.Panic != nil {
+		return fmt.Sprintf("analysis: observer %d (%s) panicked: %v", e.Index, e.Kind, e.Panic)
+	}
+	return fmt.Sprintf("analysis: observer %d (%s): %v", e.Index, e.Kind, e.Err)
+}
+
+// Unwrap exposes a Finish error for errors.Is matching; panics have
+// nothing to unwrap.
+func (e *ObserverError) Unwrap() error { return e.Err }
+
+// RunObservers drains src, delivering every decoded block to every
+// observer, in argument order, before pulling the next block — one decode
+// serving the whole set. On a clean end of stream each surviving
+// Finisher's Finish runs; the returned error joins every observer failure
+// (each a *ObserverError), or is nil if all observers survived.
+//
+// A source error aborts the run immediately: Finish is NOT called (the
+// observers' accumulated state reflects an incomplete stream and it is the
+// caller's decision whether partial results mean anything), and the source
+// error is returned joined with any observer failures accumulated so far.
+//
+// Observers run on the calling goroutine; nothing here is concurrent, so
+// observers need no locking among themselves.
+func RunObservers(src BlockSource, obs ...Observer) error {
+	errs := make([]error, len(obs))
+	live := len(obs)
+	rel, canRelease := src.(blockReleaser)
+	var b trace.Block
+	for live > 0 {
+		err := src.NextBlock(&b)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return joinErrs(append([]error{err}, errs...))
+		}
+		for i, o := range obs {
+			if errs[i] != nil {
+				continue
+			}
+			if oerr := observeBlock(i, o, &b); oerr != nil {
+				errs[i] = oerr
+				live--
+			}
+		}
+		if canRelease {
+			rel.ReleaseBlock(&b)
+		}
+	}
+	for i, o := range obs {
+		if errs[i] != nil {
+			continue
+		}
+		if f, ok := o.(Finisher); ok {
+			errs[i] = finishObserver(i, o, f)
+		}
+	}
+	return joinErrs(errs)
+}
+
+// observeBlock delivers one block to one observer, converting a panic into
+// a typed error so a crashing observer cannot take down its siblings.
+func observeBlock(i int, o Observer, b *trace.Block) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &ObserverError{Index: i, Kind: fmt.Sprintf("%T", o), Panic: p}
+		}
+	}()
+	if bo, ok := o.(BlockObserver); ok {
+		bo.ObserveBlock(b)
+		return nil
+	}
+	for j := range b.Events {
+		o.Observe(&b.Events[j])
+	}
+	return nil
+}
+
+// finishObserver runs one observer's Finish under the same panic isolation
+// as delivery.
+func finishObserver(i int, o Observer, f Finisher) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &ObserverError{Index: i, Kind: fmt.Sprintf("%T", o), Panic: p}
+		}
+	}()
+	if ferr := f.Finish(); ferr != nil {
+		return &ObserverError{Index: i, Kind: fmt.Sprintf("%T", o), Err: ferr}
+	}
+	return nil
+}
+
+// joinErrs collapses a slice of possibly-nil errors: nil when none fired,
+// the error itself when exactly one did, errors.Join otherwise.
+func joinErrs(errs []error) error {
+	var fired []error
+	for _, err := range errs {
+		if err != nil {
+			fired = append(fired, err)
+		}
+	}
+	switch len(fired) {
+	case 0:
+		return nil
+	case 1:
+		return fired[0]
+	}
+	return errors.Join(fired...)
+}
+
+// traceSource adapts an in-memory trace to BlockSource: one block holding
+// the whole event slice, then io.EOF. It has no ReleaseBlock — the events
+// belong to the trace.
+type traceSource struct {
+	t    *trace.Trace
+	done bool
+}
+
+func (s *traceSource) NextBlock(b *trace.Block) error {
+	if s.done {
+		return io.EOF
+	}
+	s.done = true
+	b.Index = 0
+	b.Events = s.t.Events
+	return nil
+}
+
+// ObserveTrace runs the observer set over an in-memory trace, with the
+// same delivery, isolation, and Finish contract as RunObservers.
+func ObserveTrace(t *trace.Trace, obs ...Observer) error {
+	return RunObservers(&traceSource{t: t}, obs...)
+}

@@ -1,0 +1,358 @@
+package analysis
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// observerTrace builds one modest integer-workload trace for the fan-out
+// tests.
+func observerTrace(t testing.TB) *trace.Trace {
+	t.Helper()
+	w, ok := workloads.ByName("gcc")
+	if !ok {
+		t.Fatal("no gcc workload")
+	}
+	tr, err := w.TraceRounds(w.Rounds/8+2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// soloSims runs each simulator kind alone over tr and returns the
+// reference stats.
+func soloSims(t *testing.T, tr *trace.Trace) (ReuseStats, ILPStats, []ConfidencePoint, SpecStats) {
+	t.Helper()
+	reuse := NewReuseSim("gcc", 12)
+	ilp := NewILPSim("gcc", predictor.KindContext)
+	conf := NewConfidenceSim(predictor.KindContext, 7)
+	spec := NewSpecSim("gcc", predictor.KindContext, SpecConfig{Width: 64, Threshold: 3, MaxConfidence: 7, Penalty: 8})
+	for _, sim := range []Observer{reuse, ilp, conf, spec} {
+		if err := ObserveTrace(tr, sim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reuse.Stats(), ilp.Stats(), conf.Points(), spec.Stats()
+}
+
+// TestObserverOrderInvariance is the metamorphic gate: any registration
+// order and any subset of observers yields results identical to running
+// each observer alone — observers only read the shared events, so the
+// fan-out must be invisible to them.
+func TestObserverOrderInvariance(t *testing.T) {
+	tr := observerTrace(t)
+	wantReuse, wantILP, wantConf, wantSpec := soloSims(t, tr)
+
+	build := func() (*ReuseSim, *ILPSim, *ConfidenceSim, *SpecSim) {
+		return NewReuseSim("gcc", 12),
+			NewILPSim("gcc", predictor.KindContext),
+			NewConfidenceSim(predictor.KindContext, 7),
+			NewSpecSim("gcc", predictor.KindContext, SpecConfig{Width: 64, Threshold: 3, MaxConfidence: 7, Penalty: 8})
+	}
+	orders := [][]int{
+		{0, 1, 2, 3},
+		{3, 2, 1, 0},
+		{2, 0, 3, 1},
+		{1, 3}, // subset
+		{0},    // singleton
+	}
+	for _, order := range orders {
+		reuse, ilp, conf, spec := build()
+		all := []Observer{reuse, ilp, conf, spec}
+		var obs []Observer
+		for _, i := range order {
+			obs = append(obs, all[i])
+		}
+		if err := ObserveTrace(tr, obs...); err != nil {
+			t.Fatalf("order %v: %v", order, err)
+		}
+		for _, i := range order {
+			switch i {
+			case 0:
+				if reuse.Stats() != wantReuse {
+					t.Errorf("order %v: reuse stats diverge from solo run", order)
+				}
+			case 1:
+				if ilp.Stats() != wantILP {
+					t.Errorf("order %v: ILP stats diverge from solo run", order)
+				}
+			case 2:
+				if !reflect.DeepEqual(conf.Points(), wantConf) {
+					t.Errorf("order %v: confidence points diverge from solo run", order)
+				}
+			case 3:
+				if spec.Stats() != wantSpec {
+					t.Errorf("order %v: speculation stats diverge from solo run", order)
+				}
+			}
+		}
+	}
+}
+
+// bombObserver panics after observing n events.
+type bombObserver struct {
+	n    int
+	seen int
+}
+
+func (b *bombObserver) Observe(e *trace.Event) {
+	b.seen++
+	if b.seen > b.n {
+		panic("bomb")
+	}
+}
+
+// failFinisher observes nothing and fails at Finish.
+type failFinisher struct{ err error }
+
+func (f *failFinisher) Observe(e *trace.Event) {}
+func (f *failFinisher) Finish() error          { return f.err }
+
+// countingFinisher records whether Finish ran.
+type countingFinisher struct{ finished int }
+
+func (c *countingFinisher) Observe(e *trace.Event) {}
+func (c *countingFinisher) Finish() error          { c.finished++; return nil }
+
+// TestObserverPanicIsolation plants a panicking observer between two
+// healthy simulators and asserts the failure is typed, attributed to the
+// right slot, and invisible to the siblings' results.
+func TestObserverPanicIsolation(t *testing.T) {
+	tr := observerTrace(t)
+	wantReuse, wantILP, _, _ := soloSims(t, tr)
+
+	reuse := NewReuseSim("gcc", 12)
+	ilp := NewILPSim("gcc", predictor.KindContext)
+	bomb := &bombObserver{n: 3}
+	err := ObserveTrace(tr, reuse, bomb, ilp)
+	var oe *ObserverError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err = %v, want *ObserverError", err)
+	}
+	if oe.Index != 1 || oe.Panic == nil {
+		t.Errorf("observer error misattributed: %+v", oe)
+	}
+	if reuse.Stats() != wantReuse {
+		t.Error("reuse sibling corrupted by a panicking observer")
+	}
+	if ilp.Stats() != wantILP {
+		t.Error("ILP sibling corrupted by a panicking observer")
+	}
+}
+
+// TestObserverFinishError checks a Finish failure surfaces typed and
+// unwrappable, without stopping sibling Finishers.
+func TestObserverFinishError(t *testing.T) {
+	tr := observerTrace(t)
+	boom := errors.New("finish bomb")
+	bad := &failFinisher{err: boom}
+	good := &countingFinisher{}
+	err := ObserveTrace(tr, bad, good)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the Finish error via Unwrap", err)
+	}
+	var oe *ObserverError
+	if !errors.As(err, &oe) || oe.Index != 0 || oe.Err == nil {
+		t.Errorf("finish failure not typed/attributed: %v", err)
+	}
+	if good.finished != 1 {
+		t.Errorf("sibling Finish ran %d times, want 1", good.finished)
+	}
+}
+
+// TestObserverMultipleFailuresJoined checks every failing observer shows
+// up in the joined error, each with its own index.
+func TestObserverMultipleFailuresJoined(t *testing.T) {
+	tr := observerTrace(t)
+	err := ObserveTrace(tr, &bombObserver{n: 0}, NewReuseSim("gcc", 8), &bombObserver{n: 5})
+	if err == nil {
+		t.Fatal("no error from two panicking observers")
+	}
+	indices := map[int]bool{}
+	for _, sub := range []error{err} {
+		var joined interface{ Unwrap() []error }
+		if errors.As(sub, &joined) {
+			for _, e := range joined.Unwrap() {
+				var oe *ObserverError
+				if errors.As(e, &oe) {
+					indices[oe.Index] = true
+				}
+			}
+		}
+	}
+	if !indices[0] || !indices[2] {
+		t.Errorf("joined error misses a failing observer: %v (got indices %v)", err, indices)
+	}
+}
+
+// errSource delivers one healthy block, then a decode error.
+type errSource struct {
+	events []trace.Event
+	calls  int
+	err    error
+}
+
+func (s *errSource) NextBlock(b *trace.Block) error {
+	s.calls++
+	if s.calls == 1 {
+		b.Index = 0
+		b.Events = s.events
+		return nil
+	}
+	return s.err
+}
+
+// TestObserverSourceErrorSkipsFinish checks a source failure aborts the
+// run without calling Finish — partial state must not be finalised — and
+// the source error dominates the return.
+func TestObserverSourceErrorSkipsFinish(t *testing.T) {
+	tr := observerTrace(t)
+	boom := errors.New("decode bomb")
+	fin := &countingFinisher{}
+	err := RunObservers(&errSource{events: tr.Events, err: boom}, fin)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the source error", err)
+	}
+	if fin.finished != 0 {
+		t.Errorf("Finish ran %d times after a source error, want 0", fin.finished)
+	}
+}
+
+// releaseSource wraps a ParallelReader and counts block releases.
+type releaseSource struct {
+	pr       *trace.ParallelReader
+	released int
+}
+
+func (s *releaseSource) NextBlock(b *trace.Block) error { return s.pr.NextBlock(b) }
+func (s *releaseSource) ReleaseBlock(b *trace.Block) {
+	s.released++
+	s.pr.ReleaseBlock(b)
+}
+
+// TestObserverBlockRelease checks RunObservers hands every delivered block
+// back to a releasing source — the recycling half of the O(block·workers)
+// memory contract.
+func TestObserverBlockRelease(t *testing.T) {
+	tr := observerTrace(t)
+	var buf bytes.Buffer
+	if err := trace.WriteAll(&buf, tr, trace.BlockBytes(8<<10)); err != nil {
+		t.Fatal(err)
+	}
+	pr, err := trace.NewParallelReader(bytes.NewReader(buf.Bytes()), trace.Workers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	src := &releaseSource{pr: pr}
+	sim := NewReuseSim("gcc", 12)
+	if err := RunObservers(src, sim); err != nil {
+		t.Fatal(err)
+	}
+	if src.released == 0 {
+		t.Error("no blocks were released back to the source")
+	}
+	if sim.Stats().Eligible == 0 {
+		t.Error("simulator saw no events")
+	}
+}
+
+// blockCountingObserver takes the BlockObserver fast path and tallies both
+// granularities, proving the fan-out prefers whole blocks.
+type blockCountingObserver struct {
+	events uint64
+	blocks int
+}
+
+func (o *blockCountingObserver) Observe(e *trace.Event) { o.events++ }
+func (o *blockCountingObserver) ObserveBlock(b *trace.Block) {
+	o.blocks++
+	o.events += uint64(len(b.Events))
+}
+
+// TestObserverBlockFastPath checks a BlockObserver receives whole blocks
+// (never per-event calls) and still sees every event exactly once.
+func TestObserverBlockFastPath(t *testing.T) {
+	tr := observerTrace(t)
+	o := &blockCountingObserver{}
+	if err := ObserveTrace(tr, o); err != nil {
+		t.Fatal(err)
+	}
+	if o.blocks == 0 {
+		t.Error("BlockObserver never took the block fast path")
+	}
+	if o.events != uint64(len(tr.Events)) {
+		t.Errorf("block observer saw %d events, trace has %d", o.events, len(tr.Events))
+	}
+}
+
+// FuzzObserverFanout is the differential fuzz gate for the fan-out engine:
+// for arbitrary (mutated) trace bytes and worker counts, driving a
+// simulator through RunObservers over the parallel reader must agree with
+// a plain sequential Next loop — same success/failure verdict, and
+// identical simulator results on success.
+func FuzzObserverFanout(f *testing.F) {
+	w, ok := workloads.ByName("fig1")
+	if !ok {
+		f.Fatal("no fig1 workload")
+	}
+	tr, err := w.TraceRounds(3, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, codec := range []trace.Codec{trace.CodecNone, trace.CodecLZ} {
+		var buf bytes.Buffer
+		if err := trace.WriteAll(&buf, tr, trace.BlockEvents(32), trace.Compression(codec)); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes(), uint8(2))
+	}
+	f.Fuzz(func(t *testing.T, data []byte, workers uint8) {
+		// Sequential reference: a plain Next loop feeding one simulator.
+		seqSim := NewReuseSim("", 8)
+		var seqErr error
+		if r, err := trace.NewReader(bytes.NewReader(data)); err != nil {
+			seqErr = err
+		} else {
+			var e trace.Event
+			for {
+				err := r.Next(&e)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					seqErr = err
+					break
+				}
+				seqSim.Observe(&e)
+			}
+			r.Close()
+		}
+
+		// Fused path: RunObservers over the parallel reader.
+		fanSim := NewReuseSim("", 8)
+		var fanErr error
+		if pr, err := trace.NewParallelReader(bytes.NewReader(data), trace.Workers(int(workers%4)+1)); err != nil {
+			fanErr = err
+		} else {
+			fanErr = RunObservers(pr, fanSim)
+			pr.Close()
+		}
+
+		if (seqErr == nil) != (fanErr == nil) {
+			t.Fatalf("verdicts diverge: sequential %v, fan-out %v", seqErr, fanErr)
+		}
+		if seqErr == nil && seqSim.Stats() != fanSim.Stats() {
+			t.Fatalf("stats diverge on identical input: sequential %+v, fan-out %+v",
+				seqSim.Stats(), fanSim.Stats())
+		}
+	})
+}

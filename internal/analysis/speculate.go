@@ -60,71 +60,109 @@ func (s SpecStats) MisspecPct() float64 {
 	return 100 * float64(s.Misspeculations) / float64(s.Speculations)
 }
 
-// Speculate runs the timing model over a trace with the given predictor
-// kind on the consumer side (per (PC, slot) keys, immediate update — the
-// model's input-side arrangement).
-func Speculate(t *trace.Trace, kind predictor.Kind, cfg SpecConfig) SpecStats {
+// SpecSim is the streaming form of the timing model: feed events one at a
+// time with Observe and read the run's statistics with Stats. The fetch
+// cycle of each instruction is its position in the observed stream divided
+// by the machine width, so the sim's output is identical to running
+// Speculate over the materialized trace. Memory stays O(touched memory
+// words + predictor), independent of trace length, so a suite can drive
+// several sims (one per threshold) in a single pass off a trace-file
+// reader without materializing the events.
+type SpecSim struct {
+	cfg       SpecConfig
+	name      string
+	predName  string
+	pred      *predictor.Confidence
+	regs      [isa.NumRegs]uint64
+	mem       map[uint32]uint64
+	idx       uint64
+	lastCycle uint64
+	specs     uint64
+	misspecs  uint64
+}
+
+// NewSpecSim builds a timing-model simulator with the given predictor kind
+// on the consumer side (per (PC, slot) keys, immediate update — the
+// model's input-side arrangement). It panics if cfg.Width is not positive;
+// a zero cfg.MaxConfidence defaults to 7.
+func NewSpecSim(name string, kind predictor.Kind, cfg SpecConfig) *SpecSim {
 	if cfg.Width <= 0 {
 		panic("analysis: speculation width must be positive")
 	}
 	if cfg.MaxConfidence == 0 {
 		cfg.MaxConfidence = 7
 	}
-	stats := SpecStats{
-		Name: t.Name, Predictor: kind.String(), Config: cfg,
-		Instructions: uint64(t.Len()),
+	return &SpecSim{
+		cfg:      cfg,
+		name:     name,
+		predName: kind.String(),
+		pred:     predictor.NewConfidence(kind.New(), 16, cfg.MaxConfidence),
+		mem:      make(map[uint32]uint64),
 	}
-	pred := predictor.NewConfidence(kind.New(), 16, cfg.MaxConfidence)
+}
 
-	var regs [isa.NumRegs]uint64
-	mem := make(map[uint32]uint64)
-	var lastCycle uint64
+// Observe issues one dynamic instruction through the timing model.
+func (s *SpecSim) Observe(e *trace.Event) {
+	fetch := s.idx / uint64(s.cfg.Width)
+	s.idx++
+	ready := fetch
+	var penalty uint64
 	key := func(pc uint32, slot int) uint64 { return uint64(pc)<<2 | uint64(slot) }
 
-	for i := range t.Events {
-		e := &t.Events[i]
-		fetch := uint64(i / cfg.Width)
-		ready := fetch
-		var penalty uint64
-
-		consume := func(avail uint64, k uint64, actual uint32) {
-			conf := pred.ConfidenceOf(k)
-			pv, ok := pred.Predict(k)
-			pred.Update(k, actual)
-			if ok && conf >= cfg.Threshold {
-				stats.Speculations++
-				if pv == actual {
-					return // speculated correctly: no wait
-				}
-				stats.Misspeculations++
-				penalty += cfg.Penalty
+	consume := func(avail uint64, k uint64, actual uint32) {
+		conf := s.pred.ConfidenceOf(k)
+		pv, ok := s.pred.Predict(k)
+		s.pred.Update(k, actual)
+		if ok && conf >= s.cfg.Threshold {
+			s.specs++
+			if pv == actual {
+				return // speculated correctly: no wait
 			}
-			if avail > ready {
-				ready = avail
-			}
+			s.misspecs++
+			penalty += s.cfg.Penalty
 		}
-
-		for slot := 0; slot < int(e.NSrc); slot++ {
-			if e.SrcReg[slot] == 0 {
-				continue
-			}
-			consume(regs[e.SrcReg[slot]], key(e.PC, slot), e.SrcVal[slot])
-		}
-		if isa.IsLoad(e.Op) {
-			consume(mem[e.Addr&^3], key(e.PC, 2), e.MemVal)
-		}
-
-		done := ready + 1 + penalty
-		if done > lastCycle {
-			lastCycle = done
-		}
-		switch {
-		case isa.IsStore(e.Op):
-			mem[e.Addr&^3] = done
-		case e.DstReg != isa.NoReg && e.DstReg != 0:
-			regs[e.DstReg] = done
+		if avail > ready {
+			ready = avail
 		}
 	}
-	stats.Cycles = lastCycle
-	return stats
+
+	for slot := 0; slot < int(e.NSrc); slot++ {
+		if e.SrcReg[slot] == 0 {
+			continue
+		}
+		consume(s.regs[e.SrcReg[slot]], key(e.PC, slot), e.SrcVal[slot])
+	}
+	if isa.IsLoad(e.Op) {
+		consume(s.mem[e.Addr&^3], key(e.PC, 2), e.MemVal)
+	}
+
+	done := ready + 1 + penalty
+	if done > s.lastCycle {
+		s.lastCycle = done
+	}
+	switch {
+	case isa.IsStore(e.Op):
+		s.mem[e.Addr&^3] = done
+	case e.DstReg != isa.NoReg && e.DstReg != 0:
+		s.regs[e.DstReg] = done
+	}
+}
+
+// Stats returns the run's statistics for the events observed so far.
+func (s *SpecSim) Stats() SpecStats {
+	return SpecStats{
+		Name: s.name, Predictor: s.predName, Config: s.cfg,
+		Instructions: s.idx, Cycles: s.lastCycle,
+		Speculations: s.specs, Misspeculations: s.misspecs,
+	}
+}
+
+// Speculate runs the timing model over an in-memory trace — the
+// materializing façade over SpecSim.
+func Speculate(t *trace.Trace, kind predictor.Kind, cfg SpecConfig) SpecStats {
+	sim := NewSpecSim(t.Name, kind, cfg)
+	for i := range t.Events {
+		sim.Observe(&t.Events[i])
+	}
+	return sim.Stats()
 }

@@ -50,6 +50,7 @@ type config struct {
 	specStats   *dpg.SpecStats
 	ctx         context.Context
 	failFast    bool
+	observers   []analysis.Observer
 }
 
 // Option configures RunTrace and AnalyzeFile.
@@ -147,6 +148,22 @@ func WithSpeculationEpochs(n int) Option {
 // run statistics (epochs, chains, divergences, replays, fallback).
 func WithSpecStats(st *dpg.SpecStats) Option {
 	return func(c *config) { c.specStats = st }
+}
+
+// WithObservers registers streaming experiment observers
+// (analysis.Observer) onto AnalyzeFile's decode: one pass over the trace
+// serves the model and every observer (via analysis.RunObservers), so a
+// multi-experiment analysis still reads the file exactly once at
+// O(block·workers) memory. Observers receive every event in stream order
+// on one goroutine; their results accumulate in the caller-owned observer
+// objects. A panicking observer is isolated into a typed
+// *analysis.ObserverError joined into the returned error without
+// corrupting sibling observers; as with any AnalyzeFile failure, the
+// returned Result is nil on error (the observers' own accumulated state
+// remains readable regardless). WithSpeculation is ignored while observers
+// are registered — the fused pass runs the sequential model.
+func WithObservers(obs ...analysis.Observer) Option {
+	return func(c *config) { c.observers = append(c.observers, obs...) }
 }
 
 // WithContext binds an analysis to ctx: once ctx is cancelled or its
@@ -259,12 +276,13 @@ type SuiteConfig struct {
 	// Tests use it to source traces from files or to inject faults.
 	TraceSource func(name string, rounds int, seed uint64) (*trace.Trace, error)
 	// TraceFile, if non-nil, maps a workload name to a trace file path
-	// (see TraceDir). Result then streams the file through the pass
-	// pipeline (AnalyzeFile) instead of materializing a trace.Trace, so
-	// every figure and table runs at O(block·workers) peak memory.
-	// Workloads the lookup declines fall back to TraceSource/generation.
-	// Experiments that need the raw event stream (correlation, reuse,
-	// confidence, ilp, speculation) still load the file whole.
+	// (see TraceDir). Every experiment then reads the fused engine's
+	// single streaming decode of that file — the model runs for all three
+	// predictors plus every streaming experiment observer share one pass
+	// (analysis.RunObservers), so each trace file is read exactly once per
+	// suite and every figure and table runs at O(block·workers) peak
+	// memory, never materializing a trace.Trace. Workloads the lookup
+	// declines fall back to TraceSource/generation.
 	TraceFile func(name string) (path string, ok bool)
 	// Workers bounds the concurrent decode/pre-pass workers per streamed
 	// file when TraceFile is active (0 = all cores).
@@ -282,6 +300,7 @@ type Suite struct {
 	traces  map[string]*traceEntry
 	results map[string]*resultEntry
 	done    map[string]int // predictor runs completed per workload
+	fused   map[string]*fusedEntry
 }
 
 type traceEntry struct {
@@ -309,6 +328,7 @@ func NewSuite(cfg SuiteConfig) *Suite {
 		traces:  make(map[string]*traceEntry),
 		results: make(map[string]*resultEntry),
 		done:    make(map[string]int),
+		fused:   make(map[string]*fusedEntry),
 	}
 }
 
@@ -350,12 +370,16 @@ func (s *Suite) Result(name string, kind predictor.Kind) (*dpg.Result, error) {
 	s.mu.Unlock()
 	re.once.Do(func() {
 		if path, ok := s.traceFilePath(name); ok {
-			// Streaming path: run the pass pipeline over the file, never
-			// materializing the trace. Nothing enters the trace cache.
-			if s.cfg.Progress != nil {
-				fmt.Fprintf(s.cfg.Progress, "streaming %-5s with %-10s from %s\n", name, kind, path)
+			// Streaming path: the fused engine's single decode of the file
+			// serves this model run and every other experiment on the
+			// workload. Nothing enters the trace cache and nothing is ever
+			// materialized.
+			p, err := s.fusedFor(name, path)
+			if err != nil {
+				re.err = err
+				return
 			}
-			re.res, re.err = AnalyzeFile(path, WithKind(kind), WithWorkers(s.cfg.Workers))
+			re.res = p.model[kind]
 			return
 		}
 		t, err := s.traceFor(name)
@@ -847,15 +871,7 @@ func (s *Suite) correlation(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		t, err := s.traceOnce(name)
-		if err != nil {
-			return err
-		}
-		corr, err := dpg.RunWith(t, dpg.Config{
-			Predictor:        predictor.KindContext.Factory(),
-			PredictorName:    "context+corr",
-			CorrelateOutputs: true,
-		})
+		corr, err := s.correlationResult(name)
 		if err != nil {
 			return err
 		}
@@ -881,11 +897,10 @@ func (s *Suite) reuse(w io.Writer) error {
 	fmt.Fprintln(w, "Reuse: 64K-entry reuse buffer hit rate vs fully predictable instructions (context)")
 	fmt.Fprintf(w, "%-6s %10s %12s %12s %16s\n", "bench", "eligible", "reuse%", "load-reuse%", "predictable%")
 	for _, name := range intNames() {
-		sim := analysis.NewReuseSim(name, 16)
-		if err := s.streamEvents(name, sim.Observe); err != nil {
+		rs, err := s.reuseStats(name)
+		if err != nil {
 			return err
 		}
-		rs := sim.Stats()
 		res, err := s.Result(name, predictor.KindContext)
 		if err != nil {
 			return err
@@ -938,6 +953,7 @@ func (s *Suite) streamEvents(name string, observe func(*trace.Event)) error {
 		return wrapTraceErr(err)
 	}
 	defer r.Close()
+	noteDecode(path)
 	var e trace.Event
 	for {
 		err := r.Next(&e)
@@ -954,11 +970,13 @@ func (s *Suite) streamEvents(name string, observe func(*trace.Event)) error {
 // traceOnce regenerates a workload trace at the suite's scale without
 // touching the result cache (used by experiments that need the raw trace
 // even after the standard predictor runs released it). Under TraceFile it
-// loads the trace file instead — the remaining raw-trace analyses
-// (confidence, speculation) are the only consumers that still materialize
-// events; reuse and ilp stream through streamEvents.
+// loads the trace file instead — kept for completeness, though no suite
+// experiment materializes a file any more: every file-mode experiment
+// reads the fused engine's single decode (see fused.go), and the non-file
+// experiments stream through streamEvents.
 func (s *Suite) traceOnce(name string) (*trace.Trace, error) {
 	if path, ok := s.traceFilePath(name); ok {
+		noteDecode(path)
 		t, _, err := trace.ReadFileParallel(path, trace.Workers(s.cfg.Workers))
 		if err != nil {
 			return nil, wrapTraceErr(err)
@@ -1010,19 +1028,17 @@ func (s *Suite) addresses(w io.Writer) error {
 // prediction, showing the coverage/accuracy trade (§1.2: confidence is
 // "probably essential for effective value prediction and speculation").
 func (s *Suite) confidence(w io.Writer) error {
-	const maxLevel = 7
 	fmt.Fprintln(w, "Confidence: coverage%/accuracy% of context value prediction gated at threshold t")
 	fmt.Fprintf(w, "%-6s", "bench")
-	for th := 0; th <= maxLevel; th++ {
+	for th := 0; th <= suiteConfMaxLevel; th++ {
 		fmt.Fprintf(w, "        t=%d", th)
 	}
 	fmt.Fprintln(w)
 	for _, name := range intNames() {
-		t, err := s.traceOnce(name)
+		points, err := s.confidencePoints(name)
 		if err != nil {
 			return err
 		}
-		points := analysis.ConfidenceSweep(t, predictor.KindContext, maxLevel)
 		fmt.Fprintf(w, "%-6s", name)
 		for _, pt := range points {
 			fmt.Fprintf(w, " %5.1f/%4.1f", pt.CoveragePct, pt.AccuracyPct)
@@ -1043,25 +1059,13 @@ func (s *Suite) ilp(w io.Writer) error {
 	}
 	fmt.Fprintln(w)
 	for _, name := range allNames() {
-		// One streaming pass drives every predictor's simulator at once:
-		// the base timeline is identical across kinds, so the sims differ
-		// only in their prediction side.
-		sims := make([]*analysis.ILPSim, len(predictor.Kinds))
-		for i, k := range predictor.Kinds {
-			sims[i] = analysis.NewILPSim(name, k)
-		}
-		err := s.streamEvents(name, func(e *trace.Event) {
-			for _, sim := range sims {
-				sim.Observe(e)
-			}
-		})
+		stats, err := s.ilpStats(name)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-6s %10d", name, sims[0].Stats().Instructions)
+		fmt.Fprintf(w, "%-6s %10d", name, stats[0].Instructions)
 		first := true
-		for _, sim := range sims {
-			st := sim.Stats()
+		for _, st := range stats {
 			if first {
 				fmt.Fprintf(w, " %10.2f", st.ILPBase())
 				first = false
@@ -1079,26 +1083,19 @@ func (s *Suite) ilp(w io.Writer) error {
 // misspeculation recovery can erase (or invert) the speculation win.
 func (s *Suite) speculation(w io.Writer) error {
 	fmt.Fprintln(w, "Speculation: 64-wide (dataflow-bound) machine, context value prediction, 8-cycle recovery; IPC / misspec% by confidence threshold")
-	thresholds := []uint8{0, 1, 3, 7}
 	fmt.Fprintf(w, "%-6s %9s", "bench", "no-spec")
-	for _, th := range thresholds {
+	for _, th := range suiteSpecThresholds {
 		fmt.Fprintf(w, "      t=%d", th)
 	}
 	fmt.Fprintln(w)
 	for _, name := range intNames() {
-		t, err := s.traceOnce(name)
+		base, byTh, err := s.speculationStats(name)
 		if err != nil {
 			return err
 		}
-		// Baseline: threshold above saturation means never speculate.
-		base := analysis.Speculate(t, predictor.KindContext, analysis.SpecConfig{
-			Width: 64, Threshold: 8, MaxConfidence: 7, Penalty: 8,
-		})
 		fmt.Fprintf(w, "%-6s %9.2f", name, base.IPC())
-		for _, th := range thresholds {
-			st := analysis.Speculate(t, predictor.KindContext, analysis.SpecConfig{
-				Width: 64, Threshold: th, MaxConfidence: 7, Penalty: 8,
-			})
+		for _, th := range suiteSpecThresholds {
+			st := byTh[th]
 			fmt.Fprintf(w, " %4.2f/%2.0f%%", st.IPC(), st.MisspecPct())
 		}
 		fmt.Fprintln(w)

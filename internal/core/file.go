@@ -51,16 +51,19 @@ func openTraceReader(path string, cfg *config) (traceReader, *os.File, error) {
 
 // AnalyzeFile runs the model over a trace file without ever loading the
 // whole trace into memory: peak usage is O(block · workers), not O(trace).
-// It makes two streaming passes through the pass pipeline. The first runs
-// the shardable pre-pass (dpg.PrePass) over the parallel reader's decoded
-// blocks — concurrently across WithWorkers shards — to collect the static
-// execution counts the model needs up front (write-once classification).
-// The second streams events through the sequential model pass.
+// The static execution counts the model needs up front (write-once
+// classification) come from the trace footer via a frame-walk probe that
+// decodes no events; only when the probe cannot answer — a v1 stream, a
+// damaged file, lenient mode, or a WithPreStats request — does a first
+// streaming pass run the shardable pre-pass (dpg.PrePass) over the
+// parallel reader's decoded blocks, concurrently across WithWorkers
+// shards. The model pass then streams the events exactly once — alone,
+// or fanned out to every WithObservers observer on the same decode.
 //
-// WithWorkers decodes both passes with the concurrent block decoder and
-// shards the pre-pass; WithLenientTrace analyses whatever survives a
-// damaged file instead of failing; WithTraceStats surfaces the decode
-// summary; WithPreStats surfaces the pre-pass summary.
+// WithWorkers decodes with the concurrent block decoder and shards the
+// pre-pass; WithLenientTrace analyses whatever survives a damaged file
+// instead of failing; WithTraceStats surfaces the decode summary;
+// WithPreStats surfaces the pre-pass summary.
 func AnalyzeFile(path string, opts ...Option) (*dpg.Result, error) {
 	cfg, err := buildConfig(opts)
 	if err != nil {
@@ -70,10 +73,18 @@ func AnalyzeFile(path string, opts ...Option) (*dpg.Result, error) {
 		return nil, wrapAbort(err)
 	}
 
-	// Pass 1: sharded pre-pass over per-block batches.
-	counts, name, err := scanPrePass(path, &cfg)
+	// Pass 1: static execution counts — from the footer probe when the
+	// frame structure is intact (no event decode at all), falling back to
+	// the sharded pre-pass over per-block batches.
+	counts, name, err := scanCounts(path, &cfg)
 	if err != nil {
 		return nil, err
+	}
+
+	// Under WithObservers the second pass fans the one decode out to the
+	// model and every registered observer.
+	if len(cfg.observers) > 0 {
+		return analyzeObservers(path, name, counts, &cfg)
 	}
 
 	// Pass 2: stream events through the sequential model pass — or, under
@@ -86,6 +97,7 @@ func AnalyzeFile(path string, opts ...Option) (*dpg.Result, error) {
 	}
 	defer f.Close()
 	defer r.Close()
+	noteDecode(path)
 	if cfg.speculate {
 		return analyzeSpeculative(path, r, name, counts, &cfg)
 	}
@@ -179,6 +191,47 @@ func analyzeSpeculative(path string, r traceReader, name string, counts []uint64
 	return res, nil
 }
 
+// scanCounts obtains the static execution counts and workload name the
+// model needs before its event pass. The fast path is the footer probe —
+// a frame walk that reads no events, so the model pass that follows is
+// the file's only decode. The probe cannot answer for v1 streams (no
+// framed footer), damaged files (the established "core: scanning"
+// error contract must come from a real decode), lenient mode (the
+// surviving-events counts may legitimately differ from the footer), or
+// when the caller asked for pre-pass statistics; all of those fall back
+// to the sharded pre-pass.
+func scanCounts(path string, cfg *config) ([]uint64, string, error) {
+	if !cfg.lenient && cfg.preStats == nil {
+		if fi, err := trace.ScanFooterFile(path); err == nil {
+			return fi.Counts, fi.Name, nil
+		}
+	}
+	return scanPrePass(path, cfg)
+}
+
+// blockReaderOpts resolves the parallel-reader options (and the effective
+// worker count) for a block-feed decode: Workers(1) by default — the
+// sequential decode fallback, which still chunks events into synthetic
+// blocks for the block feed — or the configured count under WithWorkers.
+func (c *config) blockReaderOpts() (workers int, ropts []trace.ReaderOption) {
+	workers = 1
+	ropts = []trace.ReaderOption{trace.Workers(1)}
+	if c.lenient {
+		ropts = append(ropts, trace.Lenient())
+	}
+	if c.ctx != nil {
+		ropts = append(ropts, trace.WithContext(c.ctx))
+	}
+	if c.parallel {
+		workers = c.workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		ropts[0] = trace.Workers(c.workers)
+	}
+	return workers, ropts
+}
+
 // scanPrePass runs the shardable pre-pass over a trace file's decoded
 // blocks and returns the static execution counts plus the workload name.
 // The counts come from the footer when present (byte-identical to what a
@@ -192,29 +245,13 @@ func scanPrePass(path string, cfg *config) ([]uint64, string, error) {
 	}
 	defer f.Close()
 
-	// The pre-pass always reads through the parallel reader: without
-	// WithWorkers it runs Workers(1) (the sequential decode fallback),
-	// which still chunks events into synthetic blocks for the block feed.
-	workers := 1
-	ropts := []trace.ReaderOption{trace.Workers(1)}
-	if cfg.lenient {
-		ropts = append(ropts, trace.Lenient())
-	}
-	if cfg.ctx != nil {
-		ropts = append(ropts, trace.WithContext(cfg.ctx))
-	}
-	if cfg.parallel {
-		workers = cfg.workers
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
-		ropts[0] = trace.Workers(cfg.workers)
-	}
+	workers, ropts := cfg.blockReaderOpts()
 	pr, err := trace.NewParallelReader(f, ropts...)
 	if err != nil {
 		return nil, "", wrapTraceErr(err)
 	}
 	defer pr.Close()
+	noteDecode(path)
 
 	pre := dpg.NewPrePass(pr.NumStatic())
 	if err := dpg.RunSharded(pre, workers, pr.ForEachBlock); err != nil {

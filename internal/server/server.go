@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -22,7 +23,7 @@ import (
 // It is part of every cache key, so a model change (new pass, new
 // classification rule) silently invalidates all previously cached results
 // instead of serving stale ones.
-const ModelVersion = "pv2-model-6"
+const ModelVersion = "pv2-model-7"
 
 // Config tunes the server. The zero value is usable: every field has a
 // production default applied by New.
@@ -97,16 +98,17 @@ func (c *Config) fillDefaults() {
 
 // job is one queued analysis.
 type job struct {
-	key      string
-	path     string
-	digest   string
-	size     int64
-	kind     predictor.Kind
-	degraded bool // admission-time overload decision
-	ctx      context.Context
-	cancel   context.CancelFunc
-	queued   time.Time
-	flight   *flight
+	key         string
+	path        string
+	digest      string
+	size        int64
+	kind        predictor.Kind
+	experiments []string // canonical (sorted, deduped) experiment list
+	degraded    bool     // admission-time overload decision
+	ctx         context.Context
+	cancel      context.CancelFunc
+	queued      time.Time
+	flight      *flight
 }
 
 // Server is the dpgd core: admission, bounded queue, worker pool, cache,
@@ -207,6 +209,19 @@ type analysisPayload struct {
 	Events       uint64              `json:"events"`
 	Blocks       uint64              `json:"blocks"`
 	Overall      analysis.OverallRow `json:"overall"`
+	// Experiments carries the results of the ?experiments= fan-out, when
+	// requested: every experiment rode the model's single decode of the
+	// trace as a streaming observer.
+	Experiments *experimentsPayload `json:"experiments,omitempty"`
+}
+
+// experimentsPayload is the multi-experiment half of a response. Only the
+// requested experiments are populated.
+type experimentsPayload struct {
+	Reuse       *analysis.ReuseStats       `json:"reuse,omitempty"`
+	ILP         *analysis.ILPStats         `json:"ilp,omitempty"`
+	Confidence  []analysis.ConfidencePoint `json:"confidence,omitempty"`
+	Speculation []analysis.SpecStats       `json:"speculation,omitempty"`
 }
 
 // analyzeResponse wraps the payload with per-request flags. The payload is
@@ -248,6 +263,34 @@ func parseKind(name string) (predictor.Kind, error) {
 	return 0, fmt.Errorf("server: unknown predictor %q (want last-value, stride, or context)", name)
 }
 
+// parseExperiments canonicalises the ?experiments= query parameter: a
+// comma-separated subset of the streaming experiments, lowercased,
+// deduplicated, and sorted so equivalent requests share one cache key.
+func parseExperiments(q string) ([]string, error) {
+	if strings.TrimSpace(q) == "" {
+		return nil, nil
+	}
+	known := map[string]bool{"reuse": true, "ilp": true, "confidence": true, "speculation": true}
+	seen := make(map[string]bool)
+	var out []string
+	for _, part := range strings.Split(q, ",") {
+		name := strings.ToLower(strings.TrimSpace(part))
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("server: unknown experiment %q (want reuse, ilp, confidence, speculation)", name)
+		}
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
 // handleAnalyze is the upload path: spool → cache → singleflight → queue.
 // The trace streams from the request body into the content-addressed store
 // without ever being held in memory.
@@ -264,6 +307,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	kind, err := parseKind(r.URL.Query().Get("predictor"))
+	if err != nil {
+		s.metrics.rejected.Add(1)
+		writeError(w, http.StatusBadRequest, "request", err)
+		return
+	}
+	exps, err := parseExperiments(r.URL.Query().Get("experiments"))
 	if err != nil {
 		s.metrics.rejected.Add(1)
 		writeError(w, http.StatusBadRequest, "request", err)
@@ -294,6 +343,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.metrics.spoolHist.observe(time.Since(start))
 
 	key := sp.Digest + "|" + kind.String() + "|" + ModelVersion
+	if len(exps) > 0 {
+		// The canonical experiment list keys separately from the plain
+		// model run: same digest, different work, different cache entry.
+		key += "|" + strings.Join(exps, ",")
+	}
 	if p, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
 		s.metrics.totalHist.observe(time.Since(start))
@@ -304,7 +358,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	f, leader := s.flights.start(key)
 	if leader {
-		if aerr := s.admit(r.Context(), key, sp, kind, f); aerr != nil {
+		if aerr := s.admit(r.Context(), key, sp, kind, exps, f); aerr != nil {
 			s.flights.complete(key, f, jobOutcome{jerr: &JobError{Kind: "admission", Err: aerr}})
 			switch {
 			case errors.Is(aerr, ErrQueueFull):
@@ -349,21 +403,22 @@ const statusClientClosedRequest = 499
 // admit enqueues a job with explicit backpressure: a full queue fails with
 // ErrQueueFull (never blocks), a draining server with ErrDraining. The
 // degradation decision is taken here, from queue pressure at admission.
-func (s *Server) admit(reqCtx context.Context, key string, sp SpoolResult, kind predictor.Kind, f *flight) error {
+func (s *Server) admit(reqCtx context.Context, key string, sp SpoolResult, kind predictor.Kind, exps []string, f *flight) error {
 	degraded := float64(len(s.jobs)+1) >= s.cfg.DegradedAt*float64(s.cfg.QueueDepth)
 	jctx, jcancel := context.WithTimeout(reqCtx, s.cfg.JobTimeout)
 	stop := context.AfterFunc(s.baseCtx, jcancel)
 	j := &job{
-		key:      key,
-		path:     sp.Path,
-		digest:   sp.Digest,
-		size:     sp.Size,
-		kind:     kind,
-		degraded: degraded,
-		ctx:      jctx,
-		cancel:   func() { stop(); jcancel() },
-		queued:   time.Now(),
-		flight:   f,
+		key:         key,
+		path:        sp.Path,
+		digest:      sp.Digest,
+		size:        sp.Size,
+		kind:        kind,
+		experiments: exps,
+		degraded:    degraded,
+		ctx:         jctx,
+		cancel:      func() { stop(); jcancel() },
+		queued:      time.Now(),
+		flight:      f,
 	}
 	// The job holds its own store reference until it finishes, independent
 	// of the uploading request's lifetime.
@@ -438,7 +493,11 @@ func (s *Server) runJob(j *job) {
 
 // analyze runs the streaming analysis for one job. Normal mode uses the
 // parallel block decoder and epoch speculation; degraded mode sheds both
-// (the work, not the job) and decodes sequentially.
+// (the work, not the job) and decodes sequentially. Requested experiments
+// ride the model's decode as streaming observers (core.WithObservers), so
+// a multi-experiment job still reads the spooled trace exactly once;
+// epoch speculation is skipped for those jobs (the fused pass runs the
+// sequential model).
 func (s *Server) analyze(j *job) (*analysisPayload, *JobError) {
 	start := time.Now()
 	if err := s.store.Probe(j.ctx, j.path); err != nil {
@@ -446,17 +505,50 @@ func (s *Server) analyze(j *job) (*analysisPayload, *JobError) {
 		// store failures here.
 		return nil, classifyJobErr(err)
 	}
+	var (
+		reuseSim *analysis.ReuseSim
+		ilpSim   *analysis.ILPSim
+		confSim  *analysis.ConfidenceSim
+		specSims []*analysis.SpecSim
+		obs      []analysis.Observer
+	)
+	for _, name := range j.experiments {
+		switch name {
+		case "reuse":
+			reuseSim = analysis.NewReuseSim("", 16)
+			obs = append(obs, reuseSim)
+		case "ilp":
+			ilpSim = analysis.NewILPSim("", j.kind)
+			obs = append(obs, ilpSim)
+		case "confidence":
+			confSim = analysis.NewConfidenceSim(j.kind, 7)
+			obs = append(obs, confSim)
+		case "speculation":
+			// Never-speculate baseline (threshold above saturation) plus
+			// the suite's threshold sweep.
+			for _, th := range []uint8{8, 0, 1, 3, 7} {
+				sim := analysis.NewSpecSim("", j.kind, analysis.SpecConfig{
+					Width: 64, Threshold: th, MaxConfidence: 7, Penalty: 8,
+				})
+				specSims = append(specSims, sim)
+				obs = append(obs, sim)
+			}
+		}
+	}
 	var st trace.Stats
 	opts := []core.Option{
 		core.WithKind(j.kind),
 		core.WithContext(j.ctx),
 		core.WithTraceStats(&st),
 	}
+	if len(obs) > 0 {
+		opts = append(opts, core.WithObservers(obs...))
+	}
 	if !j.degraded {
 		if s.cfg.DecodeWorkers > 1 {
 			opts = append(opts, core.WithWorkers(s.cfg.DecodeWorkers))
 		}
-		if s.cfg.Speculation > 1 {
+		if s.cfg.Speculation > 1 && len(obs) == 0 {
 			opts = append(opts, core.WithSpeculation(s.cfg.Speculation))
 		}
 	}
@@ -465,6 +557,28 @@ func (s *Server) analyze(j *job) (*analysisPayload, *JobError) {
 	s.metrics.analyzeHist.observe(time.Since(start))
 	if err != nil {
 		return nil, classifyJobErr(err)
+	}
+	var exp *experimentsPayload
+	if len(obs) > 0 {
+		exp = &experimentsPayload{}
+		if reuseSim != nil {
+			rs := reuseSim.Stats()
+			rs.Name = res.Name
+			exp.Reuse = &rs
+		}
+		if ilpSim != nil {
+			is := ilpSim.Stats()
+			is.Name = res.Name
+			exp.ILP = &is
+		}
+		if confSim != nil {
+			exp.Confidence = confSim.Points()
+		}
+		for _, sim := range specSims {
+			ss := sim.Stats()
+			ss.Name = res.Name
+			exp.Speculation = append(exp.Speculation, ss)
+		}
 	}
 	return &analysisPayload{
 		Name:         res.Name,
@@ -475,6 +589,7 @@ func (s *Server) analyze(j *job) (*analysisPayload, *JobError) {
 		Events:       st.Events,
 		Blocks:       st.Blocks,
 		Overall:      analysis.Overall(res),
+		Experiments:  exp,
 	}, nil
 }
 

@@ -10,11 +10,13 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/predictor"
 	"repro/internal/trace"
@@ -585,5 +587,95 @@ func TestStorePermanentMiss(t *testing.T) {
 	}
 	if slept != 0 {
 		t.Errorf("missing file was retried %d times", slept)
+	}
+}
+
+// TestAnalyzeExperiments checks ?experiments= fans the requested streaming
+// simulators onto the model's single decode and returns results
+// byte-identical to running the simulators directly over the same events.
+func TestAnalyzeExperiments(t *testing.T) {
+	s, ts := testServer(t, nil)
+	data := traceBytes(t, "fig1", 10)
+
+	status, got, _ := upload(t, ts, "?experiments=reuse,ilp,confidence,speculation", bytes.NewReader(data))
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	exp := got.Experiments
+	if exp == nil {
+		t.Fatal("no experiments payload in response")
+	}
+
+	// Reference: the simulators run directly over the identical events
+	// (default predictor is last-value).
+	w, _ := workloads.ByName("fig1")
+	tr, err := w.TraceRounds(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reuse := analysis.NewReuseSim(got.Name, 16)
+	ilp := analysis.NewILPSim(got.Name, predictor.KindLast)
+	conf := analysis.NewConfidenceSim(predictor.KindLast, 7)
+	var specs []*analysis.SpecSim
+	for _, th := range []uint8{8, 0, 1, 3, 7} {
+		specs = append(specs, analysis.NewSpecSim(got.Name, predictor.KindLast, analysis.SpecConfig{
+			Width: 64, Threshold: th, MaxConfidence: 7, Penalty: 8,
+		}))
+	}
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		reuse.Observe(e)
+		ilp.Observe(e)
+		conf.Observe(e)
+		for _, sp := range specs {
+			sp.Observe(e)
+		}
+	}
+	if exp.Reuse == nil || *exp.Reuse != reuse.Stats() {
+		t.Errorf("reuse %+v, want %+v", exp.Reuse, reuse.Stats())
+	}
+	if exp.ILP == nil || *exp.ILP != ilp.Stats() {
+		t.Errorf("ilp %+v, want %+v", exp.ILP, ilp.Stats())
+	}
+	if !reflect.DeepEqual(exp.Confidence, conf.Points()) {
+		t.Errorf("confidence %+v, want %+v", exp.Confidence, conf.Points())
+	}
+	if len(exp.Speculation) != len(specs) {
+		t.Fatalf("%d speculation entries, want %d", len(exp.Speculation), len(specs))
+	}
+	for i, sp := range specs {
+		if exp.Speculation[i] != sp.Stats() {
+			t.Errorf("speculation[%d] %+v, want %+v", i, exp.Speculation[i], sp.Stats())
+		}
+	}
+
+	// The experiment set is part of the cache key: the same bytes without
+	// experiments recompute, and a case/order/duplicate variant of the same
+	// set hits the cache.
+	status, plain, _ := upload(t, ts, "", bytes.NewReader(data))
+	if status != http.StatusOK || plain.Cached {
+		t.Fatalf("plain upload: status %d cached %v", status, plain.Cached)
+	}
+	if plain.Experiments != nil {
+		t.Error("plain upload returned an experiments payload")
+	}
+	if n := s.Metrics().Computations(); n != 2 {
+		t.Errorf("computations %d, want 2", n)
+	}
+	status, again, _ := upload(t, ts, "?experiments=ILP,speculation,reuse,confidence,ilp", bytes.NewReader(data))
+	if status != http.StatusOK || !again.Cached {
+		t.Fatalf("reordered set: status %d cached %v", status, again.Cached)
+	}
+	if !reflect.DeepEqual(again.Experiments, exp) {
+		t.Error("cached experiments payload differs from the computed one")
+	}
+	if n := s.Metrics().Computations(); n != 2 {
+		t.Errorf("computations after cached replay %d, want 2", n)
+	}
+
+	// An unknown experiment is rejected before spooling.
+	status, _, fail := upload(t, ts, "?experiments=magic", bytes.NewReader(data))
+	if status != http.StatusBadRequest || fail.Kind != "request" {
+		t.Errorf("unknown experiment: status %d kind %q", status, fail.Kind)
 	}
 }

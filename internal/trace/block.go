@@ -72,12 +72,13 @@ func (p *ParallelReader) NextBlock(b *Block) error {
 // Workers(1). A decode error after a non-empty prefix delivers the prefix
 // now; the (sticky) error resurfaces on the next call.
 func (p *ParallelReader) nextBlockSeq(b *Block) error {
-	var events []Event
+	events := getEventSlice(seqBlockEvents)
 	for len(events) < seqBlockEvents {
 		var e Event
 		err := p.seq.Next(&e)
 		if err != nil {
 			if len(events) == 0 {
+				putEventSlice(events)
 				return err
 			}
 			break
@@ -88,6 +89,22 @@ func (p *ParallelReader) nextBlockSeq(b *Block) error {
 	b.Events = events
 	p.blockSeq++
 	return nil
+}
+
+// ReleaseBlock returns a block obtained from NextBlock to the reader's
+// event-slice pool. NextBlock transfers slice ownership to the caller and
+// never reuses it, so without release every delivered block costs a fresh
+// allocation; a consumer that is finished with b.Events before asking for
+// the next block can hand the buffer back and keep the whole sweep at
+// O(block · workers) allocation, the way ForEachBlock recycles internally.
+// After ReleaseBlock, b.Events must not be touched (the slice may be
+// reused for a future block at any time). Releasing a block is optional
+// and only ever a performance matter.
+func (p *ParallelReader) ReleaseBlock(b *Block) {
+	if b.Events != nil {
+		putEventSlice(b.Events)
+		b.Events = nil
+	}
 }
 
 // ForEachBlock drains the whole stream, delivering decoded blocks to fn
