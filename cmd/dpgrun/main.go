@@ -58,6 +58,8 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent trace-decode workers per file (0 = all cores, 1 = sequential)")
 	parallel := flag.Int("parallel", 0, "concurrent files in directory/glob mode (0 = all cores)")
 	speculate := flag.Int("speculate", 0, "run the model pass epoch-speculatively with N predictor chains (0 = off, -1 = auto); results are identical, only faster")
+	shards := flag.Int("shards", 0, "split speculative predictor state into N key shards per category, scaling chains to 4×N (0 = off, -1 = auto); implies -speculate, results are identical")
+	merge := flag.Bool("merge", false, "directory mode: merge every file's Result into one exact aggregate report instead of per-file summaries")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancels the analysis through the streaming decode
@@ -78,15 +80,19 @@ func main() {
 	switch {
 	case *tracePat != "" && *workload != "":
 		fail("use either -trace or -workload, not both")
+	case *merge && *tracePat == "":
+		fail("-merge needs -trace naming a directory of .dpg files")
+	case *merge:
+		runMerged(ctx, *tracePat, kinds, *strict, *workers, *parallel, *speculate, *shards)
 	case *tracePat != "":
 		paths := expandTraces(*tracePat)
 		if len(paths) == 1 {
-			runFile(ctx, paths[0], kinds, *graph, *strict, *workers, *speculate)
+			runFile(ctx, paths[0], kinds, *graph, *strict, *workers, *speculate, *shards)
 			return
 		}
-		runFiles(ctx, paths, kinds, *strict, *workers, *parallel, *speculate)
+		runFiles(ctx, paths, kinds, *strict, *workers, *parallel, *speculate, *shards)
 	case *workload != "":
-		runWorkload(ctx, *workload, *rounds, kinds, *graph, *speculate)
+		runWorkload(ctx, *workload, *rounds, kinds, *graph, *speculate, *shards)
 	default:
 		fail("missing -trace or -workload")
 	}
@@ -110,7 +116,7 @@ func expandTraces(pat string) []string {
 }
 
 // fileOpts assembles the streaming options shared by both file modes.
-func fileOpts(ctx context.Context, k predictor.Kind, graph int, strict bool, workers, speculate int) []core.Option {
+func fileOpts(ctx context.Context, k predictor.Kind, graph int, strict bool, workers, speculate, shards int) []core.Option {
 	opts := []core.Option{core.WithKind(k), core.WithWorkers(workers), core.WithContext(ctx)}
 	if graph > 0 {
 		opts = append(opts, core.WithGraphLimit(graph))
@@ -118,21 +124,29 @@ func fileOpts(ctx context.Context, k predictor.Kind, graph int, strict bool, wor
 	if !strict {
 		opts = append(opts, core.WithLenientTrace())
 	}
-	opts = append(opts, specOpts(speculate)...)
+	opts = append(opts, specOpts(speculate, shards)...)
 	return opts
 }
 
-// specOpts translates -speculate: 0 is off, negative is automatic chain
-// count, positive is an explicit one.
-func specOpts(speculate int) []core.Option {
-	if speculate == 0 {
-		return nil
+// specOpts translates -speculate and -shards: 0 is off, negative is
+// automatic, positive is explicit. -shards alone implies speculation.
+func specOpts(speculate, shards int) []core.Option {
+	var opts []core.Option
+	if speculate != 0 {
+		n := speculate
+		if n < 0 {
+			n = 0 // auto
+		}
+		opts = append(opts, core.WithSpeculation(n))
 	}
-	n := speculate
-	if n < 0 {
-		n = 0 // auto
+	if shards != 0 {
+		n := shards
+		if n < 0 {
+			n = 0 // auto
+		}
+		opts = append(opts, core.WithSpecShards(n))
 	}
-	return []core.Option{core.WithSpeculation(n)}
+	return opts
 }
 
 // printSpecStats summarises a speculative run on stderr, out of band of
@@ -142,22 +156,26 @@ func printSpecStats(st dpg.SpecStats) {
 		fmt.Fprintf(os.Stderr, "dpgrun: speculation: predictor has no checkpoint support, ran sequentially\n")
 		return
 	}
-	fmt.Fprintf(os.Stderr, "dpgrun: speculation: %d epochs on %d chains, %d diverged, %d replayed (%d replay epochs), %d abandoned\n",
-		st.Epochs, st.Chains, st.Diverged, st.Replayed, st.ReplayEpochs, st.Abandoned)
+	sharding := ""
+	if st.Shards > 1 {
+		sharding = fmt.Sprintf(" over %d unit shards (%d-way)", st.Units, st.Shards)
+	}
+	fmt.Fprintf(os.Stderr, "dpgrun: speculation: %d epochs on %d chains%s, %d diverged, %d replayed (%d replay epochs), %d abandoned\n",
+		st.Epochs, st.Chains, sharding, st.Diverged, st.Replayed, st.ReplayEpochs, st.Abandoned)
 }
 
 // runFile streams one trace file through the pass pipeline, once per
 // predictor, printing the same header and per-predictor report as the
 // workload mode.
-func runFile(ctx context.Context, path string, kinds []predictor.Kind, graph int, strict bool, workers, speculate int) {
+func runFile(ctx context.Context, path string, kinds []predictor.Kind, graph int, strict bool, workers, speculate, shards int) {
 	headerDone := false
 	for i, k := range kinds {
 		var ps dpg.PreStats
 		var st trace.Stats
 		var ss dpg.SpecStats
-		opts := append(fileOpts(ctx, k, graph, strict, workers, speculate),
+		opts := append(fileOpts(ctx, k, graph, strict, workers, speculate, shards),
 			core.WithPreStats(&ps), core.WithTraceStats(&st))
-		if speculate != 0 {
+		if speculate != 0 || shards != 0 {
 			opts = append(opts, core.WithSpecStats(&ss))
 		}
 		r, err := core.AnalyzeFile(path, opts...)
@@ -167,7 +185,7 @@ func runFile(ctx context.Context, path string, kinds []predictor.Kind, graph int
 		if err != nil {
 			fail(err.Error())
 		}
-		if speculate != 0 {
+		if speculate != 0 || shards != 0 {
 			printSpecStats(ss)
 		}
 		if !headerDone {
@@ -188,7 +206,7 @@ func runFile(ctx context.Context, path string, kinds []predictor.Kind, graph int
 // AnalyzeFiles sweep per predictor, and prints per-file summary lines in
 // file-major order. Any per-file failure turns into a non-zero exit after
 // every file has been reported.
-func runFiles(ctx context.Context, paths []string, kinds []predictor.Kind, strict bool, workers, parallel, speculate int) {
+func runFiles(ctx context.Context, paths []string, kinds []predictor.Kind, strict bool, workers, parallel, speculate, shards int) {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
@@ -196,7 +214,7 @@ func runFiles(ctx context.Context, paths []string, kinds []predictor.Kind, stric
 	for i, k := range kinds {
 		// No WithSpecStats here: one options slice serves every concurrent
 		// file, and a shared stats pointer would race.
-		byKind[i] = core.AnalyzeFiles(paths, parallel, fileOpts(ctx, k, 0, strict, workers, speculate)...)
+		byKind[i] = core.AnalyzeFiles(paths, parallel, fileOpts(ctx, k, 0, strict, workers, speculate, shards)...)
 	}
 	failed, interrupted := 0, 0
 	for fi, path := range paths {
@@ -236,10 +254,39 @@ func runFiles(ctx context.Context, paths []string, kinds []predictor.Kind, stric
 	}
 }
 
+// runMerged analyzes every .dpg file in a directory and reports one exact
+// aggregate per predictor (core.AnalyzeDir): the merged Result is
+// byte-identical to what a single analysis of the concatenated populations
+// would report, regardless of fan-out, decode, or sharding configuration.
+func runMerged(ctx context.Context, dir string, kinds []predictor.Kind, strict bool, workers, parallel, speculate, shards int) {
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		fail(fmt.Sprintf("-merge needs a directory of .dpg files; %q is not one", dir))
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	headerDone := false
+	for i, k := range kinds {
+		res, files, err := core.AnalyzeDir(dir, parallel, fileOpts(ctx, k, 0, strict, workers, speculate, shards)...)
+		if errors.Is(err, core.ErrAborted) {
+			failInterrupted(i, len(kinds))
+		}
+		if err != nil {
+			fail(err.Error())
+		}
+		if !headerDone {
+			headerDone = true
+			fmt.Printf("merged %d trace file(s) from %s: %d dynamic instructions\n\n",
+				len(files), dir, res.Nodes)
+		}
+		printResult(res)
+	}
+}
+
 // runWorkload traces a built-in workload in memory and runs the model —
 // the only dpgrun mode that materializes a trace (the generator produces
 // one directly).
-func runWorkload(ctx context.Context, name string, rounds int, kinds []predictor.Kind, graph, speculate int) {
+func runWorkload(ctx context.Context, name string, rounds int, kinds []predictor.Kind, graph, speculate, shards int) {
 	w, ok := workloads.ByName(name)
 	if !ok {
 		fail(fmt.Sprintf("unknown workload %q; known: %v", name, workloads.Names()))
@@ -261,15 +308,15 @@ func runWorkload(ctx context.Context, name string, rounds int, kinds []predictor
 		}
 		var ss dpg.SpecStats
 		opts := []core.Option{core.WithKind(k), core.WithGraphLimit(graph)}
-		opts = append(opts, specOpts(speculate)...)
-		if speculate != 0 {
+		opts = append(opts, specOpts(speculate, shards)...)
+		if speculate != 0 || shards != 0 {
 			opts = append(opts, core.WithSpecStats(&ss))
 		}
 		res, err := core.RunTrace(t, opts...)
 		if err != nil {
 			fail(err.Error())
 		}
-		if speculate != 0 {
+		if speculate != 0 || shards != 0 {
 			printSpecStats(ss)
 		}
 		printResult(res)

@@ -7,6 +7,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -89,6 +90,22 @@ func TestCLIPipeline(t *testing.T) {
 		t.Errorf("dpgrun -speculate stderr missing stats line: %q", specErr.String())
 	}
 
+	// dpgrun -shards (implying -speculate) also matches the sequential
+	// stdout byte for byte, and its stats line reports the shard split.
+	shardCmd := exec.Command(filepath.Join(bin, "dpgrun"), "-trace", tracePath, "-predictor", "stride", "-shards", "2")
+	var shardErr bytes.Buffer
+	shardCmd.Stderr = &shardErr
+	shardOut, err := shardCmd.Output()
+	if err != nil {
+		t.Fatalf("dpgrun -shards: %v\n%s", err, shardErr.String())
+	}
+	if !bytes.Equal(seqOut, shardOut) {
+		t.Errorf("dpgrun -shards stdout differs from sequential run")
+	}
+	if !strings.Contains(shardErr.String(), "unit shards") {
+		t.Errorf("dpgrun -shards stderr missing shard stats: %q", shardErr.String())
+	}
+
 	// tracegen -compress: the compressed file is smaller, reports its codec,
 	// and dpgrun consumes it with no special flags (readers auto-detect).
 	plainInfo, err := os.Stat(tracePath)
@@ -110,6 +127,15 @@ func TestCLIPipeline(t *testing.T) {
 	out = run("dpgrun", "-trace", lzPath, "-predictor", "stride")
 	if !strings.Contains(out, "predictor: stride") {
 		t.Errorf("dpgrun on compressed trace: %q", out)
+	}
+
+	// dpgrun -merge aggregates the directory (one plain + one compressed
+	// trace at this point) into a single exact report.
+	out = run("dpgrun", "-merge", "-trace", work, "-predictor", "stride", "-shards", "2")
+	for _, want := range []string{"merged 2 trace file(s)", "predictor: stride", "Table 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dpgrun -merge output missing %q:\n%s", want, out)
+		}
 	}
 
 	// dpgrun -graph prints the Fig. 3 fragment.
@@ -236,10 +262,19 @@ func TestSpeculationIntegrationSweep(t *testing.T) {
 				t.Fatalf("%s/%s baseline: %v", name, codec, err)
 			}
 			for _, decode := range []int{0, 2} {
-				for _, chains := range []int{1, 4} {
+				for _, shape := range []struct{ chains, shards int }{
+					{1, 0}, {4, 0}, {2, 2}, {0, 4},
+				} {
 					for _, epochs := range []int{0, 7} {
-						label := fmt.Sprintf("%s/%s/decode%d/chains%d/epochs%d", name, codec, decode, chains, epochs)
-						opts := []core.Option{core.WithKind(predictor.KindContext), core.WithSpeculation(chains)}
+						label := fmt.Sprintf("%s/%s/decode%d/chains%d/shards%d/epochs%d",
+							name, codec, decode, shape.chains, shape.shards, epochs)
+						opts := []core.Option{core.WithKind(predictor.KindContext)}
+						if shape.chains > 0 {
+							opts = append(opts, core.WithSpeculation(shape.chains))
+						}
+						if shape.shards > 0 {
+							opts = append(opts, core.WithSpecShards(shape.shards))
+						}
 						if decode > 0 {
 							opts = append(opts, core.WithWorkers(decode))
 						}
@@ -257,9 +292,45 @@ func TestSpeculationIntegrationSweep(t *testing.T) {
 						if st.Fallback || st.Diverged != 0 || st.Epochs == 0 {
 							t.Fatalf("%s: implausible stats %+v", label, st)
 						}
+						if shape.shards > 0 && st.Shards != shape.shards {
+							t.Fatalf("%s: effective shards %d, want %d", label, st.Shards, shape.shards)
+						}
 					}
 				}
 			}
 		}
+	}
+
+	// Capstone: the directory-merge coordinator over the full mixed-codec
+	// spread (three workloads × two codecs) equals hand-merging the
+	// sequential per-file analyses — sharding and fan-out included.
+	paths, err := filepath.Glob(filepath.Join(dir, "*.dpg"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("globbing sweep traces: %v (%d files)", err, len(paths))
+	}
+	sort.Strings(paths)
+	var partials []*dpg.Result
+	for _, p := range paths {
+		r, err := core.AnalyzeFile(p, core.WithKind(predictor.KindContext))
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials = append(partials, r)
+	}
+	want, err := dpg.MergeResults(partials...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Name = filepath.Base(dir)
+	got, files, err := core.AnalyzeDir(dir, 3,
+		core.WithKind(predictor.KindContext), core.WithSpecShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(paths) {
+		t.Fatalf("merge capstone: %d file results, want %d", len(files), len(paths))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("merge capstone: AnalyzeDir aggregate differs from hand-merged sequential analyses")
 	}
 }

@@ -11,7 +11,8 @@ package predictor
 // the stored value is replaced only when the counter has fallen to zero.
 // While an entry exists its value is always offered as the prediction.
 type LastValue struct {
-	mask    uint64
+	mask    uint64 // full-table index mask, shared by every shard
+	geom    shardGeom
 	entries []lastEntry
 	track   bool
 	dig     uint64
@@ -30,6 +31,7 @@ func NewLastValue(bits int) *LastValue {
 	}
 	return &LastValue{
 		mask:    1<<uint(bits) - 1,
+		geom:    newShardGeom(0, 1),
 		entries: make([]lastEntry, 1<<uint(bits)),
 	}
 }
@@ -39,7 +41,8 @@ func (p *LastValue) Name() string { return "last-value" }
 
 // Predict implements Predictor.
 func (p *LastValue) Predict(key uint64) (uint32, bool) {
-	e := &p.entries[p.index(key)]
+	local, _ := p.geom.slot(mix(key) & p.mask)
+	e := &p.entries[local]
 	if !e.valid {
 		return 0, false
 	}
@@ -48,8 +51,8 @@ func (p *LastValue) Predict(key uint64) (uint32, bool) {
 
 // Update implements Predictor.
 func (p *LastValue) Update(key uint64, actual uint32) {
-	i := p.index(key)
-	e := &p.entries[i]
+	local, i := p.geom.slot(mix(key) & p.mask)
+	e := &p.entries[local]
 	var old uint64
 	if p.track {
 		old = packLastEntry(*e)
@@ -81,8 +84,6 @@ func (p *LastValue) Reset() {
 	}
 	p.dig = 0
 }
-
-func (p *LastValue) index(key uint64) uint64 { return mix(key) & p.mask }
 
 // mix is a 64-bit finaliser (splitmix64) that spreads PC-derived keys over
 // the table, standing in for the bit-selection indexing of a hardware table.

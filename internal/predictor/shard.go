@@ -1,0 +1,151 @@
+package predictor
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Key-sharded predictor state for the scale-out speculative pass (see
+// internal/dpg). A predictor whose table is strictly per-key — every
+// Predict/Update touches exactly the one entry its key hashes to — can be
+// split into `shards` independent partitions: shard s owns every table
+// entry whose index has low bits s, and therefore every key that hashes
+// into those entries. Each partition is a fresh, self-contained predictor
+// instance (a ShardView) holding only its own entries, so `shards`
+// independent goroutines can advance `shards` disjoint slices of the
+// key space with no synchronisation, and the union of their states is —
+// exactly, entry for entry — the state one monolithic instance would
+// have reached.
+//
+// Digests compose the same way: every entry's digest contribution is
+// tagged with its GLOBAL table index (the index a monolithic instance
+// would use), whichever instance holds it. Since the shards partition the
+// entries and an untouched entry contributes zero, the XOR of all shard
+// digests equals the monolithic digest by construction — the property the
+// speculative committer's divergence check and the shard_test.go property
+// test both rely on.
+//
+// Not every predictor decomposes. LastValue and Stride do (strictly
+// per-key tables). GShare does not: its global history register is read
+// and written by every branch, coupling all keys. Context does not: its
+// shared second-level table is indexed by a hash of history values, so
+// any key can touch any L2 entry — the value-interference effect the
+// paper discusses. Those predictors simply do not implement Sharder, and
+// callers treat them as single-shard.
+
+// ShardView is the surface of one shard instance: a Predictor restricted
+// to the keys its shard owns, with full checkpoint/digest support.
+// Feeding it a key another shard owns is a routing bug: the update aliases
+// into this shard's own partition (state and digest stay internally
+// consistent, results do not match the monolithic predictor).
+type ShardView interface {
+	Predictor
+	Checkpointer
+}
+
+// Sharder is the optional interface of checkpointable predictors whose
+// state decomposes into independent key shards. Shard counts must be
+// powers of two (the partition is by the low bits of the hashed key), at
+// most MaxShards.
+type Sharder interface {
+	// MaxShards returns the largest supported shard count (the table
+	// size: beyond that, shards would own no entries).
+	MaxShards() int
+	// ShardOf returns the shard (0..shards-1) owning key under a
+	// power-of-two shard count. It is the routing function callers use to
+	// direct each key to its shard instance; it agrees with the entry
+	// partition, so ownership is exact, not approximate.
+	ShardOf(key uint64, shards int) int
+	// Shard returns a fresh zero-state instance owning partition
+	// idx of shards. The instance's geometry (full table mask, shard
+	// index, shard count) is carried in its snapshots and enforced by
+	// Restore.
+	Shard(idx, shards int) (ShardView, error)
+}
+
+// checkShards validates a (idx, shards) shard request against a table of
+// size max.
+func checkShards(idx, shards, max int) error {
+	switch {
+	case shards < 1 || shards > max:
+		return fmt.Errorf("%w: shard count %d out of range [1, %d]", ErrSnapshot, shards, max)
+	case shards&(shards-1) != 0:
+		return fmt.Errorf("%w: shard count %d is not a power of two", ErrSnapshot, shards)
+	case idx < 0 || idx >= shards:
+		return fmt.Errorf("%w: shard index %d out of range [0, %d)", ErrSnapshot, idx, shards)
+	}
+	return nil
+}
+
+// shardGeom is the common shard geometry embedded in sharded predictors:
+// the full-table mask (shared by every shard of one predictor), this
+// instance's shard index, and the shard count. A monolithic instance is
+// the shards==1 special case, so one code path serves both.
+type shardGeom struct {
+	shard  uint64 // this instance's partition (0 for monolithic)
+	shards uint64 // power of two; 1 = monolithic
+	shift  uint   // log2(shards): global index -> local slot
+}
+
+// slot maps a hashed global table index to this instance's local entry
+// slot and the canonical global index of that slot. For an owned key the
+// canonical index is the monolithic table index; a mis-routed key aliases
+// into this shard's own partition, keeping the digest tag space disjoint
+// across shards regardless.
+func (g *shardGeom) slot(globalIdx uint64) (local, canonical uint64) {
+	local = globalIdx >> g.shift
+	return local, local<<g.shift | g.shard
+}
+
+func newShardGeom(idx, shards int) shardGeom {
+	return shardGeom{
+		shard:  uint64(idx),
+		shards: uint64(shards),
+		shift:  uint(bits.TrailingZeros(uint(shards))),
+	}
+}
+
+// --- LastValue ---
+
+// MaxShards implements Sharder.
+func (p *LastValue) MaxShards() int { return len(p.entries) }
+
+// ShardOf implements Sharder.
+func (p *LastValue) ShardOf(key uint64, shards int) int {
+	return int(mix(key) & uint64(shards-1))
+}
+
+// Shard implements Sharder: a fresh zero-state partition holding
+// 1/shards of the table, digest-tagged by global entry index.
+func (p *LastValue) Shard(idx, shards int) (ShardView, error) {
+	if err := checkShards(idx, shards, p.MaxShards()); err != nil {
+		return nil, err
+	}
+	return &LastValue{
+		mask:    p.mask,
+		geom:    newShardGeom(idx, shards),
+		entries: make([]lastEntry, (int(p.mask)+1)/shards),
+	}, nil
+}
+
+// --- Stride ---
+
+// MaxShards implements Sharder.
+func (p *Stride) MaxShards() int { return len(p.entries) }
+
+// ShardOf implements Sharder.
+func (p *Stride) ShardOf(key uint64, shards int) int {
+	return int(mix(key) & uint64(shards-1))
+}
+
+// Shard implements Sharder.
+func (p *Stride) Shard(idx, shards int) (ShardView, error) {
+	if err := checkShards(idx, shards, p.MaxShards()); err != nil {
+		return nil, err
+	}
+	return &Stride{
+		mask:    p.mask,
+		geom:    newShardGeom(idx, shards),
+		entries: make([]strideEntry, (int(p.mask)+1)/shards),
+	}, nil
+}

@@ -1,0 +1,190 @@
+package predictor
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// sharderCase adapts one shardable predictor to the composition property
+// tests.
+type sharderCase struct {
+	name  string
+	fresh func() interface {
+		Predictor
+		Checkpointer
+		Sharder
+	}
+}
+
+func sharderCases() []sharderCase {
+	return []sharderCase{
+		{name: "last-value", fresh: func() interface {
+			Predictor
+			Checkpointer
+			Sharder
+		} {
+			return NewLastValue(12)
+		}},
+		{name: "stride", fresh: func() interface {
+			Predictor
+			Checkpointer
+			Sharder
+		} {
+			return NewStride(12)
+		}},
+	}
+}
+
+// shardCut is one consistent snapshot of a sharded ensemble and its
+// monolithic reference, taken at the same point of the update stream.
+type shardCut struct {
+	mono   Snapshot
+	shards []Snapshot
+}
+
+// TestShardDigestComposition is the composition property the speculative
+// committer relies on: for every shardable predictor and shard count, the
+// XOR of the per-shard digests equals the monolithic digest — at every
+// step of a random update stream, across random snapshot/restore
+// interleavings, with per-key predictions in exact agreement throughout.
+func TestShardDigestComposition(t *testing.T) {
+	for _, tc := range sharderCases() {
+		for _, shards := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("%s/shards=%d", tc.name, shards), func(t *testing.T) {
+				r := rand.New(rand.NewSource(int64(31*shards + 1)))
+				mono := tc.fresh()
+				mono.TrackDigest(true)
+				views := make([]ShardView, shards)
+				for i := range views {
+					v, err := mono.Shard(i, shards)
+					if err != nil {
+						t.Fatalf("Shard(%d, %d): %v", i, shards, err)
+					}
+					v.TrackDigest(true)
+					views[i] = v
+				}
+				xor := func() uint64 {
+					var d uint64
+					for _, v := range views {
+						d ^= v.Digest()
+					}
+					return d
+				}
+				checkAgreement := func(step int) {
+					if got, want := xor(), mono.Digest(); got != want {
+						t.Fatalf("step %d: XOR of shard digests %#x != monolithic digest %#x", step, got, want)
+					}
+					for probe := 0; probe < 32; probe++ {
+						key := uint64(r.Intn(1 << 14))
+						sv, sok := views[mono.ShardOf(key, shards)].Predict(key)
+						mv, mok := mono.Predict(key)
+						if sv != mv || sok != mok {
+							t.Fatalf("step %d key %d: shard predicts (%d,%v), monolithic (%d,%v)",
+								step, key, sv, sok, mv, mok)
+						}
+					}
+				}
+
+				var cuts []shardCut
+				for step := 0; step < 6000; step++ {
+					key, val := uint64(r.Intn(1<<14)), uint32(r.Intn(256))
+					mono.Update(key, val)
+					views[mono.ShardOf(key, shards)].Update(key, val)
+					switch {
+					case step%977 == 0:
+						// Take a consistent cut of the whole ensemble.
+						cut := shardCut{mono: mono.Snapshot()}
+						for _, v := range views {
+							cut.shards = append(cut.shards, v.Snapshot())
+						}
+						cuts = append(cuts, cut)
+					case step%1471 == 0 && len(cuts) > 0:
+						// Rewind the whole ensemble to a random earlier cut;
+						// the composition must hold at the restored state too.
+						cut := cuts[r.Intn(len(cuts))]
+						if err := mono.Restore(cut.mono); err != nil {
+							t.Fatalf("monolithic Restore: %v", err)
+						}
+						for i, v := range views {
+							if err := v.Restore(cut.shards[i]); err != nil {
+								t.Fatalf("shard %d Restore: %v", i, err)
+							}
+						}
+					}
+					if step%211 == 0 {
+						checkAgreement(step)
+					}
+				}
+				checkAgreement(6000)
+
+				// Restoring a shard's snapshot into the wrong shard (or the
+				// monolithic snapshot into a shard) is a geometry error, not a
+				// silent corruption.
+				if shards > 1 {
+					if err := views[1].Restore(views[0].Snapshot()); !errors.Is(err, ErrSnapshot) {
+						t.Fatalf("cross-shard Restore: err = %v, want ErrSnapshot", err)
+					}
+					if err := views[0].Restore(mono.Snapshot()); !errors.Is(err, ErrSnapshot) {
+						t.Fatalf("monolithic-into-shard Restore: err = %v, want ErrSnapshot", err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSharderSurface pins the Sharder contract: shard counts are validated,
+// MaxShards reflects the table, the routing function stays in range and
+// agrees with the entry partition across shard counts, and the inherently
+// global predictors (gshare's shared history register, context's shared
+// second-level table) deliberately do not implement Sharder at all.
+func TestSharderSurface(t *testing.T) {
+	for _, tc := range sharderCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.fresh()
+			if got := p.MaxShards(); got != 1<<12 {
+				t.Fatalf("MaxShards = %d, want %d", got, 1<<12)
+			}
+			for _, bad := range []struct{ idx, shards int }{
+				{0, 0}, {0, -2}, {0, 3}, {0, 6}, {2, 2}, {-1, 2}, {0, 1 << 13},
+			} {
+				if _, err := p.Shard(bad.idx, bad.shards); !errors.Is(err, ErrSnapshot) {
+					t.Fatalf("Shard(%d, %d): err = %v, want ErrSnapshot", bad.idx, bad.shards, err)
+				}
+			}
+			for _, shards := range []int{1, 2, 4, 64} {
+				for key := uint64(0); key < 4096; key++ {
+					if s := p.ShardOf(key, shards); s < 0 || s >= shards {
+						t.Fatalf("ShardOf(%d, %d) = %d, out of range", key, shards, s)
+					}
+				}
+			}
+			// Shard(0, 1) behaves exactly like the monolithic instance.
+			solo, err := p.Shard(0, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			solo.TrackDigest(true)
+			p.TrackDigest(true)
+			r := rand.New(rand.NewSource(8))
+			for i := 0; i < 2000; i++ {
+				key, val := uint64(r.Intn(4096)), uint32(r.Intn(64))
+				p.Update(key, val)
+				solo.Update(key, val)
+			}
+			if p.Digest() != solo.Digest() {
+				t.Fatalf("Shard(0,1) digest %#x != monolithic %#x", solo.Digest(), p.Digest())
+			}
+		})
+	}
+	var global Checkpointer = NewGShare(12)
+	if _, ok := global.(Sharder); ok {
+		t.Fatal("GShare implements Sharder; its global history register makes key shards inexact")
+	}
+	global = NewContext(10, 14, DefaultOrder)
+	if _, ok := global.(Sharder); ok {
+		t.Fatal("Context implements Sharder; its shared second-level table makes key shards inexact")
+	}
+}

@@ -7,7 +7,8 @@ package predictor
 // observed twice in a row, so a single irregular value does not destroy a
 // learned stride (and last-value behaviour is the stride-0 special case).
 type Stride struct {
-	mask    uint64
+	mask    uint64 // full-table index mask, shared by every shard
+	geom    shardGeom
 	entries []strideEntry
 	track   bool
 	dig     uint64
@@ -28,6 +29,7 @@ func NewStride(bits int) *Stride {
 	}
 	return &Stride{
 		mask:    1<<uint(bits) - 1,
+		geom:    newShardGeom(0, 1),
 		entries: make([]strideEntry, 1<<uint(bits)),
 	}
 }
@@ -37,7 +39,8 @@ func (p *Stride) Name() string { return "stride" }
 
 // Predict implements Predictor.
 func (p *Stride) Predict(key uint64) (uint32, bool) {
-	e := &p.entries[mix(key)&p.mask]
+	local, _ := p.geom.slot(mix(key) & p.mask)
+	e := &p.entries[local]
 	if !e.valid {
 		return 0, false
 	}
@@ -50,8 +53,8 @@ func (p *Stride) Predict(key uint64) (uint32, bool) {
 
 // Update implements Predictor.
 func (p *Stride) Update(key uint64, actual uint32) {
-	i := mix(key) & p.mask
-	e := &p.entries[i]
+	local, i := p.geom.slot(mix(key) & p.mask)
+	e := &p.entries[local]
 	var oa, ob uint64
 	if p.track {
 		oa, ob = packStrideEntry(*e)

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/dpg"
 	"repro/internal/predictor"
 	"repro/internal/trace"
 )
@@ -23,7 +24,7 @@ import (
 // It is part of every cache key, so a model change (new pass, new
 // classification rule) silently invalidates all previously cached results
 // instead of serving stale ones.
-const ModelVersion = "pv2-model-7"
+const ModelVersion = "pv2-model-8"
 
 // Config tunes the server. The zero value is usable: every field has a
 // production default applied by New.
@@ -46,6 +47,11 @@ type Config struct {
 	// (0 disables). Degraded mode always runs without speculation.
 	// Default 2.
 	Speculation int
+	// Shards splits the speculative predictor state into N key shards per
+	// category, scaling chains to 4×N (0 = off, negative = auto-size from
+	// GOMAXPROCS). Applies only to speculative normal-mode jobs; results
+	// are identical either way. Default 0.
+	Shards int
 	// DecodeWorkers is the parallel-decode width for normal-mode jobs.
 	// Default GOMAXPROCS. Degraded mode always decodes sequentially.
 	DecodeWorkers int
@@ -544,12 +550,22 @@ func (s *Server) analyze(j *job) (*analysisPayload, *JobError) {
 	if len(obs) > 0 {
 		opts = append(opts, core.WithObservers(obs...))
 	}
+	var specStats *dpg.SpecStats
 	if !j.degraded {
 		if s.cfg.DecodeWorkers > 1 {
 			opts = append(opts, core.WithWorkers(s.cfg.DecodeWorkers))
 		}
 		if s.cfg.Speculation > 1 && len(obs) == 0 {
 			opts = append(opts, core.WithSpeculation(s.cfg.Speculation))
+			if s.cfg.Shards != 0 {
+				n := s.cfg.Shards
+				if n < 0 {
+					n = 0 // core auto-sizes from GOMAXPROCS
+				}
+				opts = append(opts, core.WithSpecShards(n))
+			}
+			specStats = new(dpg.SpecStats)
+			opts = append(opts, core.WithSpecStats(specStats))
 		}
 	}
 	s.metrics.computations.Add(1)
@@ -557,6 +573,9 @@ func (s *Server) analyze(j *job) (*analysisPayload, *JobError) {
 	s.metrics.analyzeHist.observe(time.Since(start))
 	if err != nil {
 		return nil, classifyJobErr(err)
+	}
+	if specStats != nil {
+		s.metrics.observeSpec(specStats)
 	}
 	var exp *experimentsPayload
 	if len(obs) > 0 {

@@ -424,6 +424,59 @@ func TestAnalyzeDegradedMode(t *testing.T) {
 	}
 }
 
+// TestAnalyzeShardedSpeculation checks that a server running sharded
+// epoch speculation returns a payload byte-identical to a plain
+// sequential server's, and that the job's speculation statistics surface
+// as dpgd_spec_* counters on /metrics.
+func TestAnalyzeShardedSpeculation(t *testing.T) {
+	data := traceBytes(t, "gcc", 40)
+
+	_, plain := testServer(t, nil) // speculation off
+	_, sharded := testServer(t, func(c *Config) {
+		c.Speculation = 4
+		c.Shards = 2
+	})
+
+	status, want, _ := upload(t, plain, "?predictor=stride", bytes.NewReader(data))
+	if status != http.StatusOK {
+		t.Fatalf("plain upload: status %d", status)
+	}
+	status, got, _ := upload(t, sharded, "?predictor=stride", bytes.NewReader(data))
+	if status != http.StatusOK {
+		t.Fatalf("sharded upload: status %d", status)
+	}
+	if !reflect.DeepEqual(got.analysisPayload, want.analysisPayload) {
+		t.Errorf("sharded payload differs from sequential:\n got %+v\nwant %+v",
+			got.analysisPayload, want.analysisPayload)
+	}
+
+	resp, err := http.Get(sharded.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range []string{
+		"dpgd_spec_jobs_total 1",
+		"dpgd_spec_shards_total 2",
+		"dpgd_spec_fallback_jobs_total 0",
+		"dpgd_spec_abandoned_units_total 0",
+	} {
+		if !strings.Contains(string(body), line) {
+			t.Errorf("metrics missing %q", line)
+		}
+	}
+	for _, zero := range []string{
+		"dpgd_spec_chains_total 0",
+		"dpgd_spec_commits_total 0",
+		"dpgd_spec_units_total 0",
+	} {
+		if strings.Contains(string(body), zero+"\n") {
+			t.Errorf("metrics counter stuck at zero: %q", zero)
+		}
+	}
+}
+
 // TestUploadTooLarge checks the size limit rejects with 413 before any
 // job is queued.
 func TestUploadTooLarge(t *testing.T) {
