@@ -1,0 +1,160 @@
+// Command covercheck enforces a per-package coverage floor from
+// `go test -json` output. Unlike grepping the human-readable `go test
+// -cover` text for package names, the JSON stream is a stable contract:
+// a renamed or deleted package cannot silently fall out of the gate,
+// because every required package must appear in the stream, with test
+// files, passing, and at or above the floor.
+//
+// Usage:
+//
+//	go test -json -cover ./... | covercheck -floor 80 repro/internal/dpg repro/internal/core
+//
+// covercheck fails (exit 1) when:
+//   - any package in the stream reports a test failure,
+//   - a required package never appears (renamed, deleted, or untested),
+//   - a required package has no test files or reports no coverage,
+//   - a required package's coverage is below the floor.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// testEvent is the subset of test2json's event schema covercheck reads.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Test    string `json:"Test"`
+	Output  string `json:"Output"`
+}
+
+// pkgState accumulates one package's fate across the stream.
+type pkgState struct {
+	coverage    float64
+	hasCoverage bool
+	noTestFiles bool
+	passed      bool
+	failed      bool
+}
+
+var coverageRe = regexp.MustCompile(`coverage: (\d+(?:\.\d+)?)% of statements`)
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	floor := 80.0
+	var required []string
+	for i := 0; i < len(args); i++ {
+		switch {
+		case args[i] == "-floor":
+			if i+1 >= len(args) {
+				fmt.Fprintln(stderr, "covercheck: -floor needs a value")
+				return 2
+			}
+			i++
+			f, err := strconv.ParseFloat(args[i], 64)
+			if err != nil {
+				fmt.Fprintf(stderr, "covercheck: bad -floor %q: %v\n", args[i], err)
+				return 2
+			}
+			floor = f
+		case strings.HasPrefix(args[i], "-"):
+			fmt.Fprintf(stderr, "covercheck: unknown flag %q\n", args[i])
+			return 2
+		default:
+			required = append(required, args[i])
+		}
+	}
+	if len(required) == 0 {
+		fmt.Fprintln(stderr, "covercheck: no required packages named")
+		return 2
+	}
+
+	pkgs := make(map[string]*pkgState)
+	state := func(name string) *pkgState {
+		if pkgs[name] == nil {
+			pkgs[name] = &pkgState{}
+		}
+		return pkgs[name]
+	}
+
+	dec := json.NewDecoder(bufio.NewReader(stdin))
+	for {
+		var ev testEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintf(stderr, "covercheck: malformed go test -json stream: %v\n", err)
+			return 2
+		}
+		if ev.Package == "" {
+			continue
+		}
+		p := state(ev.Package)
+		switch ev.Action {
+		case "output":
+			if m := coverageRe.FindStringSubmatch(ev.Output); m != nil {
+				f, err := strconv.ParseFloat(m[1], 64)
+				if err == nil {
+					p.coverage = f
+					p.hasCoverage = true
+				}
+			}
+			if strings.Contains(ev.Output, "[no test files]") {
+				p.noTestFiles = true
+			}
+		case "pass":
+			if ev.Test == "" {
+				p.passed = true
+			}
+		case "fail":
+			if ev.Test == "" {
+				p.failed = true
+			}
+		}
+	}
+
+	fail := 0
+	// Any failing package sinks the gate, required or not: coverage of a
+	// red suite is meaningless.
+	for name, p := range pkgs {
+		if p.failed {
+			fmt.Fprintf(stderr, "covercheck: package %s failed its tests\n", name)
+			fail = 1
+		}
+	}
+	for _, name := range required {
+		p, ok := pkgs[name]
+		switch {
+		case !ok:
+			fmt.Fprintf(stderr, "covercheck: required package %s never appeared in the stream (renamed? deleted? not selected?)\n", name)
+			fail = 1
+		case p.noTestFiles:
+			fmt.Fprintf(stderr, "covercheck: required package %s has no test files\n", name)
+			fail = 1
+		case p.failed:
+			// already reported above
+		case !p.passed:
+			fmt.Fprintf(stderr, "covercheck: required package %s did not pass\n", name)
+			fail = 1
+		case !p.hasCoverage:
+			fmt.Fprintf(stderr, "covercheck: required package %s reported no coverage (run go test with -cover)\n", name)
+			fail = 1
+		case p.coverage < floor:
+			fmt.Fprintf(stderr, "covercheck: %s coverage %.1f%% is below the %.1f%% floor\n", name, p.coverage, floor)
+			fail = 1
+		default:
+			fmt.Fprintf(stdout, "covercheck: %s %.1f%% >= %.1f%%\n", name, p.coverage, floor)
+		}
+	}
+	return fail
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// stream builds a go test -json stream from (package, coverage-or-marker,
+// verdict) triples.
+func stream(rows ...[3]string) string {
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	for _, r := range rows {
+		pkg, cover, verdict := r[0], r[1], r[2]
+		if cover != "" {
+			enc.Encode(testEvent{Action: "output", Package: pkg, Output: cover + "\n"})
+		}
+		enc.Encode(testEvent{Action: verdict, Package: pkg})
+	}
+	return b.String()
+}
+
+func runCheck(t *testing.T, in string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(in), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCovercheckPasses(t *testing.T) {
+	in := stream(
+		[3]string{"repro/internal/dpg", "ok  \trepro/internal/dpg\t1.2s\tcoverage: 91.5% of statements", "pass"},
+		[3]string{"repro/internal/core", "coverage: 80.0% of statements", "pass"},
+		[3]string{"repro/extra", "coverage: 12.0% of statements", "pass"}, // not required: no floor
+	)
+	code, out, errb := runCheck(t, in, "-floor", "80", "repro/internal/dpg", "repro/internal/core")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "repro/internal/dpg 91.5%") {
+		t.Fatalf("missing report line: %s", out)
+	}
+}
+
+func TestCovercheckBelowFloor(t *testing.T) {
+	in := stream([3]string{"repro/internal/dpg", "coverage: 79.9% of statements", "pass"})
+	code, _, errb := runCheck(t, in, "-floor", "80", "repro/internal/dpg")
+	if code != 1 || !strings.Contains(errb, "below the 80.0% floor") {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+}
+
+func TestCovercheckMissingPackage(t *testing.T) {
+	// The renamed-package hole the grep parser had: the stream simply no
+	// longer mentions the required path. That must fail, not silently pass.
+	in := stream([3]string{"repro/internal/dpgv2", "coverage: 95.0% of statements", "pass"})
+	code, _, errb := runCheck(t, in, "repro/internal/dpg")
+	if code != 1 || !strings.Contains(errb, "never appeared in the stream") {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+}
+
+func TestCovercheckNoTestFiles(t *testing.T) {
+	in := stream([3]string{"repro/internal/dpg", "?   \trepro/internal/dpg\t[no test files]", "skip"})
+	code, _, errb := runCheck(t, in, "repro/internal/dpg")
+	if code != 1 || !strings.Contains(errb, "no test files") {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+}
+
+func TestCovercheckTestFailure(t *testing.T) {
+	// A failing package fails the gate even when it isn't on the required
+	// list and every required package clears the floor.
+	in := stream(
+		[3]string{"repro/internal/dpg", "coverage: 95.0% of statements", "pass"},
+		[3]string{"repro/internal/other", "coverage: 90.0% of statements", "fail"},
+	)
+	code, _, errb := runCheck(t, in, "repro/internal/dpg")
+	if code != 1 || !strings.Contains(errb, "failed its tests") {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+}
+
+func TestCovercheckNoCoverage(t *testing.T) {
+	in := stream([3]string{"repro/internal/dpg", "", "pass"})
+	code, _, errb := runCheck(t, in, "repro/internal/dpg")
+	if code != 1 || !strings.Contains(errb, "reported no coverage") {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+}
+
+func TestCovercheckUsageErrors(t *testing.T) {
+	if code, _, _ := runCheck(t, ""); code != 2 {
+		t.Fatal("no required packages must exit 2")
+	}
+	if code, _, _ := runCheck(t, "", "-floor"); code != 2 {
+		t.Fatal("dangling -floor must exit 2")
+	}
+	if code, _, _ := runCheck(t, "", "-floor", "eighty", "x"); code != 2 {
+		t.Fatal("bad floor value must exit 2")
+	}
+	if code, _, _ := runCheck(t, "", "-wat", "x"); code != 2 {
+		t.Fatal("unknown flag must exit 2")
+	}
+	if code, _, _ := runCheck(t, "not json", "repro/x"); code != 2 {
+		t.Fatal("malformed stream must exit 2")
+	}
+}

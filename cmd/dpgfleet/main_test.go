@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dpg"
+	"repro/internal/predictor"
+	"repro/internal/server"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// writeCorpus builds a small mixed trace directory and returns it.
+func writeCorpus(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		file, workload string
+		rounds         int
+	}{
+		{"a-fig1.dpg", "fig1", 6},
+		{"b-gcc.dpg", "gcc", 18},
+		{"c-fig1.dpg", "fig1", 9},
+	} {
+		w, ok := workloads.ByName(tc.workload)
+		if !ok {
+			t.Fatalf("unknown workload %q", tc.workload)
+		}
+		tr, err := w.TraceRounds(tc.rounds, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteFile(filepath.Join(dir, tc.file), tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// localWire analyses dir locally and returns the canonical aggregate bytes.
+func localWire(t *testing.T, dir string) []byte {
+	t.Helper()
+	res, _, err := core.AnalyzeDir(dir, 2, core.WithKind(predictor.KindStride))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := dpg.EncodeResult(res, server.ModelVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// bootWorker starts an in-process dpgd on an httptest listener.
+func bootWorker(t *testing.T) string {
+	t.Helper()
+	s, err := server.New(server.Config{
+		StoreDir:    filepath.Join(t.TempDir(), "store"),
+		QueueDepth:  16,
+		Workers:     2,
+		JobTimeout:  30 * time.Second,
+		Speculation: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return ts.URL
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no dir", []string{"-workers", "http://x"}, "missing -dir"},
+		{"no mode", []string{"-dir", "x"}, "exactly one of -workers or -spawn"},
+		{"both modes", []string{"-dir", "x", "-workers", "http://x", "-spawn", "2"}, "exactly one of -workers or -spawn"},
+		{"bad predictor", []string{"-dir", "x", "-workers", "http://x", "-predictor", "psychic"}, "unknown predictor"},
+		{"bad flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb, nil); code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.want) {
+				t.Fatalf("stderr %q does not mention %q", errb.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestRunAttachWire is the CLI-level differential: attach mode over two
+// in-process workers, -wire output byte-identical to the local analysis.
+func TestRunAttachWire(t *testing.T) {
+	dir := writeCorpus(t)
+	urls := bootWorker(t) + "," + bootWorker(t)
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-workers", urls, "-dir", dir, "-predictor", "stride", "-wire"}, &out, &errb, nil)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !bytes.Equal(out.Bytes(), localWire(t, dir)) {
+		t.Fatal("-wire aggregate differs from local AnalyzeDir")
+	}
+	if !strings.Contains(errb.String(), "3 merged, 0 failed, 0 skipped of 3 traces") {
+		t.Fatalf("summary missing from stderr: %s", errb.String())
+	}
+}
+
+// TestRunReport checks the human-readable output path renders the tables.
+func TestRunReport(t *testing.T) {
+	dir := writeCorpus(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-workers", bootWorker(t), "-dir", dir, "-predictor", "stride"}, &out, &errb, nil)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "fleet aggregate") {
+		t.Fatalf("no aggregate header in output: %s", out.String())
+	}
+}
+
+// TestRunUnreachable: a dead worker pool fails with status 1 and a
+// summary naming the failures.
+func TestRunUnreachable(t *testing.T) {
+	dir := writeCorpus(t)
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-workers", "http://127.0.0.1:1",
+		"-dir", dir,
+		"-retries", "1",
+		"-eject-after", "1",
+		"-readmit-after", "1ms",
+	}, &out, &errb, nil)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "dpgfleet: worker http://127.0.0.1:1") {
+		t.Fatalf("no worker status line: %s", errb.String())
+	}
+}
+
+// TestRunDrainSignal: a pre-delivered signal drains the run — skipped
+// traces, exit 130.
+func TestRunDrainSignal(t *testing.T) {
+	dir := writeCorpus(t)
+	sig := make(chan os.Signal, 1)
+	sig <- os.Interrupt
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-workers", bootWorker(t), "-dir", dir, "-predictor", "stride"}, &out, &errb, sig)
+	if code != 130 {
+		t.Fatalf("exit %d, want 130 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "draining") {
+		t.Fatalf("no drain notice: %s", errb.String())
+	}
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// buildBinaries compiles dpgd (as dpgd-fleettest, so the CI orphan guard
+// can pgrep for exactly these workers) and dpgfleet into a temp dir.
+func buildBinaries(t *testing.T) (dpgd, dpgfleet string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	dpgd = filepath.Join(dir, "dpgd-fleettest")
+	dpgfleet = filepath.Join(dir, "dpgfleet")
+	for _, b := range []struct{ out, pkg string }{
+		{dpgd, "repro/cmd/dpgd"},
+		{dpgfleet, "repro/cmd/dpgfleet"},
+	} {
+		cmd := exec.Command("go", "build", "-o", b.out, b.pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", b.pkg, err, out)
+		}
+	}
+	return dpgd, dpgfleet
+}
+
+// workerURLs spawns n real dpgd-fleettest worker processes and returns
+// their base URLs plus the pool for chaos injection.
+func spawnWorkers(t *testing.T, bin string, n int) (*fleet.Pool, []string) {
+	t.Helper()
+	pool, err := fleet.Spawn(context.Background(), fleet.SpawnConfig{
+		Binary: bin,
+		N:      n,
+		Args:   []string{"-queue", "16"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pool.Stop(10 * time.Second) })
+	var urls []string
+	for _, ep := range pool.Endpoints() {
+		urls = append(urls, ep.URL())
+	}
+	return pool, urls
+}
+
+// TestFleetProcDifferential is the acceptance differential over real
+// processes: dpgfleet against 3 dpgd workers, aggregate byte-identical to
+// the local analysis.
+func TestFleetProcDifferential(t *testing.T) {
+	dpgdBin, fleetBin := buildBinaries(t)
+	_, urls := spawnWorkers(t, dpgdBin, 3)
+	dir := writeCorpus(t)
+
+	var out, errb bytes.Buffer
+	cmd := exec.Command(fleetBin, "-workers", strings.Join(urls, ","), "-dir", dir, "-predictor", "stride", "-wire")
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("dpgfleet: %v\nstderr: %s", err, errb.String())
+	}
+	if !bytes.Equal(out.Bytes(), localWire(t, dir)) {
+		t.Fatal("distributed aggregate differs from local AnalyzeDir")
+	}
+}
+
+// TestFleetProcChaos kills one of the three workers while the run is in
+// flight: the coordinator must fail over and still produce the exact
+// local aggregate.
+func TestFleetProcChaos(t *testing.T) {
+	dpgdBin, fleetBin := buildBinaries(t)
+	pool, urls := spawnWorkers(t, dpgdBin, 3)
+	dir := writeCorpus(t)
+
+	var out, errb bytes.Buffer
+	cmd := exec.Command(fleetBin,
+		"-workers", strings.Join(urls, ","),
+		"-dir", dir,
+		"-predictor", "stride",
+		"-retries", "6",
+		"-eject-after", "1",
+		"-readmit-after", "50ms",
+		"-wire")
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the run a moment to get traces in flight, then take a worker
+	// down hard (SIGKILL: no drain, connections die mid-request).
+	time.Sleep(50 * time.Millisecond)
+	if err := pool.Kill(0); err != nil {
+		t.Fatalf("kill worker 0: %v", err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("dpgfleet after chaos: %v\nstderr: %s", err, errb.String())
+	}
+	if !bytes.Equal(out.Bytes(), localWire(t, dir)) {
+		t.Fatal("aggregate after killing a worker differs from local AnalyzeDir")
+	}
+}
+
+// TestRunSpawnMode drives run()'s spawn branch in-process: the CLI
+// launches its own workers, applies -spawn-args, logs supervision under
+// -v, and still matches the local aggregate.
+func TestRunSpawnMode(t *testing.T) {
+	dpgdBin, _ := buildBinaries(t)
+	dir := writeCorpus(t)
+
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-spawn", "2",
+		"-dpgd", dpgdBin,
+		"-spawn-args", "-queue 8",
+		"-dir", dir,
+		"-predictor", "stride",
+		"-v",
+		"-wire",
+	}, &out, &errb, nil)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !bytes.Equal(out.Bytes(), localWire(t, dir)) {
+		t.Fatal("in-process spawn aggregate differs from local AnalyzeDir")
+	}
+}
+
+// TestRunSpawnFailure: a worker binary that cannot start fails the run
+// cleanly with status 1.
+func TestRunSpawnFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real processes")
+	}
+	dir := writeCorpus(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-spawn", "1", "-dpgd", "/bin/true", "-dir", dir}, &out, &errb, nil)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "dpgfleet:") {
+		t.Fatalf("no diagnostic: %s", errb.String())
+	}
+}
+
+// TestFleetProcSpawn exercises spawn mode end to end: dpgfleet launches
+// and supervises its own workers, analyses the corpus, and tears the pool
+// down (the CI step pgreps for leftover dpgd-fleettest processes).
+func TestFleetProcSpawn(t *testing.T) {
+	dpgdBin, fleetBin := buildBinaries(t)
+	dir := writeCorpus(t)
+
+	var out, errb bytes.Buffer
+	cmd := exec.Command(fleetBin,
+		"-spawn", "3",
+		"-dpgd", dpgdBin,
+		"-dir", dir,
+		"-predictor", "stride",
+		"-wire")
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("dpgfleet -spawn: %v\nstderr: %s", err, errb.String())
+	}
+	if !bytes.Equal(out.Bytes(), localWire(t, dir)) {
+		t.Fatal("spawn-mode aggregate differs from local AnalyzeDir")
+	}
+	// The pool must be gone with the CLI: spawned workers are its
+	// children, stopped before exit.
+	if err := exec.Command("pgrep", "-f", "dpgd-fleettest").Run(); err == nil {
+		t.Fatal("orphan dpgd-fleettest processes survived the run")
+	}
+}

@@ -1,0 +1,673 @@
+// Package fleet implements dpgfleet's multi-process scatter/gather
+// coordinator: it fans a corpus of trace files across a pool of dpgd
+// worker processes over HTTP, collects the mergeable wire partials their
+// /result endpoint returns, and folds them with dpg.MergeResults into one
+// aggregate that is byte-identical to analysing the same corpus locally
+// with core.AnalyzeDir.
+//
+// The coordinator carries the robustness the server side already set the
+// bar for: bounded in-flight dispatch with work-stealing across workers (a
+// shared queue that faster workers drain faster), per-trace retry with
+// jittered exponential backoff and failover to a different worker,
+// per-worker health tracking with eject/probe/readmit, deadline
+// propagation down to every dispatch (the per-trace timeout cancels the
+// HTTP request, which cancels the worker's job context, which aborts its
+// decode loops), and a graceful drain that stops dispatching, lets
+// in-flight traces finish, and reports a partial merge.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dpg"
+	"repro/internal/predictor"
+)
+
+// Coordinator failure modes. Per-trace failures carry the underlying
+// dispatch errors; these name the run-level conditions.
+var (
+	// ErrNoWorkers reports a Config with an empty worker set.
+	ErrNoWorkers = errors.New("fleet: no workers configured")
+	// ErrNoTraces reports an empty trace corpus.
+	ErrNoTraces = errors.New("fleet: no trace files")
+	// ErrDrained reports a run stopped by the drain signal before every
+	// trace completed; the Summary still carries the partial merge.
+	ErrDrained = errors.New("fleet: drained before completion")
+	// ErrModelSkew reports workers answering with different model
+	// versions. Partials from different models must never merge — the
+	// aggregate would silently mix incomparable statistics.
+	ErrModelSkew = errors.New("fleet: workers disagree on model version")
+	// ErrWorkersDown reports every worker dead (past the eject escalation
+	// limit) with traces still unfinished.
+	ErrWorkersDown = errors.New("fleet: every worker is unreachable")
+)
+
+// Endpoint is one worker's address. Name is a stable identity for health
+// tracking and reporting; URL is the current base URL and may change
+// across supervised restarts (spawn mode re-binds a fresh port).
+type Endpoint interface {
+	Name() string
+	URL() string
+}
+
+// StaticEndpoint is a fixed worker address (attach mode): the URL is the
+// identity.
+type StaticEndpoint string
+
+func (e StaticEndpoint) Name() string { return string(e) }
+func (e StaticEndpoint) URL() string  { return string(e) }
+
+// Config tunes a coordinator run. Zero values get production defaults.
+type Config struct {
+	// Workers lists running dpgd base URLs (attach mode). Endpoints takes
+	// precedence when non-nil (spawn mode passes its supervised set).
+	Workers   []string
+	Endpoints []Endpoint
+	// Predictor selects the value predictor every partial runs under.
+	Predictor predictor.Kind
+	// PerWorker is the number of concurrent dispatches per worker; total
+	// in-flight is bounded by PerWorker × workers. Default 2.
+	PerWorker int
+	// Retries is the total attempts per trace before it fails. Default 3.
+	Retries int
+	// RetryBackoff is the base retry delay, doubled per attempt and
+	// jittered. Default 100ms.
+	RetryBackoff time.Duration
+	// TraceTimeout bounds one dispatch (upload + analysis + response).
+	// The deadline propagates: expiry cancels the HTTP request, which
+	// cancels the worker's job context and aborts its decode. Default 2m.
+	TraceTimeout time.Duration
+	// EjectAfter is the consecutive worker-attributed failures that eject
+	// a worker from the rotation. Default 3.
+	EjectAfter int
+	// ReadmitAfter is the initial ejection period; a failed readmit probe
+	// doubles it (capped at 1m). Default 2s.
+	ReadmitAfter time.Duration
+	// DeadAfter is the number of consecutive ejections after which a
+	// worker is written off entirely. Default 6.
+	DeadAfter int
+	// Drain, when non-nil, is the graceful-drain signal: once it fires the
+	// coordinator stops dispatching, lets in-flight traces finish, and
+	// returns a partial merge with ErrDrained.
+	Drain <-chan struct{}
+	// Client is the HTTP client (default: a fresh one; timeouts come from
+	// the per-dispatch contexts, so the client itself has none).
+	Client *http.Client
+
+	// Test seams: sleep (context-aware) and jitter. Nil = real time.
+	sleep  func(context.Context, time.Duration) error
+	jitter func(time.Duration) time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.PerWorker <= 0 {
+		c.PerWorker = 2
+	}
+	if c.Retries <= 0 {
+		c.Retries = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.TraceTimeout <= 0 {
+		c.TraceTimeout = 2 * time.Minute
+	}
+	if c.EjectAfter <= 0 {
+		c.EjectAfter = 3
+	}
+	if c.ReadmitAfter <= 0 {
+		c.ReadmitAfter = 2 * time.Second
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 6
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.sleep == nil {
+		c.sleep = ctxSleep
+	}
+	if c.jitter == nil {
+		c.jitter = fullJitter
+	}
+}
+
+func (c *Config) endpoints() []Endpoint {
+	if c.Endpoints != nil {
+		return c.Endpoints
+	}
+	eps := make([]Endpoint, 0, len(c.Workers))
+	for _, w := range c.Workers {
+		eps = append(eps, StaticEndpoint(strings.TrimRight(w, "/")))
+	}
+	return eps
+}
+
+// ctxSleep sleeps for d or until ctx ends, whichever comes first.
+func ctxSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// fullJitter spreads a backoff over [d/2, d): enough spread to de-correlate
+// retries without collapsing short delays to zero.
+func fullJitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
+}
+
+// TraceOutcome is one trace's fate in a run.
+type TraceOutcome struct {
+	Path string
+	// Worker names the endpoint whose partial was accepted (empty when
+	// the trace failed or was skipped).
+	Worker string
+	// Attempts counts dispatches, including the successful one.
+	Attempts int
+	// Skipped marks a trace never dispatched because the run drained or
+	// aborted first.
+	Skipped bool
+	// Err is nil exactly when a partial was merged for this trace.
+	Err error
+}
+
+// Summary is a run's gathered outcome.
+type Summary struct {
+	// Merged is the aggregate over every completed trace — the full
+	// corpus when Err was nil, a partial merge after a drain. Nil when
+	// nothing completed.
+	Merged *dpg.Result
+	// Model is the model version every accepted partial agreed on.
+	Model string
+	// Files holds per-trace outcomes in sorted path order.
+	Files []TraceOutcome
+	// Workers holds per-worker dispatch statistics and health state.
+	Workers []WorkerStatus
+	// Completed, Failed, and Skipped partition Files.
+	Completed, Failed, Skipped int
+	// Drained reports whether the run stopped on the drain signal.
+	Drained bool
+}
+
+// task is one trace moving through the dispatch queue. Ownership passes
+// through the queue channel: exactly one goroutine holds a task at a time,
+// so its fields need no lock.
+type task struct {
+	idx      int
+	path     string
+	attempts int
+	avoid    string // endpoint name that failed this trace last
+}
+
+// dispatchErr classifies one failed dispatch.
+type dispatchErr struct {
+	err error
+	// permanent marks errors retrying cannot fix (the trace itself was
+	// rejected, or the run's context ended).
+	permanent bool
+	// workerFault attributes the failure to the worker (unreachable,
+	// 5xx, draining) rather than the trace or backpressure, feeding the
+	// eject state machine.
+	workerFault bool
+}
+
+type coordinator struct {
+	cfg      Config
+	ctx      context.Context // hard-cancel context
+	sleepCtx context.Context // additionally cancelled on stop/drain
+	workers  []*worker
+	queue    chan *task
+
+	outcomes []TraceOutcome
+	partials []*dpg.Result
+
+	pending atomic.Int64
+	drained atomic.Bool
+	allDone chan struct{}
+	stop    chan struct{} // closed when loops must stop pulling
+	once    sync.Once
+
+	mu    sync.Mutex
+	model string // model version the first accepted partial established
+}
+
+func (c *coordinator) stopPulling() { c.once.Do(func() { close(c.stop) }) }
+
+// Run scatters paths across the configured workers and gathers the merged
+// aggregate. Paths are analysed under cfg.Predictor; the merge folds the
+// partials in sorted path order, so the aggregate is deterministic and —
+// when every trace completes — byte-identical (through dpg.EncodeResult)
+// to core.AnalyzeDir over the same files.
+//
+// The returned Summary is non-nil whenever the run started; err is nil
+// exactly when every trace completed and merged.
+func Run(ctx context.Context, cfg Config, paths []string) (*Summary, error) {
+	cfg.fillDefaults()
+	eps := cfg.endpoints()
+	if len(eps) == 0 {
+		return nil, ErrNoWorkers
+	}
+	if len(paths) == 0 {
+		return nil, ErrNoTraces
+	}
+	sorted := append([]string(nil), paths...)
+	sort.Strings(sorted)
+
+	sctx, scancel := context.WithCancel(ctx)
+	defer scancel()
+	c := &coordinator{
+		cfg:      cfg,
+		ctx:      ctx,
+		sleepCtx: sctx,
+		queue:    make(chan *task, len(sorted)),
+		outcomes: make([]TraceOutcome, len(sorted)),
+		partials: make([]*dpg.Result, len(sorted)),
+		allDone:  make(chan struct{}),
+		stop:     make(chan struct{}),
+	}
+	for _, ep := range eps {
+		c.workers = append(c.workers, newWorker(ep, cfg))
+	}
+	c.pending.Store(int64(len(sorted)))
+	for i, p := range sorted {
+		c.outcomes[i] = TraceOutcome{Path: p}
+		c.queue <- &task{idx: i, path: p}
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range c.workers {
+		for i := 0; i < cfg.PerWorker; i++ {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				c.workerLoop(w)
+			}(w)
+		}
+	}
+
+	// The sweeper resolves what the loops never will: once the run drains,
+	// is cancelled, or loses every worker, it marks queued (and any
+	// late-requeued) tasks as skipped until the pending count hits zero.
+	sweepDone := make(chan struct{})
+	go func() {
+		defer close(sweepDone)
+		var reason error
+		select {
+		case <-c.allDone:
+			return
+		case <-c.ctx.Done():
+			reason = fmt.Errorf("fleet: run cancelled: %w", c.ctx.Err())
+		case <-drainOrNever(cfg.Drain):
+			c.drained.Store(true)
+			reason = ErrDrained
+		case <-c.stop: // loops bailed out (all workers dead)
+			reason = ErrWorkersDown
+		}
+		c.drainQueue(reason)
+	}()
+
+	<-c.allDone
+	c.stopPulling()
+	scancel()
+	wg.Wait()
+	<-sweepDone
+
+	return c.summarize()
+}
+
+// drainOrNever returns ch, or a never-firing channel when no drain signal
+// is configured.
+func drainOrNever(ch <-chan struct{}) <-chan struct{} {
+	if ch != nil {
+		return ch
+	}
+	return make(chan struct{})
+}
+
+// drainQueue marks every still-queued task skipped until nothing is
+// pending. Requeues racing the sweep are caught too: ownership flows
+// through the channel, so every unfinished task eventually lands here.
+func (c *coordinator) drainQueue(reason error) {
+	c.stopPulling()
+	for {
+		select {
+		case t := <-c.queue:
+			o := &c.outcomes[t.idx]
+			o.Attempts = t.attempts
+			o.Skipped = true
+			o.Err = reason
+			c.finish()
+		case <-c.allDone:
+			return
+		}
+	}
+}
+
+// finish retires one trace; the last one out releases Run.
+func (c *coordinator) finish() {
+	if c.pending.Add(-1) == 0 {
+		close(c.allDone)
+	}
+}
+
+// workerLoop is one dispatch slot bound to one worker: it pulls from the
+// shared queue while its worker is usable (work-stealing — fast workers
+// simply pull more), sits out ejection periods, and probes for readmission.
+func (c *coordinator) workerLoop(w *worker) {
+	for {
+		if w.dead() {
+			if !c.anyAlive() {
+				// Nobody left to do the work: wake the sweeper.
+				c.stopPulling()
+			}
+			return
+		}
+		if wait := w.ejectedFor(time.Now()); wait > 0 {
+			if c.cfg.sleep(c.sleepCtx, wait) != nil {
+				return
+			}
+			if !c.probe(w) {
+				w.probeFailed(time.Now())
+				continue
+			}
+			w.readmit()
+		}
+		select {
+		case <-c.stop:
+			return
+		case t := <-c.queue:
+			// Failover preference: a retry avoids the worker that just
+			// failed it while any other worker is alive; hand the task
+			// back and briefly yield so a different slot picks it up.
+			if t.avoid == w.ep.Name() && c.otherAlive(w) {
+				c.queue <- t
+				if c.cfg.sleep(c.sleepCtx, c.cfg.jitter(c.cfg.RetryBackoff/4+1)) != nil {
+					return
+				}
+				continue
+			}
+			c.dispatch(w, t)
+		}
+	}
+}
+
+func (c *coordinator) anyAlive() bool {
+	for _, w := range c.workers {
+		if !w.dead() {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *coordinator) otherAlive(self *worker) bool {
+	for _, w := range c.workers {
+		if w != self && !w.dead() {
+			return true
+		}
+	}
+	return false
+}
+
+// probe checks a worker's /healthz before readmission.
+func (c *coordinator) probe(w *worker) bool {
+	ctx, cancel := context.WithTimeout(c.sleepCtx, c.cfg.TraceTimeout/8+time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.ep.URL()+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// dispatch runs one attempt of one trace against one worker and routes the
+// outcome: merge material on success, retry with backoff and failover on a
+// transient failure, a final per-trace error when the budget is spent.
+func (c *coordinator) dispatch(w *worker, t *task) {
+	t.attempts++
+	w.dispatched.Add(1)
+	res, model, derr := c.post(w, t.path)
+	o := &c.outcomes[t.idx]
+	o.Attempts = t.attempts
+
+	if derr == nil {
+		if err := c.acceptModel(model); err != nil {
+			w.succeeded.Add(1) // the worker answered fine; the fleet is misdeployed
+			o.Err = err
+			c.finish()
+			return
+		}
+		w.succeed()
+		c.partials[t.idx] = res
+		o.Worker = w.ep.Name()
+		o.Err = nil
+		c.finish()
+		return
+	}
+
+	if derr.workerFault {
+		w.fail(time.Now())
+	} else {
+		w.succeed() // the worker is fine (bad trace, backpressure); clear its streak
+	}
+	if derr.permanent || t.attempts >= c.cfg.Retries {
+		o.Err = fmt.Errorf("fleet: %s via %s (attempt %d/%d): %w",
+			filepath.Base(t.path), w.ep.Name(), t.attempts, c.cfg.Retries, derr.err)
+		c.finish()
+		return
+	}
+
+	// Retry: jittered exponential backoff off this worker's loop (the slot
+	// frees immediately), then requeue for a different worker.
+	t.avoid = w.ep.Name()
+	backoff := c.cfg.jitter(c.cfg.RetryBackoff << min(t.attempts-1, 16))
+	go func() {
+		if c.cfg.sleep(c.sleepCtx, backoff) != nil || c.drained.Load() {
+			o.Skipped = true
+			o.Err = retrySkipReason(c.ctx, derr.err)
+			c.finish()
+			return
+		}
+		c.queue <- t
+	}()
+}
+
+// retrySkipReason explains a retry abandoned mid-backoff.
+func retrySkipReason(ctx context.Context, last error) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("fleet: run cancelled during retry backoff (last error: %v): %w", last, err)
+	}
+	return fmt.Errorf("%w (last error: %v)", ErrDrained, last)
+}
+
+// acceptModel establishes or checks the fleet-wide model version.
+func (c *coordinator) acceptModel(model string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.model == "" {
+		c.model = model
+		return nil
+	}
+	if c.model != model {
+		return fmt.Errorf("%w: %q vs %q", ErrModelSkew, c.model, model)
+	}
+	return nil
+}
+
+// maxPartialBytes bounds one worker response: a wire partial is statistics,
+// not trace data, so anything past this is a corrupt or hostile reply.
+const maxPartialBytes = 64 << 20
+
+// post streams one trace file to a worker's /result endpoint and decodes
+// the wire partial. The per-trace deadline is a child of the run context,
+// so both cancel the request — and, through it, the worker-side job.
+func (c *coordinator) post(w *worker, path string) (*dpg.Result, string, *dispatchErr) {
+	ctx, cancel := context.WithTimeout(c.ctx, c.cfg.TraceTimeout)
+	defer cancel()
+
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", &dispatchErr{err: err, permanent: true}
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, "", &dispatchErr{err: err, permanent: true}
+	}
+
+	url := w.ep.URL() + "/result?predictor=" + c.cfg.Predictor.String()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, f)
+	if err != nil {
+		return nil, "", &dispatchErr{err: err, permanent: true}
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.ContentLength = st.Size()
+
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		if c.ctx.Err() != nil {
+			return nil, "", &dispatchErr{err: fmt.Errorf("fleet: %w", c.ctx.Err()), permanent: true}
+		}
+		// Transport failure: unreachable, reset, or per-trace timeout.
+		return nil, "", &dispatchErr{err: err, workerFault: true}
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxPartialBytes))
+		resp.Body.Close()
+	}()
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxPartialBytes+1))
+		if err != nil {
+			return nil, "", &dispatchErr{err: err, workerFault: true}
+		}
+		if len(body) > maxPartialBytes {
+			return nil, "", &dispatchErr{err: fmt.Errorf("fleet: partial exceeds %d bytes", maxPartialBytes), workerFault: true}
+		}
+		res, model, err := dpg.DecodeResult(body)
+		if err != nil {
+			// A 200 carrying garbage is a worker (or transport) fault; a
+			// different worker may answer correctly.
+			return nil, "", &dispatchErr{err: err, workerFault: true}
+		}
+		return res, model, nil
+	case http.StatusTooManyRequests:
+		// Backpressure: the worker is healthy, just full. Retry elsewhere.
+		return nil, "", &dispatchErr{err: errors.New("fleet: worker backpressure (429)")}
+	case http.StatusBadRequest, http.StatusUnprocessableEntity, http.StatusRequestEntityTooLarge:
+		// The trace (or this coordinator's request) is the problem; no
+		// worker will accept it.
+		return nil, "", &dispatchErr{err: fmt.Errorf("fleet: worker rejected trace: %s", readErrorBody(resp)), permanent: true}
+	default:
+		// 5xx, draining, deadline: the worker is in trouble.
+		return nil, "", &dispatchErr{err: fmt.Errorf("fleet: worker error %d: %s", resp.StatusCode, readErrorBody(resp)), workerFault: true}
+	}
+}
+
+// readErrorBody extracts a short diagnostic from an error response.
+func readErrorBody(resp *http.Response) string {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	s := strings.TrimSpace(string(body))
+	if s == "" {
+		return resp.Status
+	}
+	return s
+}
+
+// summarize folds the gathered partials (in sorted path order — merge
+// order is deterministic, and Graph/Name adoption matches core.AnalyzeDir)
+// and joins the per-trace failures into the run error.
+func (c *coordinator) summarize() (*Summary, error) {
+	s := &Summary{
+		Files:   c.outcomes,
+		Model:   c.model,
+		Drained: c.drained.Load(),
+	}
+	for _, w := range c.workers {
+		s.Workers = append(s.Workers, w.status())
+	}
+	var merge []*dpg.Result
+	var errs []error
+	var skipReason error
+	for i := range c.outcomes {
+		o := &c.outcomes[i]
+		switch {
+		case o.Err == nil:
+			s.Completed++
+			merge = append(merge, c.partials[i])
+		case o.Skipped:
+			s.Skipped++
+			if skipReason == nil {
+				skipReason = o.Err
+			}
+		default:
+			s.Failed++
+			errs = append(errs, o.Err)
+		}
+	}
+	if len(merge) > 0 {
+		merged, err := dpg.MergeResults(merge...)
+		if err != nil {
+			return s, err
+		}
+		s.Merged = merged
+	}
+	if s.Drained {
+		errs = append(errs, fmt.Errorf("%w: %d of %d traces merged", ErrDrained, s.Completed, len(s.Files)))
+	} else if s.Skipped > 0 {
+		errs = append(errs, fmt.Errorf("%d traces skipped: %w", s.Skipped, skipReason))
+	}
+	return s, errors.Join(errs...)
+}
+
+// RunDir walks dir for *.dpg traces (sorted) and runs the fleet over them.
+// Like core.AnalyzeDir, the aggregate is named after the directory unless
+// every trace reports the same workload name — so a complete distributed
+// run is byte-identical, through dpg.EncodeResult, to the local analysis.
+func RunDir(ctx context.Context, cfg Config, dir string) (*Summary, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".dpg") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("%w: no .dpg trace files in %s", ErrNoTraces, dir)
+	}
+	s, err := Run(ctx, cfg, paths)
+	if s != nil && s.Merged != nil && s.Merged.Name == "" {
+		s.Merged.Name = filepath.Base(dir)
+	}
+	return s, err
+}

@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxEjectBackoff caps the ejection escalation.
+const maxEjectBackoff = time.Minute
+
+// worker is one endpoint's dispatch state: liveness counters feeding the
+// eject → probe → readmit state machine, plus run statistics.
+//
+// The state machine: a worker starts healthy. EjectAfter consecutive
+// worker-attributed dispatch failures eject it — its loops stop pulling
+// work and sit out the ejection period. When the period lapses, a loop
+// probes /healthz: success readmits the worker (its failure streak
+// cleared), failure re-ejects it with the period doubled (capped). After
+// DeadAfter consecutive ejections without an intervening successful
+// dispatch the worker is written off as dead and leaves the rotation for
+// good; a successful dispatch fully resets the escalation.
+type worker struct {
+	ep Endpoint
+
+	mu           sync.Mutex
+	consecFails  int
+	ejectedUntil time.Time
+	ejectBackoff time.Duration
+	ejections    int // consecutive, since the last successful dispatch
+	totalEjects  int // lifetime, for reporting
+	isDead       bool
+
+	baseBackoff time.Duration
+	ejectAfter  int
+	deadAfter   int
+
+	// Run statistics (read by Summary after the loops stop).
+	dispatched atomic.Uint64
+	succeeded  atomic.Uint64
+	failures   atomic.Uint64
+}
+
+func newWorker(ep Endpoint, cfg Config) *worker {
+	return &worker{
+		ep:           ep,
+		ejectBackoff: cfg.ReadmitAfter,
+		baseBackoff:  cfg.ReadmitAfter,
+		ejectAfter:   cfg.EjectAfter,
+		deadAfter:    cfg.DeadAfter,
+	}
+}
+
+func (w *worker) dead() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.isDead
+}
+
+// ejectedFor returns how much of the ejection period remains (0 when the
+// worker may pull work or is due for a readmission probe).
+func (w *worker) ejectedFor(now time.Time) time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.ejectedUntil.After(now) {
+		return w.ejectedUntil.Sub(now)
+	}
+	return 0
+}
+
+// succeed records an accepted dispatch: the full escalation resets.
+func (w *worker) succeed() {
+	w.succeeded.Add(1)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.consecFails = 0
+	w.ejections = 0
+	w.ejectBackoff = w.baseBackoff
+}
+
+// fail records a worker-attributed dispatch failure and ejects the worker
+// once the streak reaches the threshold.
+func (w *worker) fail(now time.Time) {
+	w.failures.Add(1)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.consecFails++
+	if w.consecFails >= w.ejectAfter && !w.ejectedUntil.After(now) {
+		w.ejectLocked(now)
+	}
+}
+
+// probeFailed records a failed readmission probe: the worker stays out,
+// the period doubles.
+func (w *worker) probeFailed(now time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.ejectLocked(now)
+}
+
+// ejectLocked starts (or extends) an ejection. Callers hold w.mu.
+func (w *worker) ejectLocked(now time.Time) {
+	w.ejections++
+	w.totalEjects++
+	if w.ejections >= w.deadAfter {
+		w.isDead = true
+	}
+	w.ejectedUntil = now.Add(w.ejectBackoff)
+	w.ejectBackoff *= 2
+	if w.ejectBackoff > maxEjectBackoff {
+		w.ejectBackoff = maxEjectBackoff
+	}
+}
+
+// readmit returns an ejected worker to the rotation after a successful
+// probe: the failure streak clears but the escalation state stands until a
+// dispatch actually succeeds — a flapping worker climbs toward dead even
+// if its health endpoint keeps answering.
+func (w *worker) readmit() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.consecFails = 0
+	w.ejectedUntil = time.Time{}
+}
+
+// WorkerStatus is one worker's run statistics in a Summary.
+type WorkerStatus struct {
+	Name       string
+	Dispatched uint64
+	Succeeded  uint64
+	Failures   uint64
+	Ejections  int
+	Dead       bool
+}
+
+func (w *worker) status() WorkerStatus {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WorkerStatus{
+		Name:       w.ep.Name(),
+		Dispatched: w.dispatched.Load(),
+		Succeeded:  w.succeeded.Load(),
+		Failures:   w.failures.Load(),
+		Ejections:  w.totalEjects,
+		Dead:       w.isDead,
+	}
+}

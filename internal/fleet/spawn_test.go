@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/predictor"
+)
+
+// buildDpgd compiles the real dpgd binary (named dpgd-fleettest so the CI
+// orphan guard can match it) into a temp dir.
+func buildDpgd(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("spawn tests build and run real worker processes; skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "dpgd-fleettest")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/dpgd")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build repro/cmd/dpgd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func healthOK(url string) bool {
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// TestSpawnLifecycle walks the pool through its whole life: spawn two real
+// workers, verify both serve, kill one and watch the supervisor bring a
+// replacement up on a fresh port, then stop the pool and verify nothing
+// answers anymore.
+func TestSpawnLifecycle(t *testing.T) {
+	bin := buildDpgd(t)
+	var log bytes.Buffer
+	pool, err := Spawn(context.Background(), SpawnConfig{
+		Binary:  bin,
+		N:       2,
+		Restart: true,
+		Log:     &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Stop(10 * time.Second)
+
+	eps := pool.Endpoints()
+	if len(eps) != 2 {
+		t.Fatalf("%d endpoints, want 2", len(eps))
+	}
+	for _, ep := range eps {
+		if !healthOK(ep.URL()) {
+			t.Fatalf("%s (%s) not serving after spawn", ep.Name(), ep.URL())
+		}
+	}
+
+	// Chaos: SIGKILL worker 0 and wait for the supervisor's replacement.
+	before := eps[0].URL()
+	if err := pool.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if url := eps[0].URL(); url != before && healthOK(url) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker 0 not restarted; log:\n%s", log.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// A supervised pool must still be usable by the coordinator.
+	dir := t.TempDir()
+	writeTrace(t, dir, "a.dpg", "fig1", 4)
+	cfg := fastCfg()
+	cfg.Endpoints = pool.Endpoints()
+	cfg.Predictor = predictor.KindLast
+	s, err := RunDir(context.Background(), cfg, dir)
+	if err != nil {
+		t.Fatalf("run over spawned pool: %v", err)
+	}
+	if s.Completed != 1 {
+		t.Fatalf("completed %d, want 1", s.Completed)
+	}
+
+	urls := []string{eps[0].URL(), eps[1].URL()}
+	pool.Stop(10 * time.Second)
+	for _, url := range urls {
+		if healthOK(url) {
+			t.Fatalf("%s still serving after Stop", url)
+		}
+	}
+}
+
+// TestSpawnErrors pins the startup failure taxonomy: a missing binary, a
+// binary that exits without reporting an address, and a missing name.
+func TestSpawnErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real processes")
+	}
+	if _, err := Spawn(context.Background(), SpawnConfig{Binary: ""}); err == nil {
+		t.Fatal("empty binary accepted")
+	}
+	if _, err := Spawn(context.Background(), SpawnConfig{Binary: filepath.Join(t.TempDir(), "absent")}); err == nil {
+		t.Fatal("missing binary accepted")
+	}
+	// /bin/true exits immediately without printing a listen line.
+	if _, err := Spawn(context.Background(), SpawnConfig{Binary: "/bin/true", N: 1}); err == nil {
+		t.Fatal("silent binary accepted")
+	}
+}

@@ -3,10 +3,12 @@ package server
 import "sync"
 
 // jobOutcome is what one analysis job produces: either a response payload
-// or a typed job error. Degraded records whether the job ran with shed
-// work (no speculation, sequential decode).
+// (the /analyze report, or the /result wire-encoded partial) or a typed
+// job error. Degraded records whether the job ran with shed work (no
+// speculation, sequential decode).
 type jobOutcome struct {
-	payload  *analysisPayload
+	payload  *analysisPayload // /analyze jobs
+	wire     []byte           // /result jobs: dpg.EncodeResult bytes
 	jerr     *JobError
 	degraded bool
 }
@@ -53,16 +55,24 @@ func (g *flightGroup) complete(key string, f *flight, out jobOutcome) {
 	close(f.done)
 }
 
+// cacheEntry is one cached success: the /analyze report payload or the
+// /result wire bytes, depending on which endpoint computed it (the key
+// tells them apart, so one cache serves both).
+type cacheEntry struct {
+	payload *analysisPayload
+	wire    []byte
+}
+
 // resultCache is the bounded content-addressed result cache: key is
-// digest|predictor|model-version, value is the finished response payload.
-// Only successes are cached — a deadline or transient store failure must
-// not poison later identical uploads. Eviction is FIFO by insertion order;
-// the cache exists to absorb repeated identical uploads, not to be a
-// general LRU.
+// digest|predictor|model-version (plus a wire tag for /result entries),
+// value is the finished response payload. Only successes are cached — a
+// deadline or transient store failure must not poison later identical
+// uploads. Eviction is FIFO by insertion order; the cache exists to absorb
+// repeated identical uploads, not to be a general LRU.
 type resultCache struct {
 	mu    sync.Mutex
 	max   int
-	m     map[string]*analysisPayload
+	m     map[string]cacheEntry
 	order []string
 }
 
@@ -70,17 +80,17 @@ func newResultCache(max int) *resultCache {
 	if max < 1 {
 		max = 1
 	}
-	return &resultCache{max: max, m: make(map[string]*analysisPayload)}
+	return &resultCache{max: max, m: make(map[string]cacheEntry)}
 }
 
-func (c *resultCache) get(key string) (*analysisPayload, bool) {
+func (c *resultCache) get(key string) (cacheEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p, ok := c.m[key]
-	return p, ok
+	e, ok := c.m[key]
+	return e, ok
 }
 
-func (c *resultCache) put(key string, p *analysisPayload) {
+func (c *resultCache) put(key string, e cacheEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.m[key]; ok {
@@ -91,6 +101,6 @@ func (c *resultCache) put(key string, p *analysisPayload) {
 		c.order = c.order[1:]
 		delete(c.m, oldest)
 	}
-	c.m[key] = p
+	c.m[key] = e
 	c.order = append(c.order, key)
 }
