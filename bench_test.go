@@ -142,7 +142,7 @@ func BenchmarkModelNoPaths(b *testing.B) {
 
 // BenchmarkPredictors measures raw predictor predict+update throughput.
 func BenchmarkPredictors(b *testing.B) {
-	for _, kind := range predictor.Kinds {
+	for _, kind := range predictor.AllKinds {
 		b.Run(kind.String(), func(b *testing.B) {
 			p := kind.New()
 			for i := 0; i < b.N; i++ {
@@ -419,6 +419,33 @@ func BenchmarkShardedSpeculation(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkGraphWorkloads measures the model pass over the graph scenario
+// pack (bfs/pgr/ccp — branches on loaded adjacency values) with the
+// predictors added for it (tage, ldbp). Bytes/s are events/s; the gate
+// keeps the hard-to-predict path from silently regressing.
+func BenchmarkGraphWorkloads(b *testing.B) {
+	for _, w := range workloads.Graph() {
+		rounds := w.Rounds / 4
+		if rounds < 2 {
+			rounds = 2
+		}
+		tr, err := w.TraceRounds(rounds, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, kind := range []predictor.Kind{predictor.KindTAGE, predictor.KindLDBP} {
+			b.Run(w.Name+"/"+kind.String(), func(b *testing.B) {
+				b.SetBytes(int64(tr.Len()))
+				for i := 0; i < b.N; i++ {
+					if _, err := dpg.Run(tr, kind); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

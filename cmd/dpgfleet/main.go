@@ -61,7 +61,7 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	dpgdBin := fs.String("dpgd", "dpgd", "dpgd binary for -spawn")
 	spawnArgs := fs.String("spawn-args", "", "extra dpgd flags for spawned workers, space-separated")
 	dir := fs.String("dir", "", "directory of .dpg trace files to analyse")
-	pred := fs.String("predictor", "context", "last-value | stride | context")
+	pred := fs.String("predictor", "context", "last-value | stride | context | tage | ldbp")
 	perWorker := fs.Int("per-worker", 2, "concurrent dispatches per worker")
 	retries := fs.Int("retries", 3, "attempts per trace before it fails")
 	traceTimeout := fs.Duration("trace-timeout", 2*time.Minute, "per-trace dispatch deadline (propagates to the worker's decode)")
@@ -202,10 +202,5 @@ func splitArgs(s string) []string {
 }
 
 func kindByName(name string) (predictor.Kind, bool) {
-	for _, k := range predictor.Kinds {
-		if k.String() == name {
-			return k, true
-		}
-	}
-	return 0, false
+	return predictor.KindByName(name)
 }

@@ -51,8 +51,8 @@ func main() {
 	tracePat := flag.String("trace", "", "trace file, directory, or glob to analyse")
 	workload := flag.String("workload", "", "built-in workload to trace and analyse")
 	rounds := flag.Int("rounds", 0, "rounds parameter for -workload (0 = default)")
-	pred := flag.String("predictor", "context", "last-value | stride | context")
-	all := flag.Bool("all", false, "run all three predictors")
+	pred := flag.String("predictor", "context", "last-value | stride | context | tage | ldbp")
+	all := flag.Bool("all", false, "run every predictor (last-value, stride, context, tage, ldbp)")
 	graph := flag.Int("graph", 0, "print the labeled DPG fragment for the first N instructions (paper Fig. 3)")
 	strict := flag.Bool("strict", true, "reject corrupt traces; -strict=false resyncs past damage and summarises it")
 	workers := flag.Int("workers", 0, "concurrent trace-decode workers per file (0 = all cores, 1 = sequential)")
@@ -68,7 +68,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	kinds := predictor.Kinds
+	kinds := predictor.AllKinds
 	if !*all {
 		k, ok := kindByName(*pred)
 		if !ok {
@@ -336,12 +336,7 @@ func runWorkload(ctx context.Context, name string, rounds int, kinds []predictor
 }
 
 func kindByName(name string) (predictor.Kind, bool) {
-	for _, k := range predictor.Kinds {
-		if k.String() == name {
-			return k, true
-		}
-	}
-	return 0, false
+	return predictor.KindByName(name)
 }
 
 func printResult(r *dpg.Result) {

@@ -57,6 +57,32 @@ func TestGoldenFigures(t *testing.T) {
 	}
 }
 
+// TestPaperCorpusGoldens locks the -paper mode byte-for-byte to the figure
+// set the original 12-workload × 3-predictor corpus produced before the
+// graph/tage/ldbp extensions landed: the extensions must never perturb the
+// paper's own numbers. The *_paper.golden files are verbatim copies of the
+// pre-extension goldens; regenerating them is only legitimate when the
+// underlying model intentionally changes for the original corpus too.
+func TestPaperCorpusGoldens(t *testing.T) {
+	for _, id := range goldenExperiments {
+		t.Run(id, func(t *testing.T) {
+			suite := core.NewSuite(core.SuiteConfig{Scale: goldenScale, Seed: 1, PaperCorpus: true})
+			var buf bytes.Buffer
+			if err := suite.Run(id, &buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", id+"_paper.golden")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing paper-corpus golden: %v", err)
+			}
+			if got := buf.Bytes(); !bytes.Equal(got, want) {
+				t.Fatalf("%s -paper output drifted from the pre-extension golden:\n%s", id, firstDiff(got, want))
+			}
+		})
+	}
+}
+
 // firstDiff renders the first divergent line between got and want, with a
 // line of context, so a golden failure is readable without an external
 // diff tool.

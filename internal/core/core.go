@@ -319,6 +319,14 @@ type SuiteConfig struct {
 	// every setting; only throughput changes. Streamed (TraceFile) runs use
 	// the fused observer engine and ignore it.
 	SpecShards int
+	// PaperCorpus restricts the suite to the paper's original corpus: the
+	// twelve SPEC95-modeled workloads and the three predictors of the
+	// source paper (last-value, stride, context). The default (false) runs
+	// the extended corpus — the graph scenario pack (bfs/pgr/ccp) and the
+	// tage/ldbp predictors included — so figures gain GRAPH average rows
+	// and T/D columns. PaperCorpus exists so the original figure set stays
+	// reproducible byte-for-byte next to the extensions.
+	PaperCorpus bool
 }
 
 // Suite caches traces and model results across the paper's experiments so
@@ -389,7 +397,7 @@ func (s *Suite) traceFor(name string) (*trace.Trace, error) {
 }
 
 // Result returns (and caches) the model result for one workload and
-// predictor. The trace is released once all three standard predictors have
+// predictor. The trace is released once every suite predictor has
 // consumed it. Distinct (workload, predictor) pairs compute concurrently.
 func (s *Suite) Result(name string, kind predictor.Kind) (*dpg.Result, error) {
 	key := name + "/" + kind.String()
@@ -432,7 +440,7 @@ func (s *Suite) Result(name string, kind predictor.Kind) (*dpg.Result, error) {
 		}
 		s.mu.Lock()
 		s.done[name]++
-		if s.done[name] >= len(predictor.Kinds) {
+		if s.done[name] >= len(s.suiteKinds()) {
 			if te := s.traces[name]; te != nil {
 				te.t = nil // free the trace memory; recompute if needed again
 				s.traces[name] = nil
@@ -482,8 +490,8 @@ func (s *Suite) Precompute() error {
 			}
 		}()
 	}
-	for _, name := range allNames() {
-		for _, k := range predictor.Kinds {
+	for _, name := range s.suiteNames() {
+		for _, k := range s.suiteKinds() {
 			jobs <- job{name: name, kind: k}
 		}
 	}
@@ -527,6 +535,34 @@ func floatNames() []string {
 }
 
 func allNames() []string { return append(intNames(), floatNames()...) }
+
+func graphNames() []string {
+	names := make([]string, 0, 3)
+	for _, w := range workloads.Graph() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+// suiteNames returns the workloads the suite's experiments enumerate: the
+// paper's twelve, plus the graph scenario pack unless PaperCorpus restricts
+// the run. Order is fixed: integer, float, graph.
+func (s *Suite) suiteNames() []string {
+	if s.cfg.PaperCorpus {
+		return allNames()
+	}
+	return append(allNames(), graphNames()...)
+}
+
+// suiteKinds returns the predictor kinds the suite's experiments enumerate:
+// the paper's three, or all five (adding tage and ldbp) on the extended
+// corpus.
+func (s *Suite) suiteKinds() []predictor.Kind {
+	if s.cfg.PaperCorpus {
+		return predictor.Kinds
+	}
+	return predictor.AllKinds
+}
 
 // Experiments lists the runnable experiment ids with a one-line description
 // of the table/figure each reproduces.
@@ -661,7 +697,7 @@ func (s *Suite) RunAll(w io.Writer) error {
 func (s *Suite) table1(w io.Writer) error {
 	// DPG characteristics are predictor-independent; use last-value (the
 	// cheapest) and share its results with the other figures.
-	results, err := s.resultsFor(allNames(), predictor.KindLast)
+	results, err := s.resultsFor(s.suiteNames(), predictor.KindLast)
 	if err != nil {
 		return err
 	}
@@ -671,9 +707,10 @@ func (s *Suite) table1(w io.Writer) error {
 
 func (s *Suite) fig5(w io.Writer) error {
 	var rows []analysis.OverallRow
+	kinds := s.suiteKinds()
 	perKind := map[predictor.Kind][]analysis.OverallRow{}
-	for _, name := range allNames() {
-		for _, k := range predictor.Kinds {
+	for _, name := range s.suiteNames() {
+		for _, k := range kinds {
 			r, err := s.Result(name, k)
 			if err != nil {
 				return err
@@ -683,12 +720,17 @@ func (s *Suite) fig5(w io.Writer) error {
 			perKind[k] = append(perKind[k], row)
 		}
 	}
-	nInt := len(intNames())
-	for _, k := range predictor.Kinds {
+	nInt, nFloat := len(intNames()), len(floatNames())
+	for _, k := range kinds {
 		rows = append(rows, analysis.AverageOverall(perKind[k][:nInt], "INT"))
 	}
-	for _, k := range predictor.Kinds {
-		rows = append(rows, analysis.AverageOverall(perKind[k][nInt:], "FLOAT"))
+	for _, k := range kinds {
+		rows = append(rows, analysis.AverageOverall(perKind[k][nInt:nInt+nFloat], "FLOAT"))
+	}
+	if len(perKind[kinds[0]]) > nInt+nFloat {
+		for _, k := range kinds {
+			rows = append(rows, analysis.AverageOverall(perKind[k][nInt+nFloat:], "GRAPH"))
+		}
 	}
 	report.WriteOverall(w, rows)
 	return nil
@@ -698,8 +740,8 @@ func (s *Suite) breakdown(id string, w io.Writer) error {
 	var gen []analysis.GenRow
 	var prop []analysis.PropRow
 	var term []analysis.TermRow
-	for _, name := range allNames() {
-		for _, k := range predictor.Kinds {
+	for _, name := range s.suiteNames() {
+		for _, k := range s.suiteKinds() {
 			r, err := s.Result(name, k)
 			if err != nil {
 				return err
@@ -728,7 +770,7 @@ func (s *Suite) breakdown(id string, w io.Writer) error {
 func (s *Suite) fig9(w io.Writer) error {
 	var classRows []analysis.PathClassRow
 	byKind := map[predictor.Kind][]*dpg.Result{}
-	for _, k := range predictor.Kinds {
+	for _, k := range s.suiteKinds() {
 		results, err := s.resultsFor(intNames(), k)
 		if err != nil {
 			return err
@@ -774,7 +816,7 @@ func (s *Suite) fig11(w io.Writer) error {
 
 func (s *Suite) fig12(w io.Writer) error {
 	var rows []analysis.SeqRow
-	for _, k := range predictor.Kinds {
+	for _, k := range s.suiteKinds() {
 		results, err := s.resultsFor(intNames(), k)
 		if err != nil {
 			return err
@@ -791,7 +833,7 @@ func (s *Suite) fig12(w io.Writer) error {
 
 func (s *Suite) fig13(w io.Writer) error {
 	var rows []analysis.BranchRow
-	for _, k := range predictor.Kinds {
+	for _, k := range s.suiteKinds() {
 		results, err := s.resultsFor(intNames(), k)
 		if err != nil {
 			return err
@@ -872,9 +914,10 @@ func (s *Suite) hotspots(w io.Writer) error {
 
 func (s *Suite) unpredictability(w io.Writer) error {
 	var rows []analysis.UnpredRow
+	kinds := s.suiteKinds()
 	perKind := map[predictor.Kind][]analysis.UnpredRow{}
-	for _, name := range allNames() {
-		for _, k := range predictor.Kinds {
+	for _, name := range s.suiteNames() {
+		for _, k := range kinds {
 			r, err := s.Result(name, k)
 			if err != nil {
 				return err
@@ -884,12 +927,17 @@ func (s *Suite) unpredictability(w io.Writer) error {
 			perKind[k] = append(perKind[k], row)
 		}
 	}
-	nInt := len(intNames())
-	for _, k := range predictor.Kinds {
+	nInt, nFloat := len(intNames()), len(floatNames())
+	for _, k := range kinds {
 		rows = append(rows, analysis.AverageUnpredictability(perKind[k][:nInt], "INT"))
 	}
-	for _, k := range predictor.Kinds {
-		rows = append(rows, analysis.AverageUnpredictability(perKind[k][nInt:], "FLOAT"))
+	for _, k := range kinds {
+		rows = append(rows, analysis.AverageUnpredictability(perKind[k][nInt:nInt+nFloat], "FLOAT"))
+	}
+	if len(perKind[kinds[0]]) > nInt+nFloat {
+		for _, k := range kinds {
+			rows = append(rows, analysis.AverageUnpredictability(perKind[k][nInt+nFloat:], "GRAPH"))
+		}
 	}
 	report.WriteUnpredictability(w, rows)
 	return nil
@@ -1040,7 +1088,7 @@ func (s *Suite) addresses(w io.Writer) error {
 	fmt.Fprintln(w, "Addresses: effective-address (2-delta stride) vs data predictability at memory ops (context)")
 	fmt.Fprintf(w, "%-6s %10s %10s %10s %10s %10s %10s\n",
 		"bench", "mem-ops", "a+d+%", "a+d-%", "a-d+%", "a-d-%", "addr-acc%")
-	for _, name := range allNames() {
+	for _, name := range s.suiteNames() {
 		r, err := s.Result(name, predictor.KindContext)
 		if err != nil {
 			return err
@@ -1090,11 +1138,11 @@ func (s *Suite) confidence(w io.Writer) error {
 func (s *Suite) ilp(w io.Writer) error {
 	fmt.Fprintln(w, "ILP: dataflow-limit instructions/cycle without and with value prediction")
 	fmt.Fprintf(w, "%-6s %10s %10s", "bench", "instrs", "base-ILP")
-	for _, k := range predictor.Kinds {
+	for _, k := range s.suiteKinds() {
 		fmt.Fprintf(w, " %10s %8s", k.Letter()+"-ILP", k.Letter()+"-spd")
 	}
 	fmt.Fprintln(w)
-	for _, name := range allNames() {
+	for _, name := range s.suiteNames() {
 		stats, err := s.ilpStats(name)
 		if err != nil {
 			return err

@@ -111,7 +111,7 @@ func TestSuiteCachesResults(t *testing.T) {
 
 func TestSuiteFreesTraces(t *testing.T) {
 	s := smallSuite()
-	for _, k := range predictor.Kinds {
+	for _, k := range predictor.AllKinds {
 		if _, err := s.Result("fig1", k); err != nil {
 			t.Fatal(err)
 		}

@@ -12,7 +12,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dpg"
-	"repro/internal/predictor"
 	"repro/internal/trace"
 )
 
@@ -357,8 +356,8 @@ func (s *Suite) DumpJSON(w io.Writer) error {
 		return err
 	}
 	all := make(map[string]*dpg.Result)
-	for _, name := range allNames() {
-		for _, k := range predictor.Kinds {
+	for _, name := range s.suiteNames() {
+		for _, k := range s.suiteKinds() {
 			r, err := s.Result(name, k)
 			if err != nil {
 				return err

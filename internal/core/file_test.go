@@ -171,11 +171,32 @@ func TestDumpJSON(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
 		t.Fatalf("dump is not valid JSON: %v", err)
 	}
-	// 12 workloads x 3 predictors.
-	if len(decoded) != 36 {
-		t.Errorf("dump has %d entries, want 36", len(decoded))
+	// 15 workloads x 5 predictors on the extended corpus.
+	if len(decoded) != 75 {
+		t.Errorf("dump has %d entries, want 75", len(decoded))
 	}
 	if _, ok := decoded["gcc/context"]; !ok {
 		t.Error("missing gcc/context entry")
+	}
+	if _, ok := decoded["bfs/tage"]; !ok {
+		t.Error("missing bfs/tage entry")
+	}
+
+	// PaperCorpus restricts the dump to the paper's 12 workloads x 3
+	// predictors.
+	buf.Reset()
+	paper := NewSuite(SuiteConfig{Scale: 0.03, Parallel: 4, PaperCorpus: true})
+	if err := paper.DumpJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded = nil
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("paper-corpus dump is not valid JSON: %v", err)
+	}
+	if len(decoded) != 36 {
+		t.Errorf("paper-corpus dump has %d entries, want 36", len(decoded))
+	}
+	if _, ok := decoded["bfs/last-value"]; ok {
+		t.Error("paper-corpus dump contains a graph workload")
 	}
 }

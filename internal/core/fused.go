@@ -13,7 +13,7 @@ import (
 
 // This file is the suite's fused single-pass experiment engine. Under
 // TraceFile, one streaming decode of each workload's trace feeds every
-// consumer at once — the model pipeline for all three standard predictors,
+// consumer at once — the model pipeline for every suite predictor,
 // the correlation model, and the streaming experiment simulators (reuse,
 // ILP, confidence, speculation) — through the observer fan-out
 // (analysis.RunObservers). The first experiment to touch a workload pays
@@ -63,7 +63,7 @@ type fusedProducts struct {
 	model      map[predictor.Kind]*dpg.Result
 	corr       *dpg.Result
 	reuse      analysis.ReuseStats
-	ilp        []analysis.ILPStats // indexed like predictor.Kinds
+	ilp        []analysis.ILPStats // indexed like Suite.suiteKinds()
 	confidence []analysis.ConfidencePoint
 	specBase   analysis.SpecStats
 	spec       map[uint8]analysis.SpecStats
@@ -132,9 +132,10 @@ func (s *Suite) fusedOnce(name, path string) (*fusedProducts, error) {
 		}
 	}
 
+	kinds := s.suiteKinds()
 	var obs []analysis.Observer
-	models := make(map[predictor.Kind]*modelObserver, len(predictor.Kinds))
-	for _, k := range predictor.Kinds {
+	models := make(map[predictor.Kind]*modelObserver, len(kinds))
+	for _, k := range kinds {
 		mo, err := newModelObserver(tname, counts, dpg.Config{
 			Predictor:     k.Factory(),
 			PredictorName: k.String(),
@@ -145,8 +146,8 @@ func (s *Suite) fusedOnce(name, path string) (*fusedProducts, error) {
 		models[k] = mo
 		obs = append(obs, mo)
 	}
-	ilps := make([]*analysis.ILPSim, len(predictor.Kinds))
-	for i, k := range predictor.Kinds {
+	ilps := make([]*analysis.ILPSim, len(kinds))
+	for i, k := range kinds {
 		ilps[i] = analysis.NewILPSim(tname, k)
 		obs = append(obs, ilps[i])
 	}
@@ -269,7 +270,7 @@ func (s *Suite) confidencePoints(name string) ([]analysis.ConfidencePoint, error
 }
 
 // ilpStats returns the dataflow-limit statistics for one workload, one
-// entry per predictor kind in predictor.Kinds order.
+// entry per predictor kind in suiteKinds order.
 func (s *Suite) ilpStats(name string) ([]analysis.ILPStats, error) {
 	if path, ok := s.traceFilePath(name); ok {
 		p, err := s.fusedFor(name, path)
@@ -281,8 +282,9 @@ func (s *Suite) ilpStats(name string) ([]analysis.ILPStats, error) {
 	// One streaming pass drives every predictor's simulator at once: the
 	// base timeline is identical across kinds, so the sims differ only in
 	// their prediction side.
-	sims := make([]*analysis.ILPSim, len(predictor.Kinds))
-	for i, k := range predictor.Kinds {
+	kinds := s.suiteKinds()
+	sims := make([]*analysis.ILPSim, len(kinds))
+	for i, k := range kinds {
 		sims[i] = analysis.NewILPSim(name, k)
 	}
 	err := s.streamEvents(name, func(e *trace.Event) {

@@ -47,12 +47,12 @@ func writeScaledTrace(t *testing.T, dir, name string, scale float64) (string, *t
 func TestDifferentialPipelineAllWorkloads(t *testing.T) {
 	names := workloads.Names()
 	if testing.Short() {
-		names = []string{"fig1", "gcc", "fft"}
+		names = []string{"fig1", "gcc", "bfs"}
 	}
 	dir := t.TempDir()
 	for _, name := range names {
 		path, tr := writeScaledTrace(t, dir, name, 0.03)
-		for _, kind := range predictor.Kinds {
+		for _, kind := range predictor.AllKinds {
 			want, err := RunTrace(tr, WithKind(kind))
 			if err != nil {
 				t.Fatal(err)

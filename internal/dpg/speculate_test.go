@@ -15,11 +15,12 @@ import (
 
 // specTraces returns the differential workloads: every event shape (loads,
 // stores, branches, `in` D nodes, neutral ops) across small and large PC
-// universes.
+// universes, plus a graph workload whose branches test loaded values (the
+// hard-to-predict scenario the tage/ldbp predictors target).
 func specTraces(t *testing.T) map[string]*trace.Trace {
 	t.Helper()
 	out := map[string]*trace.Trace{}
-	for _, name := range []string{"fig1", "gcc", "com"} {
+	for _, name := range []string{"fig1", "gcc", "com", "bfs"} {
 		w, ok := workloads.ByName(name)
 		if !ok {
 			t.Fatalf("unknown workload %q", name)
@@ -47,7 +48,7 @@ func mustEqualResults(t *testing.T, ctx string, got, want *Result) {
 // zero divergence.
 func TestSpeculativeDifferential(t *testing.T) {
 	traces := specTraces(t)
-	kinds := []predictor.Kind{predictor.KindLast, predictor.KindStride, predictor.KindContext}
+	kinds := predictor.AllKinds
 	epochCounts := []int{1, 2, 3, 8, 32}
 	workerCounts := []int{1, 2, 4}
 	for name, tr := range traces {
@@ -90,7 +91,7 @@ func TestSpeculativeDifferential(t *testing.T) {
 // predictors alike.
 func TestSpeculativeShardedDifferential(t *testing.T) {
 	traces := specTraces(t)
-	kinds := []predictor.Kind{predictor.KindLast, predictor.KindStride, predictor.KindContext}
+	kinds := predictor.AllKinds
 	for name, tr := range traces {
 		for _, kind := range kinds {
 			cfg := Config{Predictor: kind.Factory(), PredictorName: kind.String()}
@@ -112,11 +113,12 @@ func TestSpeculativeShardedDifferential(t *testing.T) {
 					if st.Shards != shards {
 						t.Fatalf("%s s=%d: effective shards %d", ctx, shards, st.Shards)
 					}
-					// Shardable value predictors split all three per-key
-					// categories; the context predictor's shared second-level
-					// table pins the value units at one shard each.
+					// Shardable value predictors (last-value, stride, ldbp)
+					// split all three per-key categories; context (shared
+					// second-level table) and tage (global history ring) pin
+					// the value units at one shard each.
 					wantUnits := 3*shards + 1
-					if kind == predictor.KindContext {
+					if kind == predictor.KindContext || kind == predictor.KindTAGE {
 						wantUnits = shards + 3
 					}
 					if st.Units != wantUnits {

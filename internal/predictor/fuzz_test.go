@@ -1,0 +1,79 @@
+package predictor
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzTAGESnapshot drives TAGE's history-folding and tag-indexing state with
+// an arbitrary (key, value) update stream and checks the checkpoint
+// contract the speculative pass depends on: snapshot → arbitrary further
+// mutation → restore recovers the exact predictions, digest, and snapshot
+// content, and a twin instance replaying the same stream stays in lockstep
+// digest-wise. The fuzzer's job is to find ring-cursor / folded-history /
+// tagged-allocation states whose digest bookkeeping or deep-copy misses a
+// field.
+func FuzzTAGESnapshot(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0x80, 0x7f})
+	f.Add(make([]byte, 96))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const step = 6 // 2 bytes key, 4 bytes value per update
+		if len(data) < 2*step {
+			return
+		}
+		apply := func(p *TAGE, lo, hi int) {
+			for i := lo; i+step <= hi && i+step <= len(data); i += step {
+				key := uint64(binary.LittleEndian.Uint16(data[i:]))
+				val := binary.LittleEndian.Uint32(data[i+2:])
+				p.Update(key, val)
+			}
+		}
+
+		a := NewTAGE(8)
+		a.TrackDigest(true)
+		twin := NewTAGE(8)
+		twin.TrackDigest(true)
+
+		// First half of the stream, then a checkpoint.
+		cut := (len(data) / step / 2) * step
+		apply(a, 0, cut)
+		apply(twin, 0, cut)
+		if a.Digest() != twin.Digest() {
+			t.Fatalf("twin digest diverged before snapshot: %#x vs %#x", a.Digest(), twin.Digest())
+		}
+		snap := a.Snapshot()
+		wantProbe := valueProbe(a)
+		wantDig := a.Digest()
+		if snap.Digest() != wantDig {
+			t.Fatalf("snapshot digest %#x != live digest %#x", snap.Digest(), wantDig)
+		}
+
+		// Second half mutates the live instance past the checkpoint.
+		apply(a, cut, len(data))
+
+		// Restore must be exact: predictions, digest, and content.
+		if err := a.Restore(snap); err != nil {
+			t.Fatalf("Restore: %v", err)
+		}
+		if a.Digest() != wantDig {
+			t.Fatalf("digest after restore %#x, want %#x", a.Digest(), wantDig)
+		}
+		if !sameProbe(valueProbe(a), wantProbe) {
+			t.Fatal("predictions after restore differ from snapshot point")
+		}
+		if !a.Snapshot().Equal(snap) {
+			t.Fatal("re-snapshot after restore not Equal to original snapshot")
+		}
+		if !snap.Equal(twin.Snapshot()) {
+			t.Fatal("snapshot not Equal to twin that replayed the same stream")
+		}
+
+		// Replaying the tail must land both instances on the same state.
+		apply(a, cut, len(data))
+		apply(twin, cut, len(data))
+		if a.Digest() != twin.Digest() {
+			t.Fatalf("digest diverged after replayed tail: %#x vs %#x", a.Digest(), twin.Digest())
+		}
+	})
+}

@@ -36,18 +36,26 @@ type Factory func() Predictor
 // Kind names one of the paper's three value predictor configurations.
 type Kind int
 
-// The paper's predictor suite. KindLast is the 2^16-entry last-value
-// predictor, KindStride the 2^16-entry 2-delta stride predictor, and
-// KindContext the two-level context-based predictor (2^16-entry first
-// level, shared 2^20-entry second level).
+// The paper's predictor suite plus the modern extensions. KindLast is the
+// 2^16-entry last-value predictor, KindStride the 2^16-entry 2-delta stride
+// predictor, and KindContext the two-level context-based predictor
+// (2^16-entry first level, shared 2^20-entry second level). KindTAGE is the
+// tagged geometric-history predictor and KindLDBP the load-driven dual-delta
+// predictor, both added for the hard-to-predict graph scenario pack.
 const (
 	KindLast Kind = iota
 	KindStride
 	KindContext
+	KindTAGE
+	KindLDBP
 )
 
 // Kinds lists the paper's three predictors in presentation order (L, S, C).
 var Kinds = []Kind{KindLast, KindStride, KindContext}
+
+// AllKinds lists every built-in value predictor: the paper's three followed
+// by the graph-era extensions (T, D).
+var AllKinds = []Kind{KindLast, KindStride, KindContext, KindTAGE, KindLDBP}
 
 // String returns the short name used in the paper's figures.
 func (k Kind) String() string {
@@ -58,11 +66,16 @@ func (k Kind) String() string {
 		return "stride"
 	case KindContext:
 		return "context"
+	case KindTAGE:
+		return "tage"
+	case KindLDBP:
+		return "ldbp"
 	}
 	return "unknown"
 }
 
-// Letter returns the single-letter tag (L/S/C) used on the paper's x-axes.
+// Letter returns the single-letter tag (L/S/C, plus T/D for the extensions)
+// used on the paper's x-axes.
 func (k Kind) Letter() string {
 	switch k {
 	case KindLast:
@@ -71,6 +84,10 @@ func (k Kind) Letter() string {
 		return "S"
 	case KindContext:
 		return "C"
+	case KindTAGE:
+		return "T"
+	case KindLDBP:
+		return "D"
 	}
 	return "?"
 }
@@ -84,8 +101,23 @@ func (k Kind) New() Predictor {
 		return NewStride(DefaultTableBits)
 	case KindContext:
 		return NewContext(DefaultTableBits, DefaultL2Bits, DefaultOrder)
+	case KindTAGE:
+		return NewTAGE(DefaultTableBits)
+	case KindLDBP:
+		return NewLDBP(DefaultTableBits)
 	}
 	panic("predictor: unknown kind")
+}
+
+// KindByName resolves a kind from its String() name or Letter() tag
+// (case-sensitive, e.g. "stride" or "S"). ok is false for unknown names.
+func KindByName(name string) (Kind, bool) {
+	for _, k := range AllKinds {
+		if name == k.String() || name == k.Letter() {
+			return k, true
+		}
+	}
+	return 0, false
 }
 
 // Factory returns a Factory for k, for APIs that take one.

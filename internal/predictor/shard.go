@@ -149,3 +149,28 @@ func (p *Stride) Shard(idx, shards int) (ShardView, error) {
 		entries: make([]strideEntry, (int(p.mask)+1)/shards),
 	}, nil
 }
+
+// --- LDBP ---
+
+// MaxShards implements Sharder.
+func (p *LDBP) MaxShards() int { return len(p.entries) }
+
+// ShardOf implements Sharder.
+func (p *LDBP) ShardOf(key uint64, shards int) int {
+	return int(mix(key) & uint64(shards-1))
+}
+
+// Shard implements Sharder: LDBP's dual-delta table is strictly per-key, so
+// it partitions exactly like LastValue and Stride. TAGE does not implement
+// Sharder — its global value history couples every key, like Context's
+// shared second level.
+func (p *LDBP) Shard(idx, shards int) (ShardView, error) {
+	if err := checkShards(idx, shards, p.MaxShards()); err != nil {
+		return nil, err
+	}
+	return &LDBP{
+		mask:    p.mask,
+		geom:    newShardGeom(idx, shards),
+		entries: make([]ldbpEntry, (int(p.mask)+1)/shards),
+	}, nil
+}

@@ -34,6 +34,13 @@ func sharderCases() []sharderCase {
 		} {
 			return NewStride(12)
 		}},
+		{name: "ldbp", fresh: func() interface {
+			Predictor
+			Checkpointer
+			Sharder
+		} {
+			return NewLDBP(12)
+		}},
 	}
 }
 
@@ -186,5 +193,9 @@ func TestSharderSurface(t *testing.T) {
 	global = NewContext(10, 14, DefaultOrder)
 	if _, ok := global.(Sharder); ok {
 		t.Fatal("Context implements Sharder; its shared second-level table makes key shards inexact")
+	}
+	global = NewTAGE(12)
+	if _, ok := global.(Sharder); ok {
+		t.Fatal("TAGE implements Sharder; its global value history makes key shards inexact")
 	}
 }

@@ -330,3 +330,179 @@ func (g *GShare) TrackDigest(on bool) { g.track = on }
 
 // Digest implements Checkpointer.
 func (g *GShare) Digest() uint64 { return g.dig }
+
+// --- LDBP ---
+
+type ldbpSnap struct {
+	mask    uint64
+	geom    shardGeom
+	entries []ldbpEntry
+	dig     uint64
+}
+
+func (s *ldbpSnap) Digest() uint64 { return s.dig }
+
+func (s *ldbpSnap) Equal(other Snapshot) bool {
+	o, ok := other.(*ldbpSnap)
+	return ok && s.mask == o.mask && s.geom == o.geom && slices.Equal(s.entries, o.entries)
+}
+
+func packLDBPEntry(e ldbpEntry) (a, b uint64) {
+	if !e.valid {
+		return 0, 0
+	}
+	a = uint64(e.last) | uint64(e.d0)<<32
+	b = uint64(e.d1) | uint64(e.c0)<<32 | uint64(e.c1)<<34 | 1<<36
+	return a, b
+}
+
+func ldbpContrib(i, a, b uint64) uint64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	return digestMix(i, a, b)
+}
+
+// Snapshot implements Checkpointer.
+func (p *LDBP) Snapshot() Snapshot {
+	return &ldbpSnap{mask: p.mask, geom: p.geom, entries: slices.Clone(p.entries), dig: p.dig}
+}
+
+// Restore implements Checkpointer.
+func (p *LDBP) Restore(s Snapshot) error {
+	ls, ok := s.(*ldbpSnap)
+	if !ok {
+		return fmt.Errorf("%w: %T into *LDBP", ErrSnapshot, s)
+	}
+	if ls.mask != p.mask || ls.geom != p.geom {
+		return fmt.Errorf("%w: table size or shard geometry mismatch", ErrSnapshot)
+	}
+	copy(p.entries, ls.entries)
+	p.dig = ls.dig
+	return nil
+}
+
+// TrackDigest implements Checkpointer.
+func (p *LDBP) TrackDigest(on bool) { p.track = on }
+
+// Digest implements Checkpointer.
+func (p *LDBP) Digest() uint64 { return p.dig }
+
+// --- TAGE ---
+
+type tageSnap struct {
+	baseMask uint64
+	compMask uint64
+	base     []tageBase
+	comps    [][]tageEntry
+	hist     []uint16
+	pos      int
+	dig      uint64
+}
+
+func (s *tageSnap) Digest() uint64 { return s.dig }
+
+func (s *tageSnap) Equal(other Snapshot) bool {
+	o, ok := other.(*tageSnap)
+	if !ok || s.baseMask != o.baseMask || s.compMask != o.compMask ||
+		s.pos != o.pos || !slices.Equal(s.base, o.base) || !slices.Equal(s.hist, o.hist) {
+		return false
+	}
+	if len(s.comps) != len(o.comps) {
+		return false
+	}
+	for c := range s.comps {
+		if !slices.Equal(s.comps[c], o.comps[c]) {
+			return false
+		}
+	}
+	return true
+}
+
+func packTageBase(e tageBase) uint64 {
+	if !e.valid {
+		return 0
+	}
+	return uint64(e.value) | uint64(e.ctr)<<32 | 1<<40
+}
+
+func tageBaseContrib(i, packed uint64) uint64 {
+	if packed == 0 {
+		return 0
+	}
+	return digestMix(i, packed, 0)
+}
+
+func packTageEntry(e tageEntry) (a, b uint64) {
+	if !e.valid {
+		return 0, 0
+	}
+	a = uint64(e.value) | uint64(e.tag)<<32
+	b = uint64(e.ctr) | uint64(e.u)<<2 | 1<<4
+	return a, b
+}
+
+// tageCompTag is the digest tag of tagged-component c entry i, disjoint from
+// the base table's raw-index tag space.
+func tageCompTag(c int, i uint64) uint64 {
+	return uint64(c+1)<<32 | i
+}
+
+func tageContrib(tag, a, b uint64) uint64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	return digestMix(tag, a, b)
+}
+
+func tageHistContrib(slot int, v uint16) uint64 {
+	if v == 0 {
+		return 0
+	}
+	return digestMix(tageHistTag|uint64(slot), uint64(v), 0)
+}
+
+func tagePosContrib(pos int) uint64 {
+	if pos == 0 {
+		return 0
+	}
+	return digestMix(tagePosTag, uint64(pos), 0)
+}
+
+// Snapshot implements Checkpointer.
+func (p *TAGE) Snapshot() Snapshot {
+	comps := make([][]tageEntry, len(p.comps))
+	for c := range p.comps {
+		comps[c] = slices.Clone(p.comps[c])
+	}
+	return &tageSnap{
+		baseMask: p.baseMask, compMask: p.compMask,
+		base: slices.Clone(p.base), comps: comps,
+		hist: slices.Clone(p.hist), pos: p.pos, dig: p.dig,
+	}
+}
+
+// Restore implements Checkpointer.
+func (p *TAGE) Restore(s Snapshot) error {
+	ts, ok := s.(*tageSnap)
+	if !ok {
+		return fmt.Errorf("%w: %T into *TAGE", ErrSnapshot, s)
+	}
+	if ts.baseMask != p.baseMask || ts.compMask != p.compMask {
+		return fmt.Errorf("%w: table geometry mismatch", ErrSnapshot)
+	}
+	copy(p.base, ts.base)
+	for c := range p.comps {
+		copy(p.comps[c], ts.comps[c])
+	}
+	copy(p.hist, ts.hist)
+	p.pos = ts.pos
+	p.dig = ts.dig
+	return nil
+}
+
+// TrackDigest implements Checkpointer.
+func (p *TAGE) TrackDigest(on bool) { p.track = on }
+
+// Digest implements Checkpointer.
+func (p *TAGE) Digest() uint64 { return p.dig }

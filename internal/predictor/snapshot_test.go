@@ -66,6 +66,20 @@ func ckptCases() []ckptCase {
 			probe:  valueProbe,
 		},
 		{
+			name:   "tage",
+			fresh:  func() Checkpointer { return track(NewTAGE(12)) },
+			other:  func() Checkpointer { return track(NewTAGE(10)) },
+			update: valueUpdate,
+			probe:  valueProbe,
+		},
+		{
+			name:   "ldbp",
+			fresh:  func() Checkpointer { return track(NewLDBP(12)) },
+			other:  func() Checkpointer { return track(NewLDBP(10)) },
+			update: valueUpdate,
+			probe:  valueProbe,
+		},
+		{
 			name:  "gshare",
 			fresh: func() Checkpointer { return track(NewGShare(12)) },
 			other: func() Checkpointer { return track(NewGShare(10)) },

@@ -199,6 +199,10 @@ func predLetter(name string) string {
 		return "S"
 	case "context":
 		return "C"
+	case "tage":
+		return "T"
+	case "ldbp":
+		return "D"
 	case "":
 		return "-"
 	}

@@ -103,6 +103,7 @@ func TestBar(t *testing.T) {
 func TestPredLetter(t *testing.T) {
 	cases := map[string]string{
 		"last-value": "L", "stride": "S", "context": "C",
+		"tage": "T", "ldbp": "D",
 		"": "-", "hybrid": "hybrid",
 	}
 	for in, want := range cases {

@@ -25,7 +25,7 @@ import (
 // It is part of every cache key, so a model change (new pass, new
 // classification rule) silently invalidates all previously cached results
 // instead of serving stale ones.
-const ModelVersion = "pv2-model-8"
+const ModelVersion = "pv2-model-10"
 
 // Config tunes the server. The zero value is usable: every field has a
 // production default applied by New.
@@ -264,17 +264,21 @@ func writeError(w http.ResponseWriter, status int, kind string, err error) {
 	writeJSON(w, status, errorResponse{Kind: kind, Error: err.Error()})
 }
 
-// parseKind maps the ?predictor= query parameter onto the paper's suite.
+// parseKind maps the ?predictor= query parameter onto the predictor suite:
+// the paper's three plus the tage and ldbp extensions.
 func parseKind(name string) (predictor.Kind, error) {
-	switch strings.ToLower(name) {
-	case "", "last", "last-value", "l":
+	n := strings.ToLower(name)
+	if n == "" || n == "last" {
 		return predictor.KindLast, nil
-	case "stride", "s":
-		return predictor.KindStride, nil
-	case "context", "c":
-		return predictor.KindContext, nil
 	}
-	return 0, fmt.Errorf("server: unknown predictor %q (want last-value, stride, or context)", name)
+	if k, ok := predictor.KindByName(n); ok {
+		return k, nil
+	}
+	// Single-letter tags arrive in either case (?predictor=s).
+	if k, ok := predictor.KindByName(strings.ToUpper(n)); ok {
+		return k, nil
+	}
+	return 0, fmt.Errorf("server: unknown predictor %q (want last-value, stride, context, tage, or ldbp)", name)
 }
 
 // parseExperiments canonicalises the ?experiments= query parameter: a

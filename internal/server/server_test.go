@@ -155,6 +155,10 @@ func TestAnalyzePredictorSelection(t *testing.T) {
 	for q, want := range map[string]string{
 		"?predictor=stride":  "stride",
 		"?predictor=context": "context",
+		"?predictor=tage":    "tage",
+		"?predictor=ldbp":    "ldbp",
+		"?predictor=T":       "tage",
+		"?predictor=d":       "ldbp",
 		"":                   "last-value",
 	} {
 		status, got, _ := upload(t, ts, q, bytes.NewReader(data))

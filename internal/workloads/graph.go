@@ -1,0 +1,423 @@
+package workloads
+
+// Graph workloads over a seeded CSR (compressed sparse row) graph — the
+// hard-to-predict scenario pack. Where the SPEC95-style set's branches
+// mostly test loop counters and static tables, every interesting branch
+// here tests a *loaded* adjacency value: BFS's visited check, PageRank's
+// dangling-node and convergence tests, and the label-propagation ordering
+// comparisons are all data-dependent control flow, the modern frontier the
+// related work (LDBP, graph-workload branch studies) targets.
+//
+// All three share one input format produced by csrInput: the rounds word,
+// then offsets[0..graphNodes] (offsets[graphNodes] = edge count M, which
+// the programs load and use as a data-dependent loop bound), then the M
+// adjacency targets. Each round rewires one edge in place, so rounds
+// differ and the structure drifts over the run. Register conventions
+// follow the rest of the package: $s7 rounds, $s6 round counter, $s5
+// checksum emitted with `out` at the end.
+
+// graphNodes is the CSR node count shared by the generator and the
+// assembly sources (which hard-code the 128-entry table scans and the
+// &127 node masks).
+const graphNodes = 128
+
+// graphMaxDegree bounds a node's out-degree; degree 0 (dangling) is
+// allowed so the dangling-node branches are live.
+const graphMaxDegree = 10
+
+func init() {
+	register(&Workload{
+		Name:     "bfs",
+		FullName: "graph breadth-first search (CSR)",
+		Graph:    true,
+		Rounds:   18,
+		Source:   bfsSrc,
+		Input:    csrInput,
+	})
+
+	register(&Workload{
+		Name:     "pgr",
+		FullName: "graph PageRank (fixed-point, CSR)",
+		Graph:    true,
+		Rounds:   8,
+		Source:   pgrSrc,
+		Input:    csrInput,
+	})
+
+	register(&Workload{
+		Name:     "ccp",
+		FullName: "graph connected components (label propagation, CSR)",
+		Graph:    true,
+		Rounds:   4,
+		Source:   ccpSrc,
+		Input:    csrInput,
+	})
+}
+
+// csrInput generates a random directed graph in CSR form:
+// [rounds, offsets[0..graphNodes], adj[0..M-1]]. Out-degrees are uniform
+// in [0, graphMaxDegree] (dangling nodes included), targets uniform over
+// the nodes.
+func csrInput(rounds int, seed uint64) []uint32 {
+	r := newRNG(seed)
+	degs := make([]uint32, graphNodes)
+	var m uint32
+	for i := range degs {
+		degs[i] = r.intn(graphMaxDegree + 1)
+		m += degs[i]
+	}
+	words := make([]uint32, 0, graphNodes+1+int(m))
+	var off uint32
+	for i := 0; i < graphNodes; i++ {
+		words = append(words, off)
+		off += degs[i]
+	}
+	words = append(words, off) // offsets[graphNodes] == M
+	for e := uint32(0); e < m; e++ {
+		words = append(words, r.intn(graphNodes))
+	}
+	return prefixInput(rounds, words)
+}
+
+// bfsSrc: per-round breadth-first search from a rotating source with an
+// explicit frontier queue. The visited test (`dist[v] == -1`) branches on
+// a value loaded through two levels of indirection (adj -> dist), the
+// shape the branch-predictor graph studies call out.
+const bfsSrc = `
+	.data
+offs:	.space 516		# offsets[0..128]
+adj:	.space 5120		# up to 1280 edges
+dist:	.space 512
+queue:	.space 512
+	.text
+main:	in $s7			# rounds
+	li $s6, 0
+	li $s5, 0
+	la $s0, offs
+	la $s1, adj
+	la $s3, dist
+	la $s4, queue
+	li $t0, 0
+roff:	in $t1
+	sll $t2, $t0, 2
+	addu $t2, $t2, $s0
+	sw $t1, 0($t2)
+	addiu $t0, $t0, 1
+	slti $t3, $t0, 129
+	bne $t3, $zero, roff
+	lw $s2, 512($s0)	# M = offsets[128]
+	li $t0, 0
+radj:	slt $t3, $t0, $s2
+	beq $t3, $zero, round
+	in $t1
+	sll $t2, $t0, 2
+	addu $t2, $t2, $s1
+	sw $t1, 0($t2)
+	addiu $t0, $t0, 1
+	j radj
+round:	# rewire edge (round*37+11) % M so rounds differ
+	beq $s2, $zero, skiprw
+	li $t0, 37
+	mul $t0, $s6, $t0
+	addiu $t0, $t0, 11
+	remu $t0, $t0, $s2
+	sll $t0, $t0, 2
+	addu $t0, $t0, $s1
+	lw $t1, 0($t0)
+	addu $t1, $t1, $s6
+	addiu $t1, $t1, 1
+	andi $t1, $t1, 127
+	sw $t1, 0($t0)
+skiprw:	li $t0, 0		# dist[i] = -1
+	addiu $t4, $zero, -1
+dinit:	sll $t1, $t0, 2
+	addu $t1, $t1, $s3
+	sw $t4, 0($t1)
+	addiu $t0, $t0, 1
+	slti $t2, $t0, 128
+	bne $t2, $zero, dinit
+	andi $a0, $s6, 127	# source rotates with the round
+	sll $t0, $a0, 2
+	addu $t0, $t0, $s3
+	sw $zero, 0($t0)	# dist[src] = 0
+	sw $a0, 0($s4)		# queue[0] = src
+	li $v1, 0		# head
+	li $v0, 1		# tail
+bfs:	slt $t0, $v1, $v0
+	beq $t0, $zero, done
+	sll $t0, $v1, 2
+	addu $t0, $t0, $s4
+	lw $a0, 0($t0)		# u = queue[head++]
+	addiu $v1, $v1, 1
+	sll $t0, $a0, 2
+	addu $t1, $t0, $s3
+	lw $a1, 0($t1)		# dist[u]
+	addu $t2, $t0, $s0
+	lw $a2, 0($t2)		# e = offs[u]
+	lw $a3, 4($t2)		# end = offs[u+1]
+edge:	slt $t0, $a2, $a3
+	beq $t0, $zero, bfs
+	sll $t0, $a2, 2
+	addu $t0, $t0, $s1
+	lw $t1, 0($t0)		# v = adj[e]
+	sll $t2, $t1, 2
+	addu $t2, $t2, $s3
+	lw $t3, 0($t2)		# dist[v]
+	addiu $t4, $zero, -1
+	bne $t3, $t4, enext	# visited? (loaded-value branch)
+	addiu $t5, $a1, 1
+	sw $t5, 0($t2)		# dist[v] = dist[u]+1
+	sll $t6, $v0, 2
+	addu $t6, $t6, $s4
+	sw $t1, 0($t6)		# queue[tail++] = v
+	addiu $v0, $v0, 1
+	addu $s5, $s5, $t1
+	addu $s5, $s5, $t5
+enext:	addiu $a2, $a2, 1
+	j edge
+done:	addu $s5, $s5, $v0	# += nodes reached
+	addiu $s6, $s6, 1
+	slt $t0, $s6, $s7
+	bne $t0, $zero, round
+	out $s5
+	halt
+`
+
+// pgrSrc: fixed-point PageRank. Ranks stay warm across rounds, so after
+// the first round each rewired edge only nudges the fixed point and the
+// convergence branch (`delta < 2000`) exits the sweep loop after a
+// data-dependent number of iterations. Dangling nodes (degree 0) take a
+// separate branch and pool their mass.
+const pgrSrc = `
+	.data
+offs:	.space 516
+adj:	.space 5120
+rank:	.space 512
+next:	.space 512
+	.text
+main:	in $s7
+	li $s6, 0
+	li $s5, 0
+	la $s0, offs
+	la $s1, adj
+	la $s3, rank
+	la $s4, next
+	li $t0, 0
+roff:	in $t1
+	sll $t2, $t0, 2
+	addu $t2, $t2, $s0
+	sw $t1, 0($t2)
+	addiu $t0, $t0, 1
+	slti $t3, $t0, 129
+	bne $t3, $zero, roff
+	lw $s2, 512($s0)	# M
+	li $t0, 0
+radj:	slt $t3, $t0, $s2
+	beq $t3, $zero, rdone
+	in $t1
+	sll $t2, $t0, 2
+	addu $t2, $t2, $s1
+	sw $t1, 0($t2)
+	addiu $t0, $t0, 1
+	j radj
+rdone:	li $t0, 0		# rank[i] = 10000 (once; warm across rounds)
+rinit:	sll $t1, $t0, 2
+	addu $t1, $t1, $s3
+	li $t2, 10000
+	sw $t2, 0($t1)
+	addiu $t0, $t0, 1
+	slti $t2, $t0, 128
+	bne $t2, $zero, rinit
+round:	# rewire edge (round*41+13) % M
+	beq $s2, $zero, skiprw
+	li $t0, 41
+	mul $t0, $s6, $t0
+	addiu $t0, $t0, 13
+	remu $t0, $t0, $s2
+	sll $t0, $t0, 2
+	addu $t0, $t0, $s1
+	lw $t1, 0($t0)
+	addu $t1, $t1, $s6
+	addiu $t1, $t1, 1
+	andi $t1, $t1, 127
+	sw $t1, 0($t0)
+skiprw:	li $v1, 0		# iteration counter
+iter:	li $t0, 0		# next[i] = 0
+zinit:	sll $t1, $t0, 2
+	addu $t1, $t1, $s4
+	sw $zero, 0($t1)
+	addiu $t0, $t0, 1
+	slti $t2, $t0, 128
+	bne $t2, $zero, zinit
+	li $a3, 0		# dangling mass
+	li $t0, 0		# u
+push:	sll $t1, $t0, 2
+	addu $t2, $t1, $s0
+	lw $t3, 0($t2)		# e = offs[u]
+	lw $t4, 4($t2)		# end
+	addu $t5, $t1, $s3
+	lw $t6, 0($t5)		# rank[u]
+	sub $t7, $t4, $t3	# degree (loaded-value branch below)
+	bne $t7, $zero, haved
+	addu $a3, $a3, $t6	# dangling: pool the mass
+	j pnext
+haved:	divu $t8, $t6, $t7	# share = rank[u] / degree
+eloop:	slt $t9, $t3, $t4
+	beq $t9, $zero, pnext
+	sll $t9, $t3, 2
+	addu $t9, $t9, $s1
+	lw $v0, 0($t9)		# v = adj[e]
+	sll $v0, $v0, 2
+	addu $v0, $v0, $s4
+	lw $a0, 0($v0)
+	addu $a0, $a0, $t8
+	sw $a0, 0($v0)		# next[v] += share
+	addiu $t3, $t3, 1
+	j eloop
+pnext:	addiu $t0, $t0, 1
+	slti $t1, $t0, 128
+	bne $t1, $zero, push
+	srl $a3, $a3, 7		# base = 1500 + dangling/128
+	addiu $a3, $a3, 1500
+	li $a1, 0		# delta
+	li $t0, 0
+gath:	sll $t1, $t0, 2
+	addu $t2, $t1, $s4
+	lw $t3, 0($t2)		# next[v]
+	li $t4, 85
+	mul $t3, $t3, $t4
+	li $t4, 100
+	divu $t3, $t3, $t4
+	addu $t3, $t3, $a3	# new rank (0.85 damping)
+	addu $t5, $t1, $s3
+	lw $t6, 0($t5)		# old rank
+	sw $t3, 0($t5)
+	sub $t7, $t3, $t6
+	bgez $t7, dpos
+	sub $t7, $zero, $t7
+dpos:	addu $a1, $a1, $t7	# delta += |new - old|
+	addiu $t0, $t0, 1
+	slti $t1, $t0, 128
+	bne $t1, $zero, gath
+	addiu $v1, $v1, 1
+	slti $t0, $v1, 8	# iteration cap
+	beq $t0, $zero, conv
+	slti $t0, $a1, 2000	# converged? (loaded-value branch)
+	beq $t0, $zero, iter
+conv:	andi $t0, $s6, 127	# checksum += rank[round&127] + iterations
+	sll $t0, $t0, 2
+	addu $t0, $t0, $s3
+	lw $t1, 0($t0)
+	addu $s5, $s5, $t1
+	addu $s5, $s5, $v1
+	addiu $s6, $s6, 1
+	slt $t0, $s6, $s7
+	bne $t0, $zero, round
+	out $s5
+	halt
+`
+
+// ccpSrc: connected components by min-label propagation, sweeping until a
+// sweep makes no change — both the per-edge ordering branches and the
+// outer sweep count depend entirely on loaded labels.
+const ccpSrc = `
+	.data
+offs:	.space 516
+adj:	.space 5120
+label:	.space 512
+	.text
+main:	in $s7
+	li $s6, 0
+	li $s5, 0
+	la $s0, offs
+	la $s1, adj
+	la $s3, label
+	li $t0, 0
+roff:	in $t1
+	sll $t2, $t0, 2
+	addu $t2, $t2, $s0
+	sw $t1, 0($t2)
+	addiu $t0, $t0, 1
+	slti $t3, $t0, 129
+	bne $t3, $zero, roff
+	lw $s2, 512($s0)	# M
+	li $t0, 0
+radj:	slt $t3, $t0, $s2
+	beq $t3, $zero, round
+	in $t1
+	sll $t2, $t0, 2
+	addu $t2, $t2, $s1
+	sw $t1, 0($t2)
+	addiu $t0, $t0, 1
+	j radj
+round:	# rewire edge (round*53+17) % M
+	beq $s2, $zero, skiprw
+	li $t0, 53
+	mul $t0, $s6, $t0
+	addiu $t0, $t0, 17
+	remu $t0, $t0, $s2
+	sll $t0, $t0, 2
+	addu $t0, $t0, $s1
+	lw $t1, 0($t0)
+	addu $t1, $t1, $s6
+	addiu $t1, $t1, 3
+	andi $t1, $t1, 127
+	sw $t1, 0($t0)
+skiprw:	li $t0, 0		# label[i] = i
+linit:	sll $t1, $t0, 2
+	addu $t1, $t1, $s3
+	sw $t0, 0($t1)
+	addiu $t0, $t0, 1
+	slti $t2, $t0, 128
+	bne $t2, $zero, linit
+	li $s4, 0		# sweep count
+sweep:	li $a3, 0		# changed
+	li $t0, 0		# u
+uloop:	sll $t1, $t0, 2
+	addu $t1, $t1, $s3
+	lw $t3, 0($t1)		# lu = label[u]
+	sll $t2, $t0, 2
+	addu $t2, $t2, $s0
+	lw $a0, 0($t2)		# e = offs[u]
+	lw $a1, 4($t2)		# end
+eloop:	slt $t4, $a0, $a1
+	beq $t4, $zero, unext
+	sll $t4, $a0, 2
+	addu $t4, $t4, $s1
+	lw $t5, 0($t4)		# v = adj[e]
+	sll $t6, $t5, 2
+	addu $t6, $t6, $s3
+	lw $t7, 0($t6)		# lv = label[v]
+	slt $t8, $t7, $t3
+	beq $t8, $zero, back	# lv < lu? (loaded-value branch)
+	move $t3, $t7
+	sw $t3, 0($t1)		# label[u] = lv
+	addiu $a3, $a3, 1
+	j enext
+back:	slt $t8, $t3, $t7
+	beq $t8, $zero, enext	# lu < lv?
+	sw $t3, 0($t6)		# label[v] = lu
+	addiu $a3, $a3, 1
+enext:	addiu $a0, $a0, 1
+	j eloop
+unext:	addiu $t0, $t0, 1
+	slti $t4, $t0, 128
+	bne $t4, $zero, uloop
+	addiu $s4, $s4, 1
+	addu $s5, $s5, $a3	# checksum += changes this sweep
+	bne $a3, $zero, sweep	# repeat while anything changed
+	li $t0, 0		# checksum: labels + sweeps
+csum:	sll $t1, $t0, 2
+	addu $t1, $t1, $s3
+	lw $t2, 0($t1)
+	addu $s5, $s5, $t2
+	addiu $t0, $t0, 1
+	slti $t2, $t0, 128
+	bne $t2, $zero, csum
+	addu $s5, $s5, $s4
+	addiu $s6, $s6, 1
+	slt $t0, $s6, $s7
+	bne $t0, $zero, round
+	out $s5
+	halt
+`

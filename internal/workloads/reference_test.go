@@ -143,6 +143,224 @@ func TestVorReferenceSimulation(t *testing.T) {
 	}
 }
 
+// graphRef decodes a csrInput stream into its offsets and adjacency
+// arrays (copies, so reference simulations can mutate them like the
+// assembly does in place).
+func graphRef(input []uint32) (offs, adj []uint32) {
+	offs = append([]uint32(nil), input[1:graphNodes+2]...)
+	m := offs[graphNodes]
+	adj = append([]uint32(nil), input[graphNodes+2:graphNodes+2+int(m)]...)
+	return offs, adj
+}
+
+// TestBFSReferenceSimulation re-implements the BFS workload: per-round
+// edge rewiring, frontier traversal from a rotating source, and the
+// visit-order checksum.
+func TestBFSReferenceSimulation(t *testing.T) {
+	const rounds, seed = 6, 21
+	w, _ := ByName("bfs")
+	offs, adj := graphRef(w.Input(rounds, seed))
+	m := offs[graphNodes]
+
+	var checksum uint32
+	for round := 0; round < rounds; round++ {
+		if m > 0 {
+			e := (uint32(round)*37 + 11) % m
+			adj[e] = (adj[e] + uint32(round) + 1) & 127
+		}
+		dist := make([]int32, graphNodes)
+		for i := range dist {
+			dist[i] = -1
+		}
+		src := uint32(round) & 127
+		dist[src] = 0
+		queue := []uint32{src}
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for e := offs[u]; e < offs[u+1]; e++ {
+				v := adj[e]
+				if dist[v] != -1 {
+					continue
+				}
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+				checksum += v + uint32(dist[v])
+			}
+		}
+		checksum += uint32(len(queue))
+	}
+
+	out := runChecksum(t, "bfs", rounds, seed)
+	if len(out) != 1 || out[0] != checksum {
+		t.Errorf("bfs checksum = %v, reference = %d", out, checksum)
+	}
+}
+
+// TestPGRReferenceSimulation re-implements the fixed-point PageRank
+// workload, including the dangling-mass pooling, the 0.85 damping in
+// integer arithmetic, and the delta-convergence exit.
+func TestPGRReferenceSimulation(t *testing.T) {
+	const rounds, seed = 4, 17
+	w, _ := ByName("pgr")
+	offs, adj := graphRef(w.Input(rounds, seed))
+	m := offs[graphNodes]
+
+	rank := make([]uint32, graphNodes)
+	for i := range rank {
+		rank[i] = 10000
+	}
+	next := make([]uint32, graphNodes)
+	var checksum uint32
+	for round := 0; round < rounds; round++ {
+		if m > 0 {
+			e := (uint32(round)*41 + 13) % m
+			adj[e] = (adj[e] + uint32(round) + 1) & 127
+		}
+		iters := uint32(0)
+		for {
+			for i := range next {
+				next[i] = 0
+			}
+			var dang uint32
+			for u := 0; u < graphNodes; u++ {
+				deg := offs[u+1] - offs[u]
+				if deg == 0 {
+					dang += rank[u]
+					continue
+				}
+				share := rank[u] / deg
+				for e := offs[u]; e < offs[u+1]; e++ {
+					next[adj[e]] += share
+				}
+			}
+			base := dang>>7 + 1500
+			var delta uint32
+			for v := 0; v < graphNodes; v++ {
+				nr := next[v]*85/100 + base
+				d := int32(nr - rank[v])
+				if d < 0 {
+					d = -d
+				}
+				delta += uint32(d)
+				rank[v] = nr
+			}
+			iters++
+			if iters >= 8 || delta < 2000 {
+				break
+			}
+		}
+		checksum += rank[uint32(round)&127] + iters
+	}
+
+	out := runChecksum(t, "pgr", rounds, seed)
+	if len(out) != 1 || out[0] != checksum {
+		t.Errorf("pgr checksum = %v, reference = %d", out, checksum)
+	}
+}
+
+// TestCCPReferenceSimulation re-implements label-propagation connected
+// components: min-label sweeps to fixpoint with in-place propagation in
+// the assembly's exact edge order (the intermediate change counts feed
+// the checksum, so order matters).
+func TestCCPReferenceSimulation(t *testing.T) {
+	const rounds, seed = 3, 29
+	w, _ := ByName("ccp")
+	offs, adj := graphRef(w.Input(rounds, seed))
+	m := offs[graphNodes]
+
+	var checksum uint32
+	for round := 0; round < rounds; round++ {
+		if m > 0 {
+			e := (uint32(round)*53 + 17) % m
+			adj[e] = (adj[e] + uint32(round) + 3) & 127
+		}
+		label := make([]uint32, graphNodes)
+		for i := range label {
+			label[i] = uint32(i)
+		}
+		sweeps := uint32(0)
+		for {
+			changed := uint32(0)
+			for u := 0; u < graphNodes; u++ {
+				lu := label[u]
+				for e := offs[u]; e < offs[u+1]; e++ {
+					v := adj[e]
+					lv := label[v]
+					if lv < lu {
+						lu = lv
+						label[u] = lu
+						changed++
+					} else if lu < lv {
+						label[v] = lu
+						changed++
+					}
+				}
+			}
+			sweeps++
+			checksum += changed
+			if changed == 0 {
+				break
+			}
+		}
+		for i := range label {
+			checksum += label[i]
+		}
+		checksum += sweeps
+	}
+
+	out := runChecksum(t, "ccp", rounds, seed)
+	if len(out) != 1 || out[0] != checksum {
+		t.Errorf("ccp checksum = %v, reference = %d", out, checksum)
+	}
+}
+
+// TestGraphSeedDeterminism pins each graph workload's default-trace
+// length and emitted checksum for two seeds: the full dynamic path is a
+// pure function of (rounds, seed), and distinct seeds take distinct
+// paths. Regenerate the constants deliberately if the generators or
+// sources change — silent drift here means every downstream golden moved.
+func TestGraphSeedDeterminism(t *testing.T) {
+	pins := []struct {
+		name     string
+		seed     uint64
+		traceLen int
+		checksum uint32
+	}{
+		{"bfs", 1, 189583, 138915},
+		{"bfs", 2, 0, 0},
+		{"pgr", 1, 420950, 124725},
+		{"pgr", 2, 0, 0},
+		{"ccp", 1, 141800, 906},
+		{"ccp", 2, 0, 0},
+	}
+	got := map[string][2]uint32{}
+	for i := range pins {
+		p := &pins[i]
+		w, _ := ByName(p.name)
+		tr, err := w.TraceRounds(w.Rounds, p.seed)
+		if err != nil {
+			t.Fatalf("%s seed %d: %v", p.name, p.seed, err)
+		}
+		out := runChecksum(t, p.name, w.Rounds, p.seed)
+		if len(out) != 1 {
+			t.Fatalf("%s seed %d: %d outputs", p.name, p.seed, len(out))
+		}
+		if p.seed == 1 {
+			if tr.Len() != p.traceLen || out[0] != p.checksum {
+				t.Errorf("%s seed 1: trace len %d checksum %d, pinned (%d, %d)",
+					p.name, tr.Len(), out[0], p.traceLen, p.checksum)
+			}
+			got[p.name] = [2]uint32{uint32(tr.Len()), out[0]}
+		} else {
+			seed1 := got[p.name]
+			if uint32(tr.Len()) == seed1[0] && out[0] == seed1[1] {
+				t.Errorf("%s: seed %d indistinguishable from seed 1 (len %d, checksum %d)",
+					p.name, p.seed, tr.Len(), out[0])
+			}
+		}
+	}
+}
+
 // TestGoBoardReference re-implements one scan of the go board evaluator.
 func TestGoBoardReference(t *testing.T) {
 	const rounds = 3

@@ -28,6 +28,9 @@ type Workload struct {
 	FullName string
 	// Float marks the floating-point set (app/fpp/mgr/swm).
 	Float bool
+	// Graph marks the graph scenario pack (bfs/pgr/ccp): CSR workloads
+	// whose branches test loaded adjacency values.
+	Graph bool
 	// Rounds is the default outer-iteration parameter, tuned to give
 	// traces of roughly 100–300k dynamic instructions.
 	Rounds int
@@ -106,12 +109,14 @@ func (r *rng) next() uint32 {
 func (r *rng) intn(n uint32) uint32 { return r.next() % n }
 
 // All returns every workload: the paper's integer and floating-point
-// sets, the Fig. 1 kernel, and the compiled (mini-C) extra.
+// sets, the Fig. 1 kernel, the compiled (mini-C) extra, and the graph
+// scenario pack.
 func All() []*Workload {
 	out := make([]*Workload, 0, len(registry))
 	out = append(out, Integer()...)
 	out = append(out, Float()...)
 	out = append(out, mustGet("fig1"), mustGet("hst"))
+	out = append(out, Graph()...)
 	return out
 }
 
@@ -123,6 +128,11 @@ func Integer() []*Workload {
 // Float returns the paper's floating-point set in figure order.
 func Float() []*Workload {
 	return gets("app", "fpp", "mgr", "swm")
+}
+
+// Graph returns the graph scenario pack.
+func Graph() []*Workload {
+	return gets("bfs", "pgr", "ccp")
 }
 
 // ByName looks up a workload by its short name.

@@ -14,8 +14,20 @@ func TestRegistryShape(t *testing.T) {
 	if len(Float()) != 4 {
 		t.Errorf("float set has %d workloads, want 4", len(Float()))
 	}
-	if len(All()) != 14 {
-		t.Errorf("All() has %d workloads, want 14", len(All()))
+	if len(Graph()) != 3 {
+		t.Errorf("graph set has %d workloads, want 3", len(Graph()))
+	}
+	if len(All()) != 17 {
+		t.Errorf("All() has %d workloads, want 17", len(All()))
+	}
+	wantGraph := []string{"bfs", "pgr", "ccp"}
+	for i, w := range Graph() {
+		if w.Name != wantGraph[i] {
+			t.Errorf("graph[%d] = %s, want %s", i, w.Name, wantGraph[i])
+		}
+		if !w.Graph || w.Float {
+			t.Errorf("%s flags wrong: Graph=%v Float=%v", w.Name, w.Graph, w.Float)
+		}
 	}
 	wantInt := []string{"com", "gcc", "go", "ijp", "per", "m88", "vor", "xli"}
 	for i, w := range Integer() {
@@ -37,7 +49,7 @@ func TestRegistryShape(t *testing.T) {
 	if _, ok := ByName("nope"); ok {
 		t.Error("ByName(nope) succeeded")
 	}
-	if len(Names()) != 14 {
+	if len(Names()) != 17 {
 		t.Error("Names() wrong length")
 	}
 }
